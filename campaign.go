@@ -1,0 +1,395 @@
+package goldeneye
+
+import (
+	"fmt"
+	"sync"
+
+	"goldeneye/internal/inject"
+	"goldeneye/internal/metrics"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+	"goldeneye/internal/train"
+)
+
+// CampaignConfig specifies a fault-injection campaign (paper §IV-C): a
+// number of unique single-bit flips at a chosen layer and site, each applied
+// to one inference, with mismatch and ΔLoss recorded against the fault-free
+// reference under the same number format.
+type CampaignConfig struct {
+	// Format is the emulated number system faults are injected into.
+	Format numfmt.Format
+
+	// Site selects data-value or metadata injection.
+	Site inject.Site
+
+	// Target selects neuron (activation) or weight corruption.
+	Target inject.Target
+
+	// FaultKind selects the error model (flip, stuck-at-0/1, burst); the
+	// zero value is the paper's default transient single-bit flip.
+	FaultKind inject.FaultKind
+
+	// Layer is the layer visit index to inject into.
+	Layer int
+
+	// Injections is the number of unique faults (the paper uses 1000 per
+	// layer and site).
+	Injections int
+
+	// FlipsPerInjection is the number of simultaneous bit flips per
+	// injection (0 or 1 = the single-bit model; higher values model
+	// multi-bit upsets). Each flip is drawn independently.
+	FlipsPerInjection int
+
+	// Seed determines the fault sequence.
+	Seed uint64
+
+	// X and Y are the evaluation pool; injection i uses sample i mod N so
+	// faults spread evenly over inputs. Inference runs at batch size 1
+	// because per-tensor metadata (INT scale, AFP bias) is batch-dependent.
+	X *tensor.Tensor
+	Y []int
+
+	// UseRanger enables the range detector (on by default in the paper;
+	// here explicit).
+	UseRanger bool
+
+	// EmulateNetwork quantizes all CONV/LINEAR activations to Format during
+	// every inference, so the campaign models a network *running in* the
+	// studied format rather than FP32 with one quantized layer.
+	EmulateNetwork bool
+
+	// QuantizeWeights converts weights to Format for the campaign.
+	QuantizeWeights bool
+
+	// KeepTrace records each injection's outcome (needed by the metric-
+	// convergence experiment); costs memory proportional to Injections.
+	KeepTrace bool
+
+	// MeasureDMR additionally re-executes every injected inference without
+	// the transient fault and counts an injection as *detected* when the
+	// two outputs differ — dual modular redundancy, one of the software-
+	// directed protection techniques the paper positions GoldenEye for
+	// (§V-B). Permanent corruption (weight faults) persists across both
+	// executions and is structurally undetectable by DMR. Doubles the
+	// campaign's inference cost.
+	MeasureDMR bool
+}
+
+// InjectionOutcome is one recorded injection (with KeepTrace).
+type InjectionOutcome struct {
+	// Fault is the injection's first flip; Extra holds the remainder for
+	// multi-bit injections.
+	Fault     inject.Fault
+	Extra     []inject.Fault
+	Sample    int
+	Mismatch  bool
+	DeltaLoss float64
+}
+
+// CampaignReport is a campaign's aggregated result plus optional trace.
+type CampaignReport struct {
+	metrics.CampaignResult
+
+	Config CampaignConfig
+	Trace  []InjectionOutcome
+
+	// Detected counts injections flagged by DMR re-execution (only
+	// populated with MeasureDMR).
+	Detected int
+}
+
+// DetectionCoverage returns the fraction of injections DMR detected.
+func (r *CampaignReport) DetectionCoverage() float64 {
+	if r.Injections == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.Injections)
+}
+
+// campaignRunner holds one worker's prepared campaign state: quantized
+// weights, range profile, and fault-free references.
+type campaignRunner struct {
+	sim       *Simulator
+	cfg       CampaignConfig
+	backup    *inject.WeightBackup
+	ranger    *inject.RangeProfile
+	cleanPred []int
+	cleanLoss []float64
+	elems     int
+	flips     int
+}
+
+// campaignGeometry validates cfg against the simulator and returns the
+// fault-drawing geometry (target element count and flips per injection).
+func (s *Simulator) campaignGeometry(cfg CampaignConfig) (elems, flips int, err error) {
+	if cfg.Format == nil {
+		return 0, 0, fmt.Errorf("goldeneye: campaign requires a format")
+	}
+	if cfg.Injections <= 0 {
+		return 0, 0, fmt.Errorf("goldeneye: campaign requires a positive injection count")
+	}
+	if cfg.X == nil || cfg.X.Dim(0) != len(cfg.Y) {
+		return 0, 0, fmt.Errorf("goldeneye: campaign pool mismatch")
+	}
+	if cfg.Site == inject.SiteMetadata && inject.MetaBitWidth(cfg.Format) == 0 {
+		return 0, 0, fmt.Errorf("goldeneye: format %s has no metadata to inject into", cfg.Format.Name())
+	}
+	elems = s.sizes[cfg.Layer]
+	if cfg.Target == inject.TargetNeuron && elems == 0 {
+		return 0, 0, fmt.Errorf("goldeneye: unknown layer index %d", cfg.Layer)
+	}
+	if cfg.Target == inject.TargetWeight {
+		p, err := s.widx.ParamOfLayer(cfg.Layer)
+		if err != nil {
+			return 0, 0, err
+		}
+		elems = p.Value.Len()
+	}
+	flips = cfg.FlipsPerInjection
+	if flips <= 0 {
+		flips = 1
+	}
+	return elems, flips, nil
+}
+
+// newRunner validates cfg against the simulator and computes the
+// fault-free references. Callers must invoke close() to restore weights.
+func (s *Simulator) newRunner(cfg CampaignConfig) (*campaignRunner, error) {
+	elems, flips, err := s.campaignGeometry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &campaignRunner{sim: s, cfg: cfg, elems: elems, flips: flips}
+	r.backup = inject.BackupWeights(s.model)
+	if cfg.QuantizeWeights {
+		inject.QuantizeWeights(s.model, cfg.Format)
+	}
+	if cfg.UseRanger {
+		r.ranger = inject.ProfileRanges(s.model, cfg.X, 16, r.baseHooks())
+	}
+
+	// Fault-free reference per pool sample, at batch 1 (per-tensor metadata
+	// such as the INT scale depends on batch composition).
+	n := cfg.X.Dim(0)
+	r.cleanPred = make([]int, n)
+	r.cleanLoss = make([]float64, n)
+	cleanCtx := nn.NewContext(r.baseHooks())
+	for i := 0; i < n; i++ {
+		logits := nn.Forward(cleanCtx, s.model, cfg.X.Slice(i, i+1))
+		r.cleanPred[i] = logits.ArgMaxRows()[0]
+		r.cleanLoss[i] = train.CrossEntropyPerSample(logits, cfg.Y[i:i+1])[0]
+	}
+	return r, nil
+}
+
+func (r *campaignRunner) close() { r.backup.Restore() }
+
+func (r *campaignRunner) baseHooks() *nn.HookSet {
+	h := nn.NewHookSet()
+	if r.cfg.EmulateNetwork {
+		format := r.cfg.Format
+		h.PostForward(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+			return format.Emulate(t)
+		})
+	}
+	return h
+}
+
+// drawFaults produces injection i's fault set from the shared sequence.
+func (r *campaignRunner) drawFaults(src *rng.RNG) []inject.Fault {
+	faults := make([]inject.Fault, r.flips)
+	for j := range faults {
+		faults[j] = inject.RandomFault(src, r.cfg.Format, r.cfg.Layer, r.elems, r.cfg.Site, r.cfg.Target)
+		faults[j].Kind = r.cfg.FaultKind
+	}
+	return faults
+}
+
+// runOne executes one injected inference and returns its outcome plus
+// whether the output was non-finite and whether DMR detected the fault.
+func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out InjectionOutcome, nonFinite, detected bool, err error) {
+	cfg := r.cfg
+	var restores []func()
+	hooks := r.baseHooks()
+	if cfg.Target == inject.TargetNeuron {
+		hooks.PostForward(nn.ByIndex(cfg.Layer), inject.NeuronHookMulti(cfg.Format, faults))
+	} else {
+		for _, fault := range faults {
+			restore, ferr := inject.WeightFault(cfg.Format, fault, r.sim.widx)
+			if ferr != nil {
+				for _, undo := range restores {
+					undo()
+				}
+				return out, false, false, ferr
+			}
+			restores = append(restores, restore)
+		}
+	}
+	if r.ranger != nil {
+		hooks.PostForward(nn.AllLayers(), r.ranger.ClampHook())
+	}
+
+	logits := nn.Forward(nn.NewContext(hooks), r.sim.model, cfg.X.Slice(sample, sample+1))
+	if cfg.MeasureDMR {
+		// Re-execute without the transient fault; weight corruption is
+		// still in place, so it escapes detection (as real DMR would).
+		redo := r.baseHooks()
+		if r.ranger != nil {
+			redo.PostForward(nn.AllLayers(), r.ranger.ClampHook())
+		}
+		again := nn.Forward(nn.NewContext(redo), r.sim.model, cfg.X.Slice(sample, sample+1))
+		detected = !again.AllClose(logits, 0)
+	}
+	// Undo weight corruption in reverse order so overlapping faults
+	// restore correctly.
+	for j := len(restores) - 1; j >= 0; j-- {
+		restores[j]()
+	}
+
+	faultyLoss := train.CrossEntropyPerSample(logits, cfg.Y[sample:sample+1])[0]
+	out = InjectionOutcome{
+		Fault:     faults[0],
+		Sample:    sample,
+		Mismatch:  logits.ArgMaxRows()[0] != r.cleanPred[sample],
+		DeltaLoss: metrics.DeltaLoss(r.cleanLoss[sample], faultyLoss),
+	}
+	if len(faults) > 1 {
+		out.Extra = faults[1:]
+	}
+	return out, logits.CountNonFinite() > 0, detected, nil
+}
+
+// RunCampaign executes the configured campaign and returns its report. The
+// model's weights are restored to their pre-campaign values before
+// returning.
+func (s *Simulator) RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
+	runner, err := s.newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer runner.close()
+
+	report := &CampaignReport{Config: cfg}
+	src := rng.New(cfg.Seed)
+	n := cfg.X.Dim(0)
+	for i := 0; i < cfg.Injections; i++ {
+		out, nonFinite, detected, err := runner.runOne(runner.drawFaults(src), i%n)
+		if err != nil {
+			return nil, err
+		}
+		report.Record(out.Mismatch, out.DeltaLoss, nonFinite)
+		if detected {
+			report.Detected++
+		}
+		if cfg.KeepTrace {
+			report.Trace = append(report.Trace, out)
+		}
+	}
+	return report, nil
+}
+
+// RunCampaignParallel shards a campaign across worker simulators built by
+// build (each must wrap an identical, independently allocated model — e.g.
+// a fresh zoo load). The fault sequence is drawn up front from cfg.Seed, so
+// the injected faults are exactly those of the serial RunCampaign; only
+// floating-point aggregation order differs (Welford merge).
+func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulator, error)) (*CampaignReport, error) {
+	if workers <= 1 {
+		sim, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return sim.RunCampaign(cfg)
+	}
+	if cfg.Injections < workers {
+		workers = cfg.Injections
+	}
+
+	// Draw the full fault sequence once, in serial order, so the injected
+	// faults are bit-identical to the serial campaign's.
+	scout, err := build()
+	if err != nil {
+		return nil, err
+	}
+	elems, flips, err := scout.campaignGeometry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	allFaults := make([][]inject.Fault, cfg.Injections)
+	for i := range allFaults {
+		faults := make([]inject.Fault, flips)
+		for j := range faults {
+			faults[j] = inject.RandomFault(src, cfg.Format, cfg.Layer, elems, cfg.Site, cfg.Target)
+			faults[j].Kind = cfg.FaultKind
+		}
+		allFaults[i] = faults
+	}
+
+	type shard struct {
+		report *CampaignReport
+		err    error
+	}
+	n := cfg.X.Dim(0)
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sim := scout
+			if w > 0 { // reuse the scout for worker 0
+				var berr error
+				sim, berr = build()
+				if berr != nil {
+					shards[w].err = berr
+					return
+				}
+			}
+			runner, rerr := sim.newRunner(cfg)
+			if rerr != nil {
+				shards[w].err = rerr
+				return
+			}
+			defer runner.close()
+			rep := &CampaignReport{}
+			for i := w; i < cfg.Injections; i += workers {
+				out, nonFinite, detected, oerr := runner.runOne(allFaults[i], i%n)
+				if oerr != nil {
+					shards[w].err = oerr
+					return
+				}
+				rep.Record(out.Mismatch, out.DeltaLoss, nonFinite)
+				if detected {
+					rep.Detected++
+				}
+				if cfg.KeepTrace {
+					rep.Trace = append(rep.Trace, out)
+				}
+			}
+			shards[w].report = rep
+		}(w)
+	}
+	wg.Wait()
+
+	merged := &CampaignReport{Config: cfg}
+	if cfg.KeepTrace {
+		merged.Trace = make([]InjectionOutcome, cfg.Injections)
+	}
+	for w, sh := range shards {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		merged.CampaignResult.Merge(sh.report.CampaignResult)
+		merged.Detected += sh.report.Detected
+		if cfg.KeepTrace {
+			for k, out := range sh.report.Trace {
+				merged.Trace[w+k*workers] = out
+			}
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,158 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on this repository's substrates. Each subcommand
+// corresponds to one artifact (see DESIGN.md §3 and EXPERIMENTS.md):
+//
+//	experiments table1                        # Table I  — dynamic ranges
+//	experiments table2                        # Table II — feature matrix
+//	experiments fig3  [-models a,b] [-runs N] # runtime overhead
+//	experiments fig4  [-models a,b]           # accuracy vs bitwidth
+//	experiments fig6  [-models a,b]           # DSE traversals
+//	experiments fig7  [-models a,b] [-inj N]  # per-layer ΔLoss
+//	experiments fig9  [-model m]   [-inj N]   # accuracy/resilience frontier
+//	experiments convergence [-model m]        # ΔLoss vs mismatch convergence
+//	experiments all                           # everything, paper-scale
+//
+// The first run trains the model zoo (seconds per model); results are
+// cached under the system temp directory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"goldeneye"
+	"goldeneye/internal/dse"
+	"goldeneye/internal/exper"
+	"goldeneye/internal/numfmt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: experiments <table1|table2|fig3|fig4|fig6|fig7|fig9|convergence|all> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		modelsFlag = fs.String("models", "", "comma-separated model names (default per experiment)")
+		modelFlag  = fs.String("model", "resnet_m", "model name (single-model experiments)")
+		runsFlag   = fs.Int("runs", 10, "timing repetitions (fig3)")
+		injFlag    = fs.Int("inj", 0, "injections per campaign (0 = experiment default)")
+		samples    = fs.Int("samples", 0, "validation samples for accuracy (0 = default)")
+		threshold  = fs.Float64("threshold", 0.01, "DSE accuracy-loss threshold")
+		layerFlag  = fs.Int("layer", -1, "layer visit index for convergence (-1 = middle)")
+		jsonOut    = fs.Bool("json", false, "emit rows as JSON instead of text")
+	)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	opts := exper.Options{ValSamples: *samples, Injections: *injFlag}
+
+	modelList := func(def []string) []string {
+		if *modelsFlag == "" {
+			return def
+		}
+		return strings.Split(*modelsFlag, ",")
+	}
+
+	w := io.Writer(os.Stdout)
+	emit := func(rows interface{}, err error) error {
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rows)
+		}
+		return nil
+	}
+	if *jsonOut {
+		w = io.Discard
+	}
+	switch cmd {
+	case "table1":
+		fmt.Fprintln(w, "== Table I: Dynamic Range of Data Types ==")
+		return emit(exper.Table1(w), nil)
+	case "table2":
+		fmt.Fprintln(w, "== Table II: capability self-check (GoldenEye column) ==")
+		return emit(exper.Table2(w), nil)
+	case "fig3":
+		fmt.Fprintln(w, "== Fig 3: runtime of format emulation and error injection ==")
+		return emit(exper.Fig3(modelList([]string{"resnet_s", "vit_tiny"}), *runsFlag, w, opts))
+	case "fig4":
+		fmt.Fprintln(w, "== Fig 4: accuracy vs bitwidth across format families ==")
+		return emit(exper.Fig4(modelList([]string{"resnet_s", "vit_tiny"}), w, opts))
+	case "fig6":
+		fmt.Fprintln(w, "== Fig 6: DSE heuristic traversals ==")
+		return emit(exper.Fig6(modelList([]string{"resnet_s", "vit_tiny"}), dse.Families(), *threshold, w, opts))
+	case "fig7":
+		fmt.Fprintln(w, "== Fig 7: per-layer ΔLoss, value vs metadata injections ==")
+		return emit(exper.Fig7(modelList([]string{"resnet_m", "vit_small"}), w, opts))
+	case "fig9":
+		fmt.Fprintln(w, "== Fig 9: accuracy / resilience / bitwidth trade-off ==")
+		return emit(exper.Fig9(*modelFlag, *threshold, w, opts))
+	case "convergence":
+		fmt.Fprintln(w, "== §IV-C: ΔLoss vs mismatch metric convergence ==")
+		return emit(exper.Convergence(*modelFlag, numfmt.BFPe5m5(), *layerFlag, w, opts))
+	case "ablation":
+		fmt.Fprintln(w, "== Ablation: BFP shared-exponent block size ==")
+		return emit(exper.AblationBFPBlock(*modelFlag, w, opts))
+	case "errormodels":
+		fmt.Fprintln(w, "== Extension: reliability under different error models ==")
+		rows1, err := exper.ErrorModels(*modelFlag, numfmt.FP8E4M3(true), w, opts)
+		if err != nil {
+			return err
+		}
+		rows2, err := exper.ErrorModels(*modelFlag, numfmt.BFPe5m5(), w, opts)
+		return emit(append(rows1, rows2...), err)
+	case "emerging":
+		fmt.Fprintln(w, "== Extension: emerging formats (posit, LNS, NF4) vs classic families ==")
+		return emit(exper.Emerging(modelList([]string{"resnet_s", "vit_tiny"}), w, opts))
+	case "security":
+		fmt.Fprintln(w, "== §V-D use case: FGSM attack efficacy vs number format ==")
+		return emit(exper.SecurityFGSM(*modelFlag, nil, w, opts))
+	case "protection":
+		fmt.Fprintln(w, "== §V-B use case: software-directed protection (ranger vs DMR) ==")
+		return emit(exper.Protection(*modelFlag, w, opts))
+	case "weightsvsneurons":
+		fmt.Fprintln(w, "== §V-B: weight-targeted vs neuron-targeted faults ==")
+		return emit(exper.WeightsVsNeurons(*modelFlag, numfmt.FP16(true), w, opts))
+	case "bitsens":
+		fmt.Fprintln(w, "== Per-bit vulnerability (the §IV-C sign-bit analysis) ==")
+		var all []exper.BitSensRow
+		for _, spec := range []string{"fp16", "bfp_e5m5"} {
+			format, perr := goldeneye.ParseFormat(spec)
+			if perr != nil {
+				return perr
+			}
+			rows, err := exper.BitSensitivity(*modelFlag, format, w, opts)
+			if err != nil {
+				return err
+			}
+			all = append(all, rows...)
+		}
+		return emit(all, nil)
+	case "all":
+		for _, sub := range []string{"table1", "table2", "fig3", "fig4", "fig6", "fig7", "fig9", "convergence", "ablation", "errormodels", "emerging", "security", "protection", "bitsens", "weightsvsneurons"} {
+			if err := run(append([]string{sub}, rest...)); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+}

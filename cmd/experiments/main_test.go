@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"table1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	if err := run([]string{"table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"fig42"}); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+}
+
+func TestRunFig4Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	if err := run([]string{"fig4", "-models", "mlp", "-samples", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConvergenceTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	if err := run([]string{"convergence", "-model", "mlp", "-inj", "50", "-samples", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"fig4", "-bogusflag"}); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestRunTable1JSON(t *testing.T) {
+	if err := run([]string{"table1", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Command goldeneye is the interactive front-end to the simulator: evaluate
+// a model's accuracy under any number format, run fault-injection
+// campaigns, explore format design spaces, and inspect format properties.
+//
+//	goldeneye range                                  # Table I-style format ranges
+//	goldeneye layers  -model resnet_s                # enumerate hookable layers
+//	goldeneye eval    -model resnet_s -format fp8_e4m3
+//	goldeneye inject  -model resnet_s -format bfp_e5m5 -layer 6 -site metadata -n 1000
+//	goldeneye dse     -model vit_tiny -family afp -threshold 0.01
+//
+// Format specifications accept presets (fp16, bfloat16, int8, …) and
+// generic geometries (fp_e4m3, fxp_1_7_8, bfp_e5m5_b16, afp_e4m4); append
+// "_nodn" to disable denormals. Models are trained on first use and cached.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goldeneye"
+	"goldeneye/internal/dataset"
+	"goldeneye/internal/dse"
+	"goldeneye/internal/exper"
+	"goldeneye/internal/inject"
+	"goldeneye/internal/models"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/zoo"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "goldeneye:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: goldeneye <range|models|layers|eval|inject|dse> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		model     = fs.String("model", "resnet_s", fmt.Sprintf("model name %v", models.Names()))
+		format    = fs.String("format", "fp16", "number format specification")
+		layer     = fs.Int("layer", -1, "layer visit index (-1 = middle injectable layer)")
+		site      = fs.String("site", "value", "injection site: value|metadata")
+		target    = fs.String("target", "neuron", "injection target: neuron|weight")
+		n         = fs.Int("n", 1000, "number of injections")
+		seed      = fs.Uint64("seed", 1, "campaign seed")
+		family    = fs.String("family", "fp", "DSE family: fp|fxp|int|bfp|afp")
+		threshold = fs.Float64("threshold", 0.01, "DSE accuracy-loss threshold")
+		ranger    = fs.Bool("ranger", true, "enable the range detector")
+		samples   = fs.Int("samples", 300, "validation samples")
+		batch     = fs.Int("batch", 30, "evaluation batch size")
+		workers   = fs.Int("workers", 1, "parallel campaign workers (inject)")
+	)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	if cmd == "range" {
+		exper.Table1(os.Stdout)
+		return nil
+	}
+	if cmd == "models" {
+		ds := dataset.New(dataset.Default())
+		for _, name := range models.Names() {
+			m, err := models.Build(name, ds.Config.Classes, 1)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-10s %8d params\n", name, nn.ParamCount(m))
+		}
+		return nil
+	}
+
+	m, ds, err := zoo.Pretrained(*model)
+	if err != nil {
+		return err
+	}
+	sim := goldeneye.Wrap(m, ds.ValX.Slice(0, 1))
+	nVal := *samples
+	if nVal > ds.ValLen() {
+		nVal = ds.ValLen()
+	}
+	x, y := ds.ValX.Slice(0, nVal), ds.ValY[:nVal]
+
+	switch cmd {
+	case "layers":
+		for _, l := range sim.Layers() {
+			fmt.Printf("%3d  %-28s %-10s out=%d\n", l.Index, l.Name, l.Kind, sim.LayerOutputSize(l.Index))
+		}
+		return nil
+
+	case "eval":
+		f, err := goldeneye.ParseFormat(*format)
+		if err != nil {
+			return err
+		}
+		native := sim.Evaluate(x, y, *batch, goldeneye.EmulationConfig{})
+		emulated := sim.Evaluate(x, y, *batch, goldeneye.EmulationConfig{
+			Format: f, Weights: true, Neurons: true,
+		})
+		fmt.Printf("model=%s samples=%d\n", *model, nVal)
+		fmt.Printf("native fp32:  %.4f\n", native)
+		fmt.Printf("%-12s  %.4f (Δ %+0.4f)\n", f.Name()+":", emulated, emulated-native)
+		return nil
+
+	case "inject":
+		f, err := goldeneye.ParseFormat(*format)
+		if err != nil {
+			return err
+		}
+		cfg := goldeneye.CampaignConfig{
+			Format:         f,
+			Injections:     *n,
+			Seed:           *seed,
+			X:              x,
+			Y:              y,
+			UseRanger:      *ranger,
+			EmulateNetwork: true,
+		}
+		switch *site {
+		case "value":
+			cfg.Site = inject.SiteValue
+		case "metadata":
+			cfg.Site = inject.SiteMetadata
+		default:
+			return fmt.Errorf("unknown site %q", *site)
+		}
+		switch *target {
+		case "neuron":
+			cfg.Target = inject.TargetNeuron
+		case "weight":
+			cfg.Target = inject.TargetWeight
+		default:
+			return fmt.Errorf("unknown target %q", *target)
+		}
+		cfg.Layer = *layer
+		if cfg.Layer < 0 {
+			candidates := sim.InjectableLayers()
+			if cfg.Target == inject.TargetWeight {
+				candidates = sim.WeightedLayers()
+			}
+			cfg.Layer = candidates[len(candidates)/2]
+		}
+		var rep *goldeneye.CampaignReport
+		if *workers > 1 {
+			rep, err = goldeneye.RunCampaignParallel(cfg, *workers, func() (*goldeneye.Simulator, error) {
+				wm, wds, werr := zoo.Pretrained(*model)
+				if werr != nil {
+					return nil, werr
+				}
+				return goldeneye.Wrap(wm, wds.ValX.Slice(0, 1)), nil
+			})
+		} else {
+			rep, err = sim.RunCampaign(cfg)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model=%s format=%s layer=%d site=%s target=%s injections=%d\n",
+			*model, f.Name(), cfg.Layer, cfg.Site, cfg.Target, rep.Injections)
+		fmt.Printf("mean ΔLoss:    %.5f (±%.5f at 95%%)\n", rep.MeanDeltaLoss(), rep.DeltaLoss.CI95())
+		fmt.Printf("mismatch rate: %.4f (%d/%d)\n", rep.MismatchRate(), rep.Mismatches, rep.Injections)
+		fmt.Printf("non-finite:    %d\n", rep.NonFinite)
+		return nil
+
+	case "dse":
+		res := sim.RunDSE(x, y, *batch, goldeneye.DSEConfig{
+			Family:    dse.Family(*family),
+			Threshold: *threshold,
+		})
+		fmt.Printf("model=%s family=%s threshold=%.3f\n", *model, *family, *threshold)
+		for _, node := range res.Nodes {
+			mark := " "
+			if node.Accepted {
+				mark = "✓"
+			}
+			fmt.Printf("node %2d: %-14s acc=%.4f %s\n", node.Order, node.Point, node.Accuracy, mark)
+		}
+		if res.Best != nil {
+			fmt.Printf("best: %s (acc %.4f)\n", res.Best.Point, res.Best.Accuracy)
+		} else {
+			fmt.Println("no acceptable design point")
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

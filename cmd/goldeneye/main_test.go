@@ -1,0 +1,107 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRange(t *testing.T) {
+	if err := run([]string{"range"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	err := run(nil)
+	if err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("expected usage error, got %v", err)
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("expected unknown-command error")
+	}
+}
+
+func TestRunLayers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	if err := run([]string{"layers", "-model", "mlp"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	if err := run([]string{"eval", "-model", "mlp", "-format", "fp8_e4m3", "-samples", "40"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEvalBadFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	if err := run([]string{"eval", "-model", "mlp", "-format", "bogus"}); err == nil {
+		t.Fatal("expected format parse error")
+	}
+}
+
+func TestRunInject(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	args := []string{"inject", "-model", "mlp", "-format", "bfp_e5m5",
+		"-site", "metadata", "-n", "20", "-samples", "16"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInjectParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	args := []string{"inject", "-model", "mlp", "-format", "fp16",
+		"-n", "24", "-samples", "8", "-workers", "3"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInjectBadSiteTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	if err := run([]string{"inject", "-model", "mlp", "-site", "nowhere"}); err == nil {
+		t.Fatal("expected site error")
+	}
+	if err := run([]string{"inject", "-model", "mlp", "-target", "nothing"}); err == nil {
+		t.Fatal("expected target error")
+	}
+}
+
+func TestRunDSECommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	if err := run([]string{"dse", "-model", "mlp", "-family", "int", "-samples", "60"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownModel(t *testing.T) {
+	if err := run([]string{"eval", "-model", "lenet9000"}); err == nil {
+		t.Fatal("expected unknown-model error")
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	if err := run([]string{"models"}); err != nil {
+		t.Fatal(err)
+	}
+}

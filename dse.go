@@ -1,0 +1,47 @@
+package goldeneye
+
+import (
+	"goldeneye/internal/dse"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/tensor"
+)
+
+// DSE re-exports for the public API.
+type (
+	// DSEConfig parameterizes a design-space exploration (paper §IV-B).
+	DSEConfig = dse.Config
+	// DSEResult is a completed exploration.
+	DSEResult = dse.Result
+	// DSENode is one visited design point.
+	DSENode = dse.Node
+	// DSEPoint is a (family, bits, radix) configuration.
+	DSEPoint = dse.Point
+	// Family is a number-format family identifier.
+	Family = dse.Family
+)
+
+// Format family identifiers.
+const (
+	FamilyFP  = dse.FamilyFP
+	FamilyFxP = dse.FamilyFxP
+	FamilyINT = dse.FamilyINT
+	FamilyBFP = dse.FamilyBFP
+	FamilyAFP = dse.FamilyAFP
+)
+
+// MakeFormat materializes a DSE point as a Format.
+func MakeFormat(p DSEPoint) (Format, error) { return dse.MakeFormat(p) }
+
+// RunDSE explores the given format family for the wrapped model: each
+// visited design point is evaluated as validation accuracy under full
+// emulation (weights and neurons), and the recursive binary-tree heuristic
+// of §IV-B picks the path. cfg.Baseline is filled in automatically from a
+// native FP32 evaluation when zero.
+func (s *Simulator) RunDSE(x *tensor.Tensor, y []int, batch int, cfg DSEConfig) *DSEResult {
+	if cfg.Baseline == 0 {
+		cfg.Baseline = s.Evaluate(x, y, batch, EmulationConfig{})
+	}
+	return dse.Search(cfg, func(f numfmt.Format) float64 {
+		return s.Evaluate(x, y, batch, EmulationConfig{Format: f, Weights: true, Neurons: true})
+	})
+}

@@ -1,0 +1,63 @@
+package goldeneye_test
+
+import (
+	"fmt"
+
+	"goldeneye"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/tensor"
+)
+
+// ExampleParseFormat shows textual format specifications, including the
+// emerging formats.
+func ExampleParseFormat() {
+	for _, spec := range []string{"fp8_e4m3", "bfp_e5m5", "posit8", "nf4"} {
+		f, err := goldeneye.ParseFormat(spec)
+		if err != nil {
+			fmt.Println(err)
+			continue
+		}
+		fmt.Printf("%s: %d bits\n", f.Name(), f.BitWidth())
+	}
+	// Output:
+	// fp8_e4m3: 8 bits
+	// bfp_e5m5_b0: 6 bits
+	// posit8_es0: 8 bits
+	// nf4: 4 bits
+}
+
+// ExampleTable1Rows regenerates two rows of the paper's Table I.
+func ExampleTable1Rows() {
+	for _, row := range goldeneye.Table1Rows() {
+		if row.Label == "INT8 (symmetric)" || row.Label == "FP8 (e4m3) w/o DN" {
+			fmt.Printf("%s: %.2f dB\n", row.Label, row.RangeDB)
+		}
+	}
+	// Output:
+	// INT8 (symmetric): 42.08 dB
+	// FP8 (e4m3) w/o DN: 83.73 dB
+}
+
+// ExampleFormat_quantization demonstrates the paper's four-method Format
+// API directly: tensor-level emulation and the scalar bitstring path used
+// by fault injection (quantize → flip → dequantize).
+func ExampleFormat_quantization() {
+	format := numfmt.FP8E4M3(true)
+	x := tensor.FromSlice([]float32{1.0, 0.3, -2.5}, 3)
+
+	// Methods 1+2 fused: the values the hardware would actually compute on.
+	emulated := format.Emulate(x)
+	fmt.Println("emulated:", emulated.Data())
+
+	// Methods 3+4 with a bit flip in between — one fault injection. The
+	// flip raises 1.0's exponent field into the reserved pattern: a single
+	// upset turned a benign value into +Inf, the class of corruption the
+	// paper reports for exponent bits (§II-B).
+	enc := format.Quantize(x)
+	enc.Codes[0] = enc.Codes[0].Flip(6) // high exponent bit of element 0
+	faulty := format.Dequantize(enc)
+	fmt.Println("faulty:  ", faulty.Data())
+	// Output:
+	// emulated: [1 0.3125 -2.5]
+	// faulty:   [+Inf 0.3125 -2.5]
+}

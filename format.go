@@ -1,0 +1,195 @@
+package goldeneye
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"goldeneye/internal/numfmt"
+)
+
+// ParseFormat builds a Format from a textual specification. Accepted forms:
+//
+//	Presets:  fp32, fp16, bfloat16, tf32, dlfloat, fp8_e4m3, fp8_e5m2,
+//	          int8, int16, fxp16, fxp32, bfp_e5m5, afp_e5m2
+//	Generic:  fp_eXmY        floating point (X exponent, Y mantissa bits)
+//	          afp_eXmY       AdaptivFloat
+//	          fxp_1_I_F      fixed point (I integer, F fraction bits)
+//	          intN           N-bit symmetric integer quantization
+//	          bfp_eXmY       block floating point, whole-tensor block
+//	          bfp_eXmY_bB    block floating point with block size B
+//	Emerging: positN_esE     N-bit posit with E exponent bits (posit8, posit16)
+//	          lns_I_F        logarithmic number system (lns8, lns16)
+//	          nfK            K-bit normal-float codebook (nf4)
+//
+// Appending "_nodn" to any fp/afp form disables denormals.
+func ParseFormat(spec string) (Format, error) {
+	spec = strings.ToLower(strings.TrimSpace(spec))
+	denormals := true
+	if strings.HasSuffix(spec, "_nodn") {
+		denormals = false
+		spec = strings.TrimSuffix(spec, "_nodn")
+	}
+
+	switch spec {
+	case "fp32":
+		return numfmt.FP32(denormals), nil
+	case "fp16", "half":
+		return numfmt.FP16(denormals), nil
+	case "bfloat16", "bf16":
+		return numfmt.BFloat16(denormals), nil
+	case "tf32", "tensorfloat32":
+		return numfmt.TensorFloat32(denormals), nil
+	case "dlfloat":
+		return numfmt.DLFloat(denormals), nil
+	case "fp8_e4m3":
+		return numfmt.FP8E4M3(denormals), nil
+	case "fp8_e5m2":
+		return numfmt.FP8E5M2(denormals), nil
+	case "fxp16":
+		return numfmt.FxP16(), nil
+	case "fxp32":
+		return numfmt.FxP32(), nil
+	case "bfp_e5m5":
+		return numfmt.BFPe5m5(), nil
+	case "afp_e5m2":
+		if denormals {
+			return numfmt.AFPe5m2(), nil
+		}
+		return numfmt.NewAFP(5, 2, false), nil
+	case "posit8":
+		return numfmt.Posit8(), nil
+	case "posit16":
+		return numfmt.Posit16(), nil
+	case "lns8":
+		return numfmt.LNS8(), nil
+	case "lns16":
+		return numfmt.LNS16(), nil
+	case "nf4":
+		return numfmt.NF4(), nil
+	}
+
+	switch {
+	case strings.HasPrefix(spec, "fp_"), strings.HasPrefix(spec, "afp_"):
+		family := "fp"
+		body := strings.TrimPrefix(spec, "fp_")
+		if strings.HasPrefix(spec, "afp_") {
+			family = "afp"
+			body = strings.TrimPrefix(spec, "afp_")
+		}
+		e, m, err := parseEM(body)
+		if err != nil {
+			return nil, fmt.Errorf("goldeneye: %q: %w", spec, err)
+		}
+		if family == "fp" {
+			return safeFormat(func() Format { return numfmt.NewFP(e, m, denormals) })
+		}
+		return safeFormat(func() Format { return numfmt.NewAFP(e, m, denormals) })
+
+	case strings.HasPrefix(spec, "fxp_1_"):
+		parts := strings.Split(strings.TrimPrefix(spec, "fxp_1_"), "_")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("goldeneye: %q: want fxp_1_I_F", spec)
+		}
+		i, err1 := strconv.Atoi(parts[0])
+		f, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("goldeneye: %q: non-numeric fixed-point geometry", spec)
+		}
+		return safeFormat(func() Format { return numfmt.NewFxP(i, f) })
+
+	case strings.HasPrefix(spec, "int"):
+		bits, err := strconv.Atoi(strings.TrimPrefix(spec, "int"))
+		if err != nil {
+			return nil, fmt.Errorf("goldeneye: %q: non-numeric integer width", spec)
+		}
+		return safeFormat(func() Format { return numfmt.NewINT(bits) })
+
+	case strings.HasPrefix(spec, "bfp_"):
+		body := strings.TrimPrefix(spec, "bfp_")
+		block := 0
+		if i := strings.LastIndex(body, "_b"); i >= 0 {
+			b, err := strconv.Atoi(body[i+2:])
+			if err != nil {
+				return nil, fmt.Errorf("goldeneye: %q: bad block size", spec)
+			}
+			block = b
+			body = body[:i]
+		}
+		e, m, err := parseEM(body)
+		if err != nil {
+			return nil, fmt.Errorf("goldeneye: %q: %w", spec, err)
+		}
+		return safeFormat(func() Format { return numfmt.NewBFP(e, m, block) })
+
+	case strings.HasPrefix(spec, "posit"):
+		body := strings.TrimPrefix(spec, "posit")
+		n, es := 0, 0
+		if i := strings.Index(body, "_es"); i >= 0 {
+			var err1, err2 error
+			n, err1 = strconv.Atoi(body[:i])
+			es, err2 = strconv.Atoi(body[i+3:])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("goldeneye: %q: want positN_esE", spec)
+			}
+		} else {
+			var err error
+			if n, err = strconv.Atoi(body); err != nil {
+				return nil, fmt.Errorf("goldeneye: %q: non-numeric posit width", spec)
+			}
+			if n >= 16 {
+				es = 1 // standard default for wide posits
+			}
+		}
+		return safeFormat(func() Format { return numfmt.NewPosit(n, es) })
+
+	case strings.HasPrefix(spec, "lns_"):
+		parts := strings.Split(strings.TrimPrefix(spec, "lns_"), "_")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("goldeneye: %q: want lns_I_F", spec)
+		}
+		i, err1 := strconv.Atoi(parts[0])
+		f, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("goldeneye: %q: non-numeric LNS geometry", spec)
+		}
+		return safeFormat(func() Format { return numfmt.NewLNS(i, f) })
+
+	case strings.HasPrefix(spec, "nf"):
+		bits, err := strconv.Atoi(strings.TrimPrefix(spec, "nf"))
+		if err != nil {
+			return nil, fmt.Errorf("goldeneye: %q: non-numeric codebook width", spec)
+		}
+		return safeFormat(func() Format { return numfmt.NewLUT(bits) })
+	}
+	return nil, fmt.Errorf("goldeneye: unrecognized format spec %q", spec)
+}
+
+// safeFormat converts a constructor's geometry panic into an error:
+// constructors panic on invalid geometry by design (in-repo call sites are
+// programmer-controlled), but ParseFormat handles untrusted input.
+func safeFormat(build func() Format) (f Format, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("goldeneye: %v", r)
+		}
+	}()
+	return build(), nil
+}
+
+// parseEM parses "eXmY" into (X, Y).
+func parseEM(s string) (e, m int, err error) {
+	if !strings.HasPrefix(s, "e") {
+		return 0, 0, fmt.Errorf("want eXmY geometry, got %q", s)
+	}
+	mi := strings.Index(s, "m")
+	if mi < 0 {
+		return 0, 0, fmt.Errorf("want eXmY geometry, got %q", s)
+	}
+	e, err1 := strconv.Atoi(s[1:mi])
+	m, err2 := strconv.Atoi(s[mi+1:])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("non-numeric eXmY geometry %q", s)
+	}
+	return e, m, nil
+}

@@ -1,0 +1,109 @@
+package goldeneye_test
+
+import (
+	"math"
+	"testing"
+
+	"goldeneye"
+	"goldeneye/internal/numfmt"
+)
+
+// FuzzParseFormat ensures arbitrary specifications never panic and that
+// accepted specifications produce usable formats.
+func FuzzParseFormat(f *testing.F) {
+	for _, seed := range []string{
+		"fp16", "fp_e4m3", "fxp_1_7_8", "int8", "bfp_e5m5_b16",
+		"afp_e4m4", "posit8", "posit12_es2", "lns_5_2", "nf4",
+		"", "fp_", "int999", "posit99", "nf", "bfp_e99m99",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		format, err := goldeneye.ParseFormat(spec)
+		if err != nil {
+			return // rejected specs are fine; panics are not
+		}
+		if format.BitWidth() <= 0 || format.BitWidth() > 64 {
+			t.Fatalf("%q: implausible bit width %d", spec, format.BitWidth())
+		}
+		r := format.Range()
+		if r.AbsMax <= 0 || r.MinPos <= 0 || r.AbsMax < r.MinPos {
+			t.Fatalf("%q: implausible range %+v", spec, r)
+		}
+	})
+}
+
+// FuzzFP16BitsRoundTrip checks that every 16-bit pattern decodes and
+// re-encodes consistently: FromBits then ToBits then FromBits is stable.
+func FuzzFP16BitsRoundTrip(f *testing.F) {
+	f.Add(uint16(0))
+	f.Add(uint16(0x3C00)) // 1.0
+	f.Add(uint16(0x7BFF)) // max finite
+	f.Add(uint16(0x7C00)) // +Inf
+	f.Add(uint16(0x7C01)) // NaN
+	f.Add(uint16(0x8001)) // -min denormal
+	format := numfmt.FP16(true)
+	meta := numfmt.Metadata{Kind: numfmt.MetaNone}
+	f.Fuzz(func(t *testing.T, pattern uint16) {
+		v := format.FromBits(numfmt.Bits(pattern), meta)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return // exceptional values round-trip through saturation
+		}
+		again := format.FromBits(format.ToBits(v, meta), meta)
+		if again != v {
+			t.Fatalf("pattern %04x: %v re-encoded to %v", pattern, v, again)
+		}
+	})
+}
+
+// FuzzPosit8Decode exercises every 8-bit posit pattern: decode must be
+// finite (except NaR), and encode(decode(p)) must reproduce the value.
+func FuzzPosit8Decode(f *testing.F) {
+	for _, seed := range []uint8{0, 0x40, 0x80, 0xC0, 0x01, 0x7F, 0xFF} {
+		f.Add(seed)
+	}
+	p := numfmt.Posit8()
+	meta := numfmt.Metadata{Kind: numfmt.MetaNone}
+	f.Fuzz(func(t *testing.T, pattern uint8) {
+		v := p.FromBits(numfmt.Bits(pattern), meta)
+		if math.IsNaN(v) {
+			if pattern != 0x80 {
+				t.Fatalf("pattern %02x decoded NaN but is not NaR", pattern)
+			}
+			return
+		}
+		if math.IsInf(v, 0) {
+			t.Fatalf("posit pattern %02x decoded Inf", pattern)
+		}
+		again := p.FromBits(p.ToBits(v, meta), meta)
+		if again != v {
+			t.Fatalf("pattern %02x: %v re-encoded to %v", pattern, v, again)
+		}
+	})
+}
+
+// FuzzQuantizeScalar feeds arbitrary float bit patterns through every
+// format family's scalar path, checking nothing panics and outputs decode
+// deterministically.
+func FuzzQuantizeScalar(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(math.Float64bits(1.0))
+	f.Add(math.Float64bits(-1e300))
+	f.Add(math.Float64bits(1e-300))
+	f.Add(uint64(0x7FF0000000000001)) // NaN
+	formats := []numfmt.Format{
+		numfmt.FP8E4M3(true), numfmt.FxP16(), numfmt.BFPe5m5(),
+		numfmt.AFPe5m2(), numfmt.Posit8(), numfmt.LNS8(),
+	}
+	f.Fuzz(func(t *testing.T, bits uint64) {
+		v := math.Float64frombits(bits)
+		for _, format := range formats {
+			meta := numfmt.Metadata{Kind: numfmt.MetaNone}
+			b1 := format.ToBits(v, meta)
+			b2 := format.ToBits(v, meta)
+			if b1 != b2 {
+				t.Fatalf("%s: ToBits(%v) not deterministic", format.Name(), v)
+			}
+		}
+	})
+}

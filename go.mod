@@ -1,0 +1,3 @@
+module goldeneye
+
+go 1.22

@@ -1,0 +1,203 @@
+// Package goldeneye is a functional simulator of numerical data formats
+// with fault-injection capabilities for deep neural networks — a from-
+// scratch Go reproduction of "GoldenEye: A Platform for Evaluating Emerging
+// Numerical Data Formats in DNN Accelerators" (DSN 2022).
+//
+// The package is the public facade over the substrates in internal/:
+//
+//   - numfmt: the five format families (FP, FxP, INT, BFP, AFP) behind a
+//     single Format interface mirroring the paper's four-method API, with
+//     hardware metadata (scaling factors, shared exponents, exponent biases)
+//     exposed for hardware-aware fault injection.
+//   - nn + tensor: the DNN execution substrate with layer-granularity hooks,
+//     where emulation and injection interpose.
+//   - inject + metrics: single-/multi-bit flips in values and metadata, the
+//     mismatch and ΔLoss resiliency metrics, and the toggleable range
+//     detector.
+//   - dse: the recursive binary-tree design-space-exploration heuristic for
+//     number-format selection.
+//
+// # Quick start
+//
+//	model, ds, _ := zoo.Pretrained("resnet_s")          // or bring your own nn.Module
+//	sim := goldeneye.Wrap(model, ds.ValX.Slice(0, 1))
+//	acc := sim.Evaluate(ds.ValX, ds.ValY, 32, goldeneye.EmulationConfig{
+//		Format:  numfmt.FP16(true),
+//		Weights: true,
+//		Neurons: true,
+//	})
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the paper
+// reproduction results.
+package goldeneye
+
+import (
+	"fmt"
+
+	"goldeneye/internal/inject"
+	"goldeneye/internal/metrics"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/tensor"
+	"goldeneye/internal/train"
+)
+
+// Re-exported core types, so downstream users interact with one import.
+type (
+	// Tensor is a dense float32 N-dimensional array.
+	Tensor = tensor.Tensor
+	// Module is a neural-network layer or model.
+	Module = nn.Module
+	// Format is a numerical data format (paper §III-B API).
+	Format = numfmt.Format
+	// Encoding is a tensor in format space: element codes plus metadata.
+	Encoding = numfmt.Encoding
+	// Fault is one fully specified bit flip.
+	Fault = inject.Fault
+	// CampaignResult aggregates an injection campaign's metrics.
+	CampaignResult = metrics.CampaignResult
+	// LayerInfo describes one hookable layer of a wrapped model.
+	LayerInfo = nn.LayerInfo
+	// RangeRow is one row of the paper's Table I.
+	RangeRow = numfmt.RangeRow
+	// HookSet holds layer hooks (format emulation, injection, clamping).
+	HookSet = nn.HookSet
+)
+
+// Injection site and target re-exports.
+const (
+	SiteValue    = inject.SiteValue
+	SiteMetadata = inject.SiteMetadata
+	TargetNeuron = inject.TargetNeuron
+	TargetWeight = inject.TargetWeight
+)
+
+// Table1Rows recomputes the paper's Table I from the format
+// implementations.
+func Table1Rows() []RangeRow { return numfmt.Table1Rows() }
+
+// Simulator wraps a model for number-format emulation, accuracy
+// measurement, and fault-injection campaigns. Wrap traces the model once to
+// enumerate its layers; a Simulator (like the underlying modules) is not
+// safe for concurrent use.
+type Simulator struct {
+	model  nn.Module
+	layers []nn.LayerInfo
+	sizes  map[int]int // layer index → output element count at batch 1
+	widx   inject.ModuleIndex
+}
+
+// Wrap prepares model for simulation. sample must be a single-element batch
+// with the model's input geometry; it is used to trace layer structure and
+// per-layer output sizes.
+func Wrap(model nn.Module, sample *tensor.Tensor) *Simulator {
+	if sample.Dim(0) != 1 {
+		panic(fmt.Sprintf("goldeneye: Wrap sample must have batch size 1, got %v", sample.Shape()))
+	}
+	s := &Simulator{
+		model: model,
+		sizes: make(map[int]int),
+	}
+	hooks := nn.NewHookSet()
+	hooks.PostForward(nn.AllLayers(), func(info nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		s.layers = append(s.layers, info)
+		s.sizes[info.Index] = t.Len()
+		return t
+	})
+	nn.Forward(nn.NewContext(hooks), model, sample)
+	s.widx = inject.IndexModules(model, s.layers)
+	return s
+}
+
+// Model returns the wrapped module.
+func (s *Simulator) Model() nn.Module { return s.model }
+
+// Layers returns the traced layer list in visit order.
+func (s *Simulator) Layers() []LayerInfo {
+	return append([]nn.LayerInfo(nil), s.layers...)
+}
+
+// LayerOutputSize returns the element count of a layer's output at batch 1.
+func (s *Simulator) LayerOutputSize(index int) int { return s.sizes[index] }
+
+// InjectableLayers returns the visit indices of CONV and LINEAR layers —
+// the paper's default injection targets (§V-B).
+func (s *Simulator) InjectableLayers() []int {
+	var out []int
+	for _, l := range s.layers {
+		if l.Kind == nn.KindConv || l.Kind == nn.KindLinear {
+			out = append(out, l.Index)
+		}
+	}
+	return out
+}
+
+// WeightedLayers returns the visit indices of layers carrying a weight
+// parameter (candidates for weight-targeted faults).
+func (s *Simulator) WeightedLayers() []int { return s.widx.WeightedLayers() }
+
+// EmulationConfig selects how a number format is applied to the model.
+type EmulationConfig struct {
+	// Format is the emulated number system; nil means native FP32
+	// execution (the baseline).
+	Format numfmt.Format
+
+	// Weights converts all weights/biases to the format (offline
+	// conversion, §V-B).
+	Weights bool
+
+	// Neurons quantizes layer outputs to the format during the forward
+	// pass via post-forward hooks.
+	Neurons bool
+
+	// AllLayers hooks every layer kind instead of the CONV/LINEAR default.
+	AllLayers bool
+}
+
+func (c EmulationConfig) filter() nn.Filter {
+	if c.AllLayers {
+		return nn.AllLayers()
+	}
+	return nn.DefaultLayers()
+}
+
+// emulationHooks returns a hook set applying cfg's neuron emulation (nil if
+// none is needed).
+func emulationHooks(cfg EmulationConfig) *nn.HookSet {
+	if cfg.Format == nil || !cfg.Neurons {
+		return nil
+	}
+	hooks := nn.NewHookSet()
+	hooks.PostForward(cfg.filter(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		return cfg.Format.Emulate(t)
+	})
+	return hooks
+}
+
+// Evaluate returns the model's top-1 accuracy over (x, y) under the given
+// emulation, restoring native weights afterwards.
+func (s *Simulator) Evaluate(x *tensor.Tensor, y []int, batch int, cfg EmulationConfig) float64 {
+	if cfg.Format != nil && cfg.Weights {
+		backup := inject.BackupWeights(s.model)
+		defer backup.Restore()
+		inject.QuantizeWeights(s.model, cfg.Format)
+	}
+	return train.Evaluate(s.model, x, y, batch, emulationHooks(cfg))
+}
+
+// Logits runs a forward pass under the given emulation and returns the
+// output logits. Weight conversion, when requested, is restored afterwards.
+func (s *Simulator) Logits(x *tensor.Tensor, cfg EmulationConfig) *tensor.Tensor {
+	if cfg.Format != nil && cfg.Weights {
+		backup := inject.BackupWeights(s.model)
+		defer backup.Restore()
+		inject.QuantizeWeights(s.model, cfg.Format)
+	}
+	return nn.Forward(nn.NewContext(emulationHooks(cfg)), s.model, x)
+}
+
+// LogitsWithHooks runs a forward pass with a caller-assembled hook set, for
+// custom emulation/injection pipelines beyond the built-in configurations.
+func (s *Simulator) LogitsWithHooks(x *tensor.Tensor, hooks *HookSet) *tensor.Tensor {
+	return nn.Forward(nn.NewContext(hooks), s.model, x)
+}

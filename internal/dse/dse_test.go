@@ -1,0 +1,193 @@
+package dse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/numfmt"
+)
+
+// syntheticEval models a typical accuracy response: full accuracy above a
+// width knee, decaying below it, with a mild unimodal radix preference.
+func syntheticEval(knee int, bestRadixFrac float64) func(Point) float64 {
+	return func(p Point) float64 {
+		acc := 0.95
+		if p.Bits < knee {
+			acc -= 0.1 * float64(knee-p.Bits)
+		}
+		if p.Bits > 1 {
+			frac := float64(p.Radix) / float64(p.Bits)
+			acc -= 0.02 * math.Abs(frac-bestRadixFrac)
+		}
+		return acc
+	}
+}
+
+func TestSearchFindsKnee(t *testing.T) {
+	synth := syntheticEval(8, 0.5)
+	var visited []Point
+	cfg := Config{Family: FamilyFP, Baseline: 0.95, Threshold: 0.02}
+	res := Search(cfg, func(f numfmt.Format) float64 {
+		fp, ok := f.(*numfmt.FP)
+		if !ok {
+			t.Fatalf("expected *numfmt.FP, got %T", f)
+		}
+		p := Point{Family: FamilyFP, Bits: fp.BitWidth(), Radix: fp.MantBits()}
+		visited = append(visited, p)
+		return synth(p)
+	})
+	if res.Best == nil {
+		t.Fatal("search found no acceptable node")
+	}
+	if res.Best.Point.Bits != 8 {
+		t.Fatalf("best width = %d, want knee 8 (nodes: %v)", res.Best.Point.Bits, res.Nodes)
+	}
+	if len(res.Nodes) > 16 {
+		t.Fatalf("visited %d nodes, paper bound is 16", len(res.Nodes))
+	}
+}
+
+func TestSearchRespectsMaxNodesProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		knee := int(4 + seed%20)
+		synth := syntheticEval(knee, 0.4)
+		for _, fam := range Families() {
+			cfg := Config{Family: fam, Baseline: 0.95, Threshold: 0.02, MaxNodes: 16}
+			res := Search(cfg, func(f numfmt.Format) float64 {
+				return synth(pointOf(fam, f))
+			})
+			if len(res.Nodes) > 16 {
+				return false
+			}
+			// Visit orders must be sequential.
+			for i, n := range res.Nodes {
+				if n.Order != i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchReportsNothingWhenAllBad(t *testing.T) {
+	cfg := Config{Family: FamilyINT, Baseline: 0.95, Threshold: 0.01}
+	res := Search(cfg, func(numfmt.Format) float64 { return 0.1 })
+	if res.Best != nil {
+		t.Fatal("expected no acceptable node")
+	}
+	if len(res.Nodes) == 0 {
+		t.Fatal("search should still have visited nodes")
+	}
+}
+
+func TestSearchBestIsAcceptedAndMinimal(t *testing.T) {
+	synth := syntheticEval(10, 0.5)
+	for _, fam := range Families() {
+		cfg := Config{Family: fam, Baseline: 0.95, Threshold: 0.02}
+		res := Search(cfg, func(f numfmt.Format) float64 {
+			return synth(pointOf(fam, f))
+		})
+		if res.Best == nil {
+			t.Fatalf("%s: no acceptable node", fam)
+		}
+		if !res.Best.Accepted {
+			t.Fatalf("%s: best node not accepted", fam)
+		}
+		for _, n := range res.Accepted() {
+			if n.Point.Bits < res.Best.Point.Bits {
+				t.Fatalf("%s: accepted node %v has fewer bits than best %v", fam, n.Point, res.Best.Point)
+			}
+		}
+	}
+}
+
+func TestMakeFormatGeometry(t *testing.T) {
+	tests := []struct {
+		give     Point
+		wantName string
+		wantErr  bool
+	}{
+		{give: Point{Family: FamilyFP, Bits: 8, Radix: 3}, wantName: "fp_e4m3"},
+		{give: Point{Family: FamilyAFP, Bits: 8, Radix: 2}, wantName: "afp_e5m2"},
+		{give: Point{Family: FamilyFxP, Bits: 16, Radix: 8}, wantName: "fxp_1_7_8"},
+		{give: Point{Family: FamilyINT, Bits: 8}, wantName: "int8"},
+		{give: Point{Family: FamilyBFP, Bits: 6, Radix: 5}, wantName: "bfp_e5m5_b0"},
+		{give: Point{Family: FamilyFP, Bits: 3, Radix: 1}, wantErr: true},   // e < 2
+		{give: Point{Family: FamilyAFP, Bits: 16, Radix: 3}, wantErr: true}, // e > 8
+		{give: Point{Family: "bogus", Bits: 8, Radix: 3}, wantErr: true},
+	}
+	for _, tt := range tests {
+		f, err := MakeFormat(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("MakeFormat(%v) succeeded, want error", tt.give)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("MakeFormat(%v): %v", tt.give, err)
+			continue
+		}
+		if f.Name() != tt.wantName {
+			t.Errorf("MakeFormat(%v) = %s, want %s", tt.give, f.Name(), tt.wantName)
+		}
+	}
+}
+
+func TestMemoizationAvoidsReEvaluation(t *testing.T) {
+	calls := make(map[string]int)
+	cfg := Config{Family: FamilyFP, Baseline: 0.95, Threshold: 0.02}
+	Search(cfg, func(f numfmt.Format) float64 {
+		calls[f.Name()]++
+		return 0.95
+	})
+	for name, n := range calls {
+		if n > 1 {
+			t.Fatalf("format %s evaluated %d times", name, n)
+		}
+	}
+}
+
+// pointOf recovers the search Point from a materialized format.
+func pointOf(fam Family, f numfmt.Format) Point {
+	switch v := f.(type) {
+	case *numfmt.FP:
+		return Point{Family: fam, Bits: v.BitWidth(), Radix: v.MantBits()}
+	case *numfmt.AFP:
+		return Point{Family: fam, Bits: v.BitWidth(), Radix: v.MantBits()}
+	case *numfmt.FxP:
+		return Point{Family: fam, Bits: v.BitWidth(), Radix: v.Radix()}
+	case *numfmt.INT:
+		return Point{Family: fam, Bits: v.BitWidth()}
+	case *numfmt.BFP:
+		return Point{Family: fam, Bits: v.BitWidth(), Radix: v.ExpBits()}
+	case *numfmt.Posit:
+		return Point{Family: fam, Bits: v.BitWidth(), Radix: v.ES()}
+	default:
+		panic("unknown format type")
+	}
+}
+
+func TestPositFamilySearch(t *testing.T) {
+	synth := syntheticEval(8, 0.1)
+	cfg := Config{Family: FamilyPosit, Baseline: 0.95, Threshold: 0.02}
+	res := Search(cfg, func(f numfmt.Format) float64 {
+		return synth(pointOf(FamilyPosit, f))
+	})
+	if res.Best == nil {
+		t.Fatal("posit search found nothing")
+	}
+	if res.Best.Point.Bits != 8 {
+		t.Fatalf("best posit width %d, want knee 8", res.Best.Point.Bits)
+	}
+	for _, n := range res.Nodes {
+		if n.Point.Bits > 16 {
+			t.Fatalf("posit search visited unsupported width %d", n.Point.Bits)
+		}
+	}
+}

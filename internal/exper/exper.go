@@ -1,0 +1,107 @@
+// Package exper contains one driver per table and figure of the paper's
+// evaluation. Each driver returns structured rows (so tests and the bench
+// harness can assert on shapes) and can render itself as text for the
+// cmd/experiments tool. DESIGN.md §3 maps every driver to its paper
+// artifact; EXPERIMENTS.md records paper-vs-measured outcomes.
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"goldeneye"
+	"goldeneye/internal/dataset"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/zoo"
+)
+
+// Options tunes experiment cost. Zero values select the defaults used in
+// EXPERIMENTS.md; tests and benches shrink them.
+type Options struct {
+	// ValSamples caps how many validation samples accuracy evaluations
+	// use (0 = all).
+	ValSamples int
+
+	// Injections is the per-layer, per-site campaign size (0 = 1000, the
+	// paper's count).
+	Injections int
+
+	// BatchSize for accuracy evaluations (0 = 30).
+	BatchSize int
+
+	// ZooDir overrides the pre-trained model cache location ("" = default).
+	ZooDir string
+}
+
+func (o Options) valSamples() int { return orDefault(o.ValSamples, 300) }
+func (o Options) injections() int { return orDefault(o.Injections, 1000) }
+func (o Options) batchSize() int  { return orDefault(o.BatchSize, 30) }
+
+func orDefault(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// loadSim returns a wrapped pre-trained model plus its evaluation pool.
+func loadSim(name string, o Options) (*goldeneye.Simulator, *dataset.Dataset, error) {
+	var (
+		model nn.Module
+		ds    *dataset.Dataset
+		err   error
+	)
+	if o.ZooDir != "" {
+		model, ds, err = zoo.PretrainedIn(o.ZooDir, name)
+	} else {
+		model, ds, err = zoo.Pretrained(name)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("load %s: %w", name, err)
+	}
+	sim := goldeneye.Wrap(model, ds.ValX.Slice(0, 1))
+	return sim, ds, nil
+}
+
+// valPool returns the experiment's validation subset.
+func valPool(ds *dataset.Dataset, o Options) (x *goldeneye.Tensor, y []int) {
+	n := o.valSamples()
+	if n > ds.ValLen() {
+		n = ds.ValLen()
+	}
+	return ds.ValX.Slice(0, n), ds.ValY[:n]
+}
+
+// paperName maps this repository's model names to the paper models they
+// stand in for, so experiment output reads like the paper's figures.
+func paperName(model string) string {
+	switch model {
+	case "resnet_s":
+		return "ResNet18*"
+	case "resnet_m":
+		return "ResNet50*"
+	case "vit_tiny":
+		return "DeiT-tiny*"
+	case "vit_small":
+		return "DeiT-base*"
+	default:
+		return model
+	}
+}
+
+// Table1 renders the dynamic-range table (paper Table I).
+func Table1(w io.Writer) []numfmt.RangeRow {
+	rows := numfmt.Table1Rows()
+	if w != nil {
+		fmt.Fprintf(w, "%-22s %14s %14s %12s\n", "Data Type", "Abs Max", "Abs Min", "Range (dB)")
+		for _, r := range rows {
+			suffix := ""
+			if r.Movable {
+				suffix = " (movable range)"
+			}
+			fmt.Fprintf(w, "%-22s %14.4g %14.4g %12.2f%s\n", r.Label, r.AbsMax, r.MinPos, r.RangeDB, suffix)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,89 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"goldeneye"
+	"goldeneye/internal/dse"
+)
+
+// Fig6Row is one visited DSE node (Fig 6's x-axis is visit order).
+type Fig6Row struct {
+	Model    string
+	Family   string
+	Order    int
+	Bits     int
+	Radix    int
+	Accuracy float64
+	Accepted bool
+}
+
+// Fig6Result is one model × family exploration.
+type Fig6Result struct {
+	Model    string
+	Family   string
+	Baseline float64
+	Rows     []Fig6Row
+	Best     *Fig6Row
+}
+
+// Fig6 runs the DSE heuristic per model and family, reproducing Fig 6's
+// node traversals: ≤16 nodes each, with more than half of the visited
+// design points typically above the accuracy threshold.
+func Fig6(models []string, families []dse.Family, threshold float64, w io.Writer, o Options) ([]Fig6Result, error) {
+	if threshold == 0 {
+		threshold = 0.01 // the paper's example: 1% accuracy loss
+	}
+	var results []Fig6Result
+	for _, name := range models {
+		sim, ds, err := loadSim(name, o)
+		if err != nil {
+			return nil, err
+		}
+		x, y := valPool(ds, o)
+		baseline := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{})
+		for _, family := range families {
+			res := sim.RunDSE(x, y, o.batchSize(), goldeneye.DSEConfig{
+				Family:    family,
+				Baseline:  baseline,
+				Threshold: threshold,
+			})
+			fr := Fig6Result{Model: paperName(name), Family: string(family), Baseline: baseline}
+			for _, n := range res.Nodes {
+				fr.Rows = append(fr.Rows, Fig6Row{
+					Model:    fr.Model,
+					Family:   fr.Family,
+					Order:    n.Order,
+					Bits:     n.Point.Bits,
+					Radix:    n.Point.Radix,
+					Accuracy: n.Accuracy,
+					Accepted: n.Accepted,
+				})
+			}
+			if res.Best != nil {
+				b := fr.Rows[res.Best.Order]
+				fr.Best = &b
+			}
+			results = append(results, fr)
+			if w != nil {
+				fmt.Fprintf(w, "%s / %s (baseline %.3f):\n", fr.Model, fr.Family, baseline)
+				for _, row := range fr.Rows {
+					mark := " "
+					if row.Accepted {
+						mark = "✓"
+					}
+					fmt.Fprintf(w, "  node %2d: bits=%-2d radix=%-2d acc=%.3f %s\n",
+						row.Order, row.Bits, row.Radix, row.Accuracy, mark)
+				}
+				if fr.Best != nil {
+					fmt.Fprintf(w, "  → best: bits=%d radix=%d acc=%.3f\n",
+						fr.Best.Bits, fr.Best.Radix, fr.Best.Accuracy)
+				} else {
+					fmt.Fprintf(w, "  → no acceptable design point\n")
+				}
+			}
+		}
+	}
+	return results, nil
+}

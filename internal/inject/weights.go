@@ -1,0 +1,124 @@
+package inject
+
+import (
+	"fmt"
+
+	"goldeneye/internal/nn"
+	"goldeneye/internal/numfmt"
+)
+
+// WeightBackup remembers original weight values so faults and format
+// conversions can be undone; campaigns restore between injections.
+type WeightBackup struct {
+	params []*nn.Param
+	saved  [][]float32
+}
+
+// BackupWeights snapshots every non-frozen parameter of m.
+func BackupWeights(m nn.Module) *WeightBackup {
+	b := &WeightBackup{}
+	for _, p := range m.Params() {
+		if p.Frozen {
+			continue
+		}
+		b.params = append(b.params, p)
+		b.saved = append(b.saved, append([]float32(nil), p.Value.Data()...))
+	}
+	return b
+}
+
+// Restore writes the snapshot back into the model.
+func (b *WeightBackup) Restore() {
+	for i, p := range b.params {
+		copy(p.Value.Data(), b.saved[i])
+	}
+}
+
+// QuantizeWeights converts every weight and bias of the listed parameters
+// to the given format in place (offline weight conversion, §V-B). Frozen
+// parameters (BatchNorm statistics) are part of the normalization hardware
+// and stay in the compute fabric's native format.
+func QuantizeWeights(m nn.Module, format numfmt.Format) {
+	for _, p := range m.Params() {
+		if p.Frozen {
+			continue
+		}
+		q := format.Emulate(p.Value)
+		copy(p.Value.Data(), q.Data())
+	}
+}
+
+// WeightFault injects fault f into the weight tensor of the module at the
+// fault's layer index and returns a restore function. The weight is
+// quantized to format space, the bit flipped, and the corrupted tensor
+// written back — the offline analogue of NeuronHook.
+func WeightFault(format numfmt.Format, f Fault, idx ModuleIndex) (restore func(), err error) {
+	target, err := idx.ParamOfLayer(f.Layer)
+	if err != nil {
+		return nil, err
+	}
+	saved := append([]float32(nil), target.Value.Data()...)
+	enc := format.Quantize(target.Value)
+	if err := FlipInEncoding(enc, f); err != nil {
+		return nil, err
+	}
+	corrupted := format.Dequantize(enc)
+	copy(target.Value.Data(), corrupted.Data())
+	return func() { copy(target.Value.Data(), saved) }, nil
+}
+
+// ModuleIndex maps layer visit indices to the module (and its primary
+// weight parameter) visited at that index. Build one with IndexModules.
+type ModuleIndex struct {
+	byIndex map[int]*nn.Param
+}
+
+// IndexModules runs a traced forward pass and associates each layer visit
+// index with the visited module's primary weight parameter (nil for
+// parameterless layers). It relies on module names being unique.
+func IndexModules(m nn.Module, layers []nn.LayerInfo) ModuleIndex {
+	// Collect every parameter named "<module>.weight"; hooks report module
+	// names, so the join key is the layer name.
+	weights := make(map[string]*nn.Param)
+	for _, p := range m.Params() {
+		const suffix = ".weight"
+		if len(p.Name) > len(suffix) && p.Name[len(p.Name)-len(suffix):] == suffix {
+			weights[p.Name[:len(p.Name)-len(suffix)]] = p
+		}
+	}
+	idx := ModuleIndex{byIndex: make(map[int]*nn.Param, len(layers))}
+	for _, l := range layers {
+		if p, ok := weights[l.Name]; ok {
+			idx.byIndex[l.Index] = p
+		}
+	}
+	return idx
+}
+
+// ParamOfLayer returns the weight parameter of the layer at visit index i.
+func (mi ModuleIndex) ParamOfLayer(i int) (*nn.Param, error) {
+	p, ok := mi.byIndex[i]
+	if !ok || p == nil {
+		return nil, fmt.Errorf("inject: layer %d has no weight parameter", i)
+	}
+	return p, nil
+}
+
+// WeightedLayers returns the visit indices that have weight parameters, in
+// order — the candidate set for weight-targeted campaigns.
+func (mi ModuleIndex) WeightedLayers() []int {
+	var out []int
+	for i := range mi.byIndex {
+		out = append(out, i)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package metrics implements the resiliency metrics of the paper's §IV-C:
+// the classical mismatch count (faulty inference changes the predicted
+// class) and the ΔLoss metric of Schorn et al. as adopted by the paper —
+// the absolute difference of cross-entropy loss between faulty and
+// fault-free inference — together with running statistics that expose each
+// metric's convergence behaviour.
+package metrics
+
+import "math"
+
+// MaxDeltaLoss caps a single injection's ΔLoss contribution. A fault that
+// drives the network to NaN/Inf has unbounded cross-entropy; capping keeps
+// campaign averages finite while still registering such faults as
+// catastrophic. The value is ln(1e13), far beyond any non-corrupted loss.
+const MaxDeltaLoss = 30.0
+
+// DeltaLoss returns |faulty − clean| cross-entropy, capped at MaxDeltaLoss
+// and treating non-finite faulty losses as the cap.
+func DeltaLoss(clean, faulty float64) float64 {
+	if math.IsNaN(faulty) || math.IsInf(faulty, 0) {
+		return MaxDeltaLoss
+	}
+	d := math.Abs(faulty - clean)
+	if d > MaxDeltaLoss {
+		return MaxDeltaLoss
+	}
+	return d
+}
+
+// RunningStat accumulates a stream of observations with Welford's
+// algorithm, exposing the running mean and its standard error — the basis
+// for the metric-convergence comparison (ΔLoss converges faster than
+// mismatch because it is continuous rather than binary, §IV-C).
+type RunningStat struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the statistic.
+func (s *RunningStat) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Merge folds another statistic into s (Chan et al.'s parallel variance
+// combination), so sharded campaigns can aggregate worker results.
+func (s *RunningStat) Merge(o RunningStat) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.mean += delta * float64(o.n) / float64(n)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.n = n
+}
+
+// N returns the number of observations.
+func (s *RunningStat) N() int { return s.n }
+
+// Mean returns the running mean (0 before any observation).
+func (s *RunningStat) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *RunningStat) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *RunningStat) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// SEM returns the standard error of the mean.
+func (s *RunningStat) SEM() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under the normal approximation.
+func (s *RunningStat) CI95() float64 { return 1.96 * s.SEM() }
+
+// RelativeCI returns CI95 normalized by |mean|; campaigns use it as the
+// convergence criterion (smaller = more converged).
+func (s *RunningStat) RelativeCI() float64 {
+	if s.mean == 0 {
+		return math.Inf(1)
+	}
+	return s.CI95() / math.Abs(s.mean)
+}
+
+// CampaignResult aggregates one injection campaign.
+type CampaignResult struct {
+	Injections int
+
+	// Mismatches counts injections whose top-1 prediction differed from
+	// the fault-free inference.
+	Mismatches int
+
+	// DeltaLoss accumulates the ΔLoss observations.
+	DeltaLoss RunningStat
+
+	// MismatchRate accumulates the binary mismatch observations, so both
+	// metrics' convergence can be compared on equal footing.
+	MismatchStat RunningStat
+
+	// NonFinite counts injections that produced NaN/Inf activations at the
+	// output (detected corruption).
+	NonFinite int
+}
+
+// Record folds one injection outcome into the result.
+func (c *CampaignResult) Record(mismatch bool, deltaLoss float64, nonFinite bool) {
+	c.Injections++
+	if mismatch {
+		c.Mismatches++
+		c.MismatchStat.Add(1)
+	} else {
+		c.MismatchStat.Add(0)
+	}
+	c.DeltaLoss.Add(deltaLoss)
+	if nonFinite {
+		c.NonFinite++
+	}
+}
+
+// MismatchRate returns the fraction of injections that changed the
+// prediction.
+func (c *CampaignResult) MismatchRate() float64 {
+	if c.Injections == 0 {
+		return 0
+	}
+	return float64(c.Mismatches) / float64(c.Injections)
+}
+
+// MeanDeltaLoss returns the campaign's average ΔLoss.
+func (c *CampaignResult) MeanDeltaLoss() float64 { return c.DeltaLoss.Mean() }
+
+// Merge folds another campaign's aggregates into c.
+func (c *CampaignResult) Merge(o CampaignResult) {
+	c.Injections += o.Injections
+	c.Mismatches += o.Mismatches
+	c.NonFinite += o.NonFinite
+	c.DeltaLoss.Merge(o.DeltaLoss)
+	c.MismatchStat.Merge(o.MismatchStat)
+}

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/rng"
+)
+
+func TestDeltaLoss(t *testing.T) {
+	tests := []struct {
+		name          string
+		clean, faulty float64
+		want          float64
+	}{
+		{name: "no_change", clean: 1.5, faulty: 1.5, want: 0},
+		{name: "increase", clean: 1.0, faulty: 3.5, want: 2.5},
+		{name: "decrease_abs", clean: 3.0, faulty: 1.0, want: 2.0},
+		{name: "capped", clean: 0, faulty: 1e9, want: MaxDeltaLoss},
+		{name: "inf", clean: 1, faulty: math.Inf(1), want: MaxDeltaLoss},
+		{name: "nan", clean: 1, faulty: math.NaN(), want: MaxDeltaLoss},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DeltaLoss(tt.clean, tt.faulty); got != tt.want {
+				t.Fatalf("DeltaLoss(%v, %v) = %v, want %v", tt.clean, tt.faulty, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunningStatKnownValues(t *testing.T) {
+	var s RunningStat
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+}
+
+func TestRunningStatEmptyAndSingle(t *testing.T) {
+	var s RunningStat
+	if s.Mean() != 0 || s.Variance() != 0 || s.SEM() != 0 {
+		t.Fatal("empty stat must be all zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 {
+		t.Fatal("single observation: mean 3, variance 0")
+	}
+}
+
+// Property: Welford matches the two-pass formula.
+func TestRunningStatMatchesTwoPassProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(200)
+		xs := make([]float64, n)
+		var s RunningStat
+		var sum float64
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			s.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		wantVar := m2 / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-wantVar) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the continuous ΔLoss metric converges at least as fast as the
+// binary mismatch metric for a mixed fault population — the paper's §IV-C
+// rationale for preferring ΔLoss. We model injections where mismatches are
+// rare (p≈0.05) but every fault perturbs the loss slightly.
+func TestDeltaLossConvergesFasterProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		var dl, mm RunningStat
+		for i := 0; i < 400; i++ {
+			// Continuous observation: small positive perturbations.
+			dl.Add(math.Abs(r.NormFloat64()*0.1) + 0.05)
+			// Binary observation: rare mismatches.
+			if r.Float64() < 0.05 {
+				mm.Add(1)
+			} else {
+				mm.Add(0)
+			}
+		}
+		if mm.Mean() == 0 {
+			return true // no mismatches at all: binary metric said nothing
+		}
+		return dl.RelativeCI() < mm.RelativeCI()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCampaignResultAggregation(t *testing.T) {
+	var c CampaignResult
+	c.Record(true, 2.0, false)
+	c.Record(false, 0.0, false)
+	c.Record(true, 4.0, true)
+	c.Record(false, 0.0, false)
+	if c.Injections != 4 || c.Mismatches != 2 || c.NonFinite != 1 {
+		t.Fatalf("counts: %+v", c)
+	}
+	if c.MismatchRate() != 0.5 {
+		t.Fatalf("MismatchRate = %v", c.MismatchRate())
+	}
+	if c.MeanDeltaLoss() != 1.5 {
+		t.Fatalf("MeanDeltaLoss = %v", c.MeanDeltaLoss())
+	}
+}
+
+func TestCampaignResultEmpty(t *testing.T) {
+	var c CampaignResult
+	if c.MismatchRate() != 0 || c.MeanDeltaLoss() != 0 {
+		t.Fatal("empty campaign must report zeros")
+	}
+}
+
+func TestRelativeCIInfiniteAtZeroMean(t *testing.T) {
+	var s RunningStat
+	s.Add(0)
+	s.Add(0)
+	if !math.IsInf(s.RelativeCI(), 1) {
+		t.Fatal("RelativeCI at zero mean must be +Inf")
+	}
+}
+
+// Property: Merge of two sequentially built stats equals one stat built
+// from the concatenated stream (within float tolerance).
+func TestRunningStatMergeProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		n1, n2 := 1+r.Intn(100), 1+r.Intn(100)
+		var a, b, all RunningStat
+		for i := 0; i < n1; i++ {
+			v := r.NormFloat64() * 5
+			a.Add(v)
+			all.Add(v)
+		}
+		for i := 0; i < n2; i++ {
+			v := r.NormFloat64()*2 + 3
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningStatMergeEdgeCases(t *testing.T) {
+	var empty, s RunningStat
+	s.Add(2)
+	s.Add(4)
+	// Merging empty in either direction is identity.
+	s.Merge(empty)
+	if s.N() != 2 || s.Mean() != 3 {
+		t.Fatal("merge with empty changed stat")
+	}
+	empty.Merge(s)
+	if empty.N() != 2 || empty.Mean() != 3 {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestCampaignResultMerge(t *testing.T) {
+	var a, b CampaignResult
+	a.Record(true, 1, false)
+	a.Record(false, 3, true)
+	b.Record(true, 5, false)
+	a.Merge(b)
+	if a.Injections != 3 || a.Mismatches != 2 || a.NonFinite != 1 {
+		t.Fatalf("merged counts %+v", a)
+	}
+	if a.MeanDeltaLoss() != 3 {
+		t.Fatalf("merged mean %v", a.MeanDeltaLoss())
+	}
+}

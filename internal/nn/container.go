@@ -1,0 +1,147 @@
+package nn
+
+import "goldeneye/internal/tensor"
+
+// Sequential chains modules, routing each child through the context so
+// hooks fire per layer.
+type Sequential struct {
+	name     string
+	children []Module
+}
+
+var _ Module = (*Sequential)(nil)
+
+// NewSequential returns a container running children in order.
+func NewSequential(name string, children ...Module) *Sequential {
+	return &Sequential{name: name, children: children}
+}
+
+// Name implements Module.
+func (s *Sequential) Name() string { return s.name }
+
+// Kind implements Module.
+func (s *Sequential) Kind() Kind { return KindContainer }
+
+// Children returns the contained modules in execution order.
+func (s *Sequential) Children() []Module { return s.children }
+
+// Params implements Module.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, c := range s.children {
+		ps = append(ps, c.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Module.
+func (s *Sequential) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	for _, c := range s.children {
+		x = ctx.Apply(c, x)
+	}
+	return x
+}
+
+// Backward implements Module.
+func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.children) - 1; i >= 0; i-- {
+		gradOut = s.children[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Residual wraps a body module with an identity (or projected) skip
+// connection followed by an optional activation — the building block of the
+// residual CNNs. When the body changes shape, a projection module (1×1
+// strided conv) aligns the skip path.
+type Residual struct {
+	name string
+	body Module
+	proj Module // nil for identity skip
+	act  Module // applied to the sum, usually ReLU; may be nil
+}
+
+var _ Module = (*Residual)(nil)
+
+// NewResidual returns a residual block: act(body(x) + proj(x)). proj and act
+// may be nil (identity skip / no activation).
+func NewResidual(name string, body, proj, act Module) *Residual {
+	return &Residual{name: name, body: body, proj: proj, act: act}
+}
+
+// Name implements Module.
+func (r *Residual) Name() string { return r.name }
+
+// Kind implements Module.
+func (r *Residual) Kind() Kind { return KindContainer }
+
+// Params implements Module.
+func (r *Residual) Params() []*Param {
+	ps := append([]*Param(nil), r.body.Params()...)
+	if r.proj != nil {
+		ps = append(ps, r.proj.Params()...)
+	}
+	if r.act != nil {
+		ps = append(ps, r.act.Params()...)
+	}
+	return ps
+}
+
+// Forward implements Module.
+func (r *Residual) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	main := ctx.Apply(r.body, x)
+	skip := x
+	if r.proj != nil {
+		skip = ctx.Apply(r.proj, x)
+	}
+	sum := main.Add(skip)
+	if r.act != nil {
+		sum = ctx.Apply(r.act, sum)
+	}
+	return sum
+}
+
+// Backward implements Module.
+func (r *Residual) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if r.act != nil {
+		gradOut = r.act.Backward(gradOut)
+	}
+	dMain := r.body.Backward(gradOut)
+	dSkip := gradOut
+	if r.proj != nil {
+		dSkip = r.proj.Backward(gradOut)
+	}
+	return dMain.Add(dSkip)
+}
+
+// Flatten reshapes any input to (N, rest).
+type Flatten struct {
+	name string
+
+	lastShape []int
+}
+
+var _ Module = (*Flatten)(nil)
+
+// NewFlatten returns a flattening module.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Module.
+func (f *Flatten) Name() string { return f.name }
+
+// Kind implements Module.
+func (f *Flatten) Kind() Kind { return KindOther }
+
+// Params implements Module.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (f *Flatten) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	f.lastShape = x.Shape()
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Module.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(f.lastShape...)
+}

@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+// lossOf computes a scalar pseudo-loss Σ(output ⊙ weights) for gradient
+// checking; its gradient with respect to the output is exactly `weights`.
+func lossOf(m Module, x, weights *tensor.Tensor, training bool) float64 {
+	ctx := &Context{Training: training}
+	y := m.Forward(ctx, x)
+	var s float64
+	for i, v := range y.Data() {
+		s += float64(v) * float64(weights.Data()[i])
+	}
+	return s
+}
+
+// gradCheck runs m forward+backward once and compares analytic gradients of
+// the input and every parameter against central finite differences.
+// Tolerances are loose because storage is float32.
+func gradCheck(t *testing.T, m Module, x *tensor.Tensor, training bool) {
+	t.Helper()
+	ctx := &Context{Training: training}
+	ZeroGrads(m)
+	y := m.Forward(ctx, x)
+	r := rng.New(777)
+	weights := tensor.RandUniform(r, -1, 1, y.Shape()...)
+	dx := m.Backward(weights)
+
+	// Small enough that probes rarely straddle a ReLU/MaxPool kink, large
+	// enough that float32 rounding noise stays well under tolerance.
+	const eps = 2e-3
+	checkOne := func(name string, data []float32, i int, analytic float32) {
+		t.Helper()
+		orig := data[i]
+		data[i] = orig + eps
+		up := lossOf(m, x, weights, training)
+		data[i] = orig - eps
+		down := lossOf(m, x, weights, training)
+		data[i] = orig
+		numeric := (up - down) / (2 * eps)
+		diff := math.Abs(numeric - float64(analytic))
+		scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(float64(analytic))))
+		if diff/scale > 0.05 {
+			t.Errorf("%s[%d]: analytic %.5f vs numeric %.5f", name, i, analytic, numeric)
+		}
+	}
+
+	// Probe a deterministic subset of input positions.
+	for i := 0; i < x.Len(); i += max(1, x.Len()/17) {
+		checkOne("input", x.Data(), i, dx.Data()[i])
+	}
+	// Probe every parameter tensor.
+	for _, p := range m.Params() {
+		n := p.Value.Len()
+		for i := 0; i < n; i += max(1, n/13) {
+			// Re-run forward/backward so cached state matches the probe.
+			ZeroGrads(m)
+			m.Forward(ctx, x)
+			m.Backward(weights)
+			checkOne(p.Name, p.Value.Data(), i, p.Grad.Data()[i])
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestLinearGradients(t *testing.T) {
+	r := rng.New(1)
+	m := NewLinear("fc", 6, 4, r)
+	gradCheck(t, m, tensor.Randn(r, 1, 3, 6), false)
+}
+
+func TestConv2DGradients(t *testing.T) {
+	r := rng.New(2)
+	m := NewConv2D("conv", 2, 3, 3, 1, 1, r)
+	gradCheck(t, m, tensor.Randn(r, 1, 2, 2, 5, 5), false)
+}
+
+func TestConv2DStridedGradients(t *testing.T) {
+	r := rng.New(3)
+	m := NewConv2D("conv", 3, 4, 3, 2, 1, r)
+	gradCheck(t, m, tensor.Randn(r, 1, 2, 3, 6, 6), false)
+}
+
+func TestBatchNorm2DGradients(t *testing.T) {
+	r := rng.New(4)
+	m := NewBatchNorm2D("bn", 3)
+	gradCheck(t, m, tensor.Randn(r, 1, 4, 3, 3, 3), true)
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	r := rng.New(5)
+	m := NewLayerNorm("ln", 8)
+	gradCheck(t, m, tensor.Randn(r, 1, 5, 8), false)
+}
+
+func TestReLUGradients(t *testing.T) {
+	r := rng.New(6)
+	m := NewReLU("relu")
+	gradCheck(t, m, tensor.Randn(r, 1, 4, 7), false)
+}
+
+func TestGELUGradients(t *testing.T) {
+	r := rng.New(7)
+	m := NewGELU("gelu")
+	gradCheck(t, m, tensor.Randn(r, 1, 4, 7), false)
+}
+
+func TestMaxPool2DGradients(t *testing.T) {
+	r := rng.New(8)
+	m := NewMaxPool2D("pool", 2, 2)
+	gradCheck(t, m, tensor.Randn(r, 1, 2, 2, 4, 4), false)
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	r := rng.New(9)
+	m := NewGlobalAvgPool("gap")
+	gradCheck(t, m, tensor.Randn(r, 1, 2, 3, 4, 4), false)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	r := rng.New(10)
+	m := NewSequential("seq",
+		NewLinear("fc1", 5, 8, r),
+		NewReLU("relu"),
+		NewLinear("fc2", 8, 3, r),
+	)
+	gradCheck(t, m, tensor.Randn(r, 1, 4, 5), false)
+}
+
+func TestResidualGradients(t *testing.T) {
+	r := rng.New(11)
+	body := NewSequential("body",
+		NewConv2D("c1", 2, 2, 3, 1, 1, r),
+		NewReLU("r1"),
+		NewConv2D("c2", 2, 2, 3, 1, 1, r),
+	)
+	m := NewResidual("res", body, nil, NewReLU("out"))
+	gradCheck(t, m, tensor.Randn(r, 1, 2, 2, 4, 4), false)
+}
+
+func TestResidualProjectionGradients(t *testing.T) {
+	r := rng.New(12)
+	body := NewConv2D("c1", 2, 4, 3, 2, 1, r)
+	proj := NewConv2D("proj", 2, 4, 1, 2, 0, r)
+	m := NewResidual("res", body, proj, NewReLU("out"))
+	gradCheck(t, m, tensor.Randn(r, 1, 2, 2, 4, 4), false)
+}
+
+func TestMultiHeadAttentionGradients(t *testing.T) {
+	r := rng.New(13)
+	m := NewMultiHeadAttention("attn", 8, 2, r)
+	gradCheck(t, m, tensor.Randn(r, 0.5, 2, 5, 8), false)
+}
+
+func TestTransformerBlockGradients(t *testing.T) {
+	r := rng.New(14)
+	m := NewTransformerBlock("blk", 8, 2, 2, r)
+	gradCheck(t, m, tensor.Randn(r, 0.5, 2, 4, 8), false)
+}
+
+func TestPatchEmbedGradients(t *testing.T) {
+	r := rng.New(15)
+	m := NewPatchEmbed("patch", 3, 8, 4, r)
+	gradCheck(t, m, tensor.Randn(r, 1, 2, 3, 8, 8), false)
+}
+
+func TestTokenPrepGradients(t *testing.T) {
+	r := rng.New(16)
+	m := NewTokenPrep("prep", 4, 6, r)
+	gradCheck(t, m, tensor.Randn(r, 1, 2, 4, 6), false)
+}
+
+func TestClsSelectGradients(t *testing.T) {
+	r := rng.New(17)
+	m := NewClsSelect("cls")
+	gradCheck(t, m, tensor.Randn(r, 1, 3, 4, 6), false)
+}
+
+func TestFlattenGradients(t *testing.T) {
+	r := rng.New(18)
+	m := NewFlatten("flat")
+	gradCheck(t, m, tensor.Randn(r, 1, 2, 3, 2, 2), false)
+}

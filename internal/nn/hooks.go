@@ -1,0 +1,136 @@
+package nn
+
+import "goldeneye/internal/tensor"
+
+// HookFunc observes or transforms a tensor flowing into (pre) or out of
+// (post) a module. Returning the input unchanged is allowed; returning a new
+// tensor replaces the activation, which is how format emulation and neuron
+// fault injection are realized.
+type HookFunc func(layer LayerInfo, t *tensor.Tensor) *tensor.Tensor
+
+// Filter selects which layer visits a hook fires on. The zero value matches
+// every layer; restrictions combine with AND.
+type Filter struct {
+	// Kinds restricts matching to the listed kinds (nil = all kinds).
+	Kinds []Kind
+
+	// Names restricts matching to the listed module names (nil = all).
+	Names []string
+
+	// HasIndex restricts matching to the single visit Index.
+	HasIndex bool
+	Index    int
+}
+
+// AllLayers matches everything.
+func AllLayers() Filter { return Filter{} }
+
+// DefaultLayers matches CONV and LINEAR layers, the paper's default hook
+// targets (§V-B).
+func DefaultLayers() Filter {
+	return Filter{Kinds: []Kind{KindConv, KindLinear}}
+}
+
+// ByIndex matches a single layer visit.
+func ByIndex(i int) Filter { return Filter{HasIndex: true, Index: i} }
+
+func (f Filter) matches(info LayerInfo) bool {
+	if f.HasIndex && f.Index != info.Index {
+		return false
+	}
+	if len(f.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if k == info.Kind {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(f.Names) > 0 {
+		ok := false
+		for _, n := range f.Names {
+			if n == info.Name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type hookEntry struct {
+	filter Filter
+	fn     HookFunc
+}
+
+// HookSet holds the registered pre- and post-forward hooks of a simulation
+// run. Hooks fire in registration order; post-forward hooks compose, so an
+// injection hook registered after an emulation hook sees emulated values —
+// the order the paper's injection pipeline implies (quantize, flip, write
+// back).
+type HookSet struct {
+	pre  []hookEntry
+	post []hookEntry
+}
+
+// NewHookSet returns an empty hook set.
+func NewHookSet() *HookSet { return &HookSet{} }
+
+// Merge appends every hook of other (in order) to h. Pre-existing hooks of
+// h keep firing first.
+func (h *HookSet) Merge(other *HookSet) {
+	if other == nil {
+		return
+	}
+	h.pre = append(h.pre, other.pre...)
+	h.post = append(h.post, other.post...)
+}
+
+// PreForward registers fn to run on the input of every layer matching f.
+func (h *HookSet) PreForward(f Filter, fn HookFunc) {
+	h.pre = append(h.pre, hookEntry{filter: f, fn: fn})
+}
+
+// PostForward registers fn to run on the output of every layer matching f.
+func (h *HookSet) PostForward(f Filter, fn HookFunc) {
+	h.post = append(h.post, hookEntry{filter: f, fn: fn})
+}
+
+func (h *HookSet) runPre(info LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+	for _, e := range h.pre {
+		if e.filter.matches(info) {
+			t = e.fn(info, t)
+		}
+	}
+	return t
+}
+
+func (h *HookSet) runPost(info LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+	for _, e := range h.post {
+		if e.filter.matches(info) {
+			t = e.fn(info, t)
+		}
+	}
+	return t
+}
+
+// Trace runs a forward pass recording every layer visit, without hooks
+// interfering. It is how campaigns enumerate injectable layers.
+func Trace(m Module, x *tensor.Tensor) []LayerInfo {
+	var visits []LayerInfo
+	hooks := NewHookSet()
+	hooks.PostForward(AllLayers(), func(info LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		visits = append(visits, info)
+		return t
+	})
+	ctx := NewContext(hooks)
+	Forward(ctx, m, x)
+	return visits
+}

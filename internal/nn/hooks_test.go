@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"testing"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func smallNet(r *rng.RNG) Module {
+	return NewSequential("net",
+		NewLinear("fc1", 4, 8, r),
+		NewReLU("relu"),
+		NewLinear("fc2", 8, 3, r),
+	)
+}
+
+func TestHooksFireInRegistrationOrder(t *testing.T) {
+	r := rng.New(1)
+	net := smallNet(r)
+	hooks := NewHookSet()
+	var order []string
+	hooks.PostForward(Filter{Names: []string{"fc1"}}, func(info LayerInfo, x *tensor.Tensor) *tensor.Tensor {
+		order = append(order, "first")
+		return x
+	})
+	hooks.PostForward(Filter{Names: []string{"fc1"}}, func(info LayerInfo, x *tensor.Tensor) *tensor.Tensor {
+		order = append(order, "second")
+		return x
+	})
+	ctx := NewContext(hooks)
+	Forward(ctx, net, tensor.Randn(r, 1, 2, 4))
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("hook order = %v", order)
+	}
+}
+
+func TestPostHookReplacesActivation(t *testing.T) {
+	r := rng.New(2)
+	net := smallNet(r)
+	x := tensor.Randn(r, 1, 2, 4)
+	clean := Forward(nil, net, x)
+
+	hooks := NewHookSet()
+	hooks.PostForward(Filter{Names: []string{"fc2"}}, func(_ LayerInfo, y *tensor.Tensor) *tensor.Tensor {
+		return y.Scale(0) // zero out the logits
+	})
+	got := Forward(NewContext(hooks), net, x)
+	if got.AbsMax() != 0 {
+		t.Fatal("post hook did not replace the activation")
+	}
+	if clean.AbsMax() == 0 {
+		t.Fatal("sanity: clean logits should be nonzero")
+	}
+}
+
+func TestPreHookSeesLayerInput(t *testing.T) {
+	r := rng.New(3)
+	net := smallNet(r)
+	hooks := NewHookSet()
+	var seen []int
+	hooks.PreForward(Filter{Kinds: []Kind{KindLinear}}, func(info LayerInfo, x *tensor.Tensor) *tensor.Tensor {
+		seen = append(seen, x.Dim(1))
+		return x
+	})
+	Forward(NewContext(hooks), net, tensor.Randn(r, 1, 2, 4))
+	if len(seen) != 2 || seen[0] != 4 || seen[1] != 8 {
+		t.Fatalf("pre-hook inputs = %v, want [4 8]", seen)
+	}
+}
+
+func TestDefaultLayersFilterSkipsActivations(t *testing.T) {
+	r := rng.New(4)
+	net := smallNet(r)
+	hooks := NewHookSet()
+	var kinds []Kind
+	hooks.PostForward(DefaultLayers(), func(info LayerInfo, x *tensor.Tensor) *tensor.Tensor {
+		kinds = append(kinds, info.Kind)
+		return x
+	})
+	Forward(NewContext(hooks), net, tensor.Randn(r, 1, 2, 4))
+	if len(kinds) != 2 {
+		t.Fatalf("DefaultLayers matched %d layers, want 2 (conv/linear only)", len(kinds))
+	}
+	for _, k := range kinds {
+		if k != KindLinear {
+			t.Fatalf("unexpected kind %v", k)
+		}
+	}
+}
+
+func TestByIndexFilter(t *testing.T) {
+	r := rng.New(5)
+	net := smallNet(r)
+	hooks := NewHookSet()
+	var names []string
+	hooks.PostForward(ByIndex(1), func(info LayerInfo, x *tensor.Tensor) *tensor.Tensor {
+		names = append(names, info.Name)
+		return x
+	})
+	Forward(NewContext(hooks), net, tensor.Randn(r, 1, 2, 4))
+	if len(names) != 1 || names[0] != "relu" {
+		t.Fatalf("ByIndex(1) matched %v, want [relu]", names)
+	}
+}
+
+func TestContextResetStabilizesIndices(t *testing.T) {
+	r := rng.New(6)
+	net := smallNet(r)
+	hooks := NewHookSet()
+	var idx []int
+	hooks.PostForward(Filter{Names: []string{"fc1"}}, func(info LayerInfo, x *tensor.Tensor) *tensor.Tensor {
+		idx = append(idx, info.Index)
+		return x
+	})
+	ctx := NewContext(hooks)
+	x := tensor.Randn(r, 1, 2, 4)
+	Forward(ctx, net, x)
+	Forward(ctx, net, x)
+	if len(idx) != 2 || idx[0] != idx[1] {
+		t.Fatalf("layer index unstable across passes: %v", idx)
+	}
+}
+
+func TestTraceEnumeratesLayers(t *testing.T) {
+	r := rng.New(7)
+	net := smallNet(r)
+	visits := Trace(net, tensor.Randn(r, 1, 1, 4))
+	if len(visits) != 3 {
+		t.Fatalf("Trace found %d layers, want 3: %v", len(visits), visits)
+	}
+	wantNames := []string{"fc1", "relu", "fc2"}
+	for i, v := range visits {
+		if v.Name != wantNames[i] || v.Index != i {
+			t.Fatalf("visit %d = %v, want %s", i, v, wantNames[i])
+		}
+	}
+}
+
+func TestNilContextRunsPlain(t *testing.T) {
+	r := rng.New(8)
+	net := smallNet(r)
+	x := tensor.Randn(r, 1, 2, 4)
+	// Must not panic and must be deterministic.
+	a := Forward(nil, net, x)
+	b := Forward(nil, net, x)
+	if !a.AllClose(b, 0) {
+		t.Fatal("plain forward not deterministic")
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	r := rng.New(9)
+	net := smallNet(r)
+	// fc1: 4*8+8 = 40; fc2: 8*3+3 = 27.
+	if got := ParamCount(net); got != 67 {
+		t.Fatalf("ParamCount = %d, want 67", got)
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	r := rng.New(10)
+	net := smallNet(r)
+	ctx := &Context{}
+	y := net.Forward(ctx, tensor.Randn(r, 1, 2, 4))
+	net.Backward(tensor.Full(1, y.Shape()...))
+	ZeroGrads(net)
+	for _, p := range net.Params() {
+		if p.Grad.AbsMax() != 0 {
+			t.Fatalf("gradient of %s not cleared", p.Name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindConv.String() != "conv" || KindAttention.String() != "attention" || Kind(99).String() != "other" {
+		t.Fatal("Kind.String mismatch")
+	}
+}

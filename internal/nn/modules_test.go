@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func TestBatchNormTrainingNormalizes(t *testing.T) {
+	r := rng.New(1)
+	bn := NewBatchNorm2D("bn", 3)
+	x := tensor.Randn(r, 5, 8, 3, 4, 4).AddScalar(10) // mean 10, std 5
+	ctx := &Context{Training: true}
+	y := bn.Forward(ctx, x)
+	// Per channel, output should be ≈ zero-mean unit-variance.
+	n, c, plane := 8, 3, 16
+	for ci := 0; ci < c; ci++ {
+		var sum, sq float64
+		for ni := 0; ni < n; ni++ {
+			for _, v := range y.Data()[(ni*c+ci)*plane : (ni*c+ci+1)*plane] {
+				sum += float64(v)
+				sq += float64(v) * float64(v)
+			}
+		}
+		cnt := float64(n * plane)
+		mean := sum / cnt
+		variance := sq/cnt - mean*mean
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d: mean %v var %v", ci, mean, variance)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	r := rng.New(2)
+	bn := NewBatchNorm2D("bn", 2)
+	// Train on data with mean 4 so running stats move toward it.
+	x := tensor.Randn(r, 1, 16, 2, 3, 3).AddScalar(4)
+	ctx := &Context{Training: true}
+	for i := 0; i < 30; i++ {
+		bn.Forward(ctx, x)
+	}
+	mean, _ := bn.RunningStats()
+	if math.Abs(float64(mean[0])-4) > 0.5 {
+		t.Fatalf("running mean %v did not converge toward 4", mean[0])
+	}
+	// Eval mode: two identical inputs give identical outputs (no batch
+	// dependence), and a different batch composition does not change them.
+	eval := &Context{Training: false}
+	a := bn.Forward(eval, x.Slice(0, 2))
+	b := bn.Forward(eval, x.Slice(0, 4)).Slice(0, 2)
+	if !a.AllClose(b, 1e-6) {
+		t.Fatal("eval-mode BatchNorm must not depend on batch composition")
+	}
+}
+
+func TestLayerNormNormalizesRows(t *testing.T) {
+	r := rng.New(3)
+	ln := NewLayerNorm("ln", 16)
+	x := tensor.Randn(r, 3, 5, 16).AddScalar(7)
+	y := ln.Forward(nil, x)
+	for i := 0; i < 5; i++ {
+		var sum, sq float64
+		for j := 0; j < 16; j++ {
+			v := float64(y.At(i, j))
+			sum += v
+			sq += v * v
+		}
+		mean := sum / 16
+		variance := sq/16 - mean*mean
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 2e-2 {
+			t.Fatalf("row %d: mean %v var %v", i, mean, variance)
+		}
+	}
+}
+
+func TestReLUClampsNegatives(t *testing.T) {
+	relu := NewReLU("r")
+	x := tensor.FromSlice([]float32{-2, -0.5, 0, 0.5, 2}, 5)
+	y := relu.Forward(nil, x)
+	want := tensor.FromSlice([]float32{0, 0, 0, 0.5, 2}, 5)
+	if !y.AllClose(want, 0) {
+		t.Fatalf("ReLU = %v", y)
+	}
+}
+
+func TestGELUKnownValues(t *testing.T) {
+	gelu := NewGELU("g")
+	x := tensor.FromSlice([]float32{0, 1, -1, 3}, 4)
+	y := gelu.Forward(nil, x)
+	// gelu(0)=0, gelu(1)≈0.8412, gelu(-1)≈-0.1588, gelu(3)≈2.9964.
+	wants := []float64{0, 0.8412, -0.1588, 2.9964}
+	for i, w := range wants {
+		if math.Abs(float64(y.At(i))-w) > 1e-3 {
+			t.Fatalf("gelu[%d] = %v, want %v", i, y.At(i), w)
+		}
+	}
+}
+
+func TestAttentionRowsAreConvexCombinations(t *testing.T) {
+	// With the value projection forced to identity and Q,K zero, attention
+	// averages the tokens uniformly. Instead of surgery, check a softer
+	// invariant: outputs are finite and deterministic, and permuting the
+	// batch permutes outputs (no cross-batch leakage).
+	r := rng.New(4)
+	attn := NewMultiHeadAttention("attn", 8, 2, r)
+	x := tensor.Randn(r, 1, 2, 5, 8)
+	y1 := attn.Forward(&Context{}, x)
+	if y1.CountNonFinite() != 0 {
+		t.Fatal("attention produced non-finite values")
+	}
+	// Swap the two batch elements.
+	xs := tensor.New(2, 5, 8)
+	copy(xs.Data()[:40], x.Data()[40:])
+	copy(xs.Data()[40:], x.Data()[:40])
+	y2 := attn.Forward(&Context{}, xs)
+	for i := 0; i < 40; i++ {
+		if y1.Data()[i] != y2.Data()[40+i] || y1.Data()[40+i] != y2.Data()[i] {
+			t.Fatal("attention mixes information across batch elements")
+		}
+	}
+}
+
+func TestSequentialChildren(t *testing.T) {
+	r := rng.New(5)
+	seq := NewSequential("s", NewReLU("a"), NewReLU("b"))
+	if len(seq.Children()) != 2 {
+		t.Fatal("Children() wrong")
+	}
+	_ = r
+}
+
+func TestResidualIdentitySkipPreservesSignal(t *testing.T) {
+	// With a body that outputs zeros (zero-init conv), residual output
+	// after ReLU equals ReLU(x).
+	zeroConv := NewConv2D("c", 2, 2, 3, 1, 1, rng.New(6))
+	for _, p := range zeroConv.Params() {
+		for i := range p.Value.Data() {
+			p.Value.Data()[i] = 0
+		}
+	}
+	res := NewResidual("res", zeroConv, nil, NewReLU("act"))
+	x := tensor.Randn(rng.New(7), 1, 1, 2, 4, 4)
+	y := res.Forward(&Context{}, x)
+	want := x.Apply(func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+	if !y.AllClose(want, 1e-6) {
+		t.Fatal("identity skip through zero body should equal ReLU(x)")
+	}
+}
+
+func TestPatchEmbedTokenCount(t *testing.T) {
+	r := rng.New(8)
+	pe := NewPatchEmbed("p", 3, 16, 4, r)
+	x := tensor.Randn(r, 1, 2, 3, 16, 16)
+	y := pe.Forward(&Context{}, x)
+	if y.Dim(0) != 2 || y.Dim(1) != 16 || y.Dim(2) != 16 {
+		t.Fatalf("PatchEmbed output %v, want (2, 16, 16)", y.Shape())
+	}
+}
+
+func TestTokenPrepPrependsCls(t *testing.T) {
+	r := rng.New(9)
+	tp := NewTokenPrep("tp", 4, 8, r)
+	x := tensor.New(2, 4, 8)
+	y := tp.Forward(&Context{}, x)
+	if y.Dim(1) != 5 {
+		t.Fatalf("TokenPrep output %v, want 5 tokens", y.Shape())
+	}
+	// Batch elements share the class token (zero input → cls+pos only).
+	for j := 0; j < 8; j++ {
+		if y.At(0, 0, j) != y.At(1, 0, j) {
+			t.Fatal("class token differs across batch")
+		}
+	}
+}
+
+func TestLinearRejectsWrongWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lin := NewLinear("fc", 4, 2, rng.New(10))
+	lin.Forward(nil, tensor.New(1, 5))
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	mods := []Module{
+		NewLinear("l", 2, 2, rng.New(1)),
+		NewConv2D("c", 1, 1, 3, 1, 1, rng.New(1)),
+		NewReLU("r"),
+		NewMaxPool2D("p", 2, 2),
+	}
+	for _, m := range mods {
+		m := m
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Backward before Forward should panic", m.Name())
+				}
+			}()
+			m.Backward(tensor.New(1, 1))
+		}()
+	}
+}

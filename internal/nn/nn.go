@@ -1,0 +1,192 @@
+// Package nn is GoldenEye's DNN substrate: the role PyTorch plays for the
+// original system. It provides layer modules with forward and backward
+// passes, parameter management, and — centrally for this simulator — a
+// layer-granularity hook mechanism equivalent to PyTorch's module hooks,
+// which is where number-format emulation and fault injection interpose
+// (paper §III-A: "GoldenEye leverages PyTorch's hook functionality to
+// perform number format emulation at the layer granularity").
+//
+// Training support is deliberate: the paper lists number-format emulation
+// during training/backpropagation as a feature (§V-B), and this repository
+// trains its models in-process so accuracy measurements are meaningful.
+package nn
+
+import (
+	"fmt"
+
+	"goldeneye/internal/tensor"
+)
+
+// Kind classifies a module for hook filtering. The paper hooks CONV and
+// LINEAR layers by default "due to their computational intensity" (§V-B);
+// every kind is hookable.
+type Kind int
+
+// Module kinds.
+const (
+	KindConv Kind = iota + 1
+	KindLinear
+	KindBatchNorm
+	KindLayerNorm
+	KindActivation
+	KindPool
+	KindAttention
+	KindEmbed
+	KindContainer
+	KindOther
+)
+
+// String returns the kind's short name.
+func (k Kind) String() string {
+	switch k {
+	case KindConv:
+		return "conv"
+	case KindLinear:
+		return "linear"
+	case KindBatchNorm:
+		return "batchnorm"
+	case KindLayerNorm:
+		return "layernorm"
+	case KindActivation:
+		return "activation"
+	case KindPool:
+		return "pool"
+	case KindAttention:
+		return "attention"
+	case KindEmbed:
+		return "embed"
+	case KindContainer:
+		return "container"
+	default:
+		return "other"
+	}
+}
+
+// Param is a trainable tensor with its gradient accumulator. Frozen
+// parameters (e.g. BatchNorm running statistics) are model state that is
+// serialized with the model but skipped by optimizers.
+type Param struct {
+	Name   string
+	Value  *tensor.Tensor
+	Grad   *tensor.Tensor
+	Frozen bool
+}
+
+// NewParam allocates a parameter and its zeroed gradient.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{
+		Name:  name,
+		Value: value,
+		Grad:  tensor.New(value.Shape()...),
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	data := p.Grad.Data()
+	for i := range data {
+		data[i] = 0
+	}
+}
+
+// Module is a neural-network layer or container. Forward caches whatever
+// Backward needs, so a module instance must not be shared across concurrent
+// passes; clone models for parallel campaigns instead.
+type Module interface {
+	// Name returns the module's unique name within its model.
+	Name() string
+
+	// Kind classifies the module for hook filtering.
+	Kind() Kind
+
+	// Forward computes the module's output. Implementations of composite
+	// modules must route children through ctx.Apply so hooks fire.
+	Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor
+
+	// Backward propagates gradOut (d-loss/d-output) to the input gradient,
+	// accumulating parameter gradients along the way. It must be called
+	// after Forward on the same instance.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+
+	// Params returns the module's trainable parameters (nil if none).
+	Params() []*Param
+}
+
+// LayerInfo describes a module visit during a forward pass, as seen by
+// hooks and the layer tracer.
+type LayerInfo struct {
+	Name  string
+	Kind  Kind
+	Index int // visit order within the forward pass, 0-based
+}
+
+// String renders "index:name(kind)".
+func (l LayerInfo) String() string {
+	return fmt.Sprintf("%d:%s(%s)", l.Index, l.Name, l.Kind)
+}
+
+// Context threads hook state and mode flags through a forward pass. A nil
+// Context is valid and means "plain inference, no hooks".
+type Context struct {
+	// Training selects training-mode behaviour (e.g. BatchNorm batch
+	// statistics).
+	Training bool
+
+	hooks *HookSet
+	visit int
+}
+
+// NewContext returns a context carrying the given hooks (may be nil).
+func NewContext(hooks *HookSet) *Context {
+	return &Context{hooks: hooks}
+}
+
+// Apply runs module m on x, firing pre- and post-forward hooks around it.
+// All composite modules route children through this method; it is the
+// single interposition point of the simulator. Pure containers (Sequential,
+// Residual, blocks) are transparent: they get no hooks and no layer index,
+// so "layer" always means a computational module.
+func (c *Context) Apply(m Module, x *tensor.Tensor) *tensor.Tensor {
+	if c == nil || c.hooks == nil || m.Kind() == KindContainer {
+		return m.Forward(c, x)
+	}
+	info := LayerInfo{Name: m.Name(), Kind: m.Kind(), Index: c.visit}
+	c.visit++
+	x = c.hooks.runPre(info, x)
+	y := m.Forward(c, x)
+	return c.hooks.runPost(info, y)
+}
+
+// Reset clears the per-pass visit counter; call between forward passes when
+// reusing a context.
+func (c *Context) Reset() {
+	if c != nil {
+		c.visit = 0
+	}
+}
+
+// Forward is a convenience that resets the context and applies the root
+// module, so layer indices are stable across passes.
+func Forward(ctx *Context, m Module, x *tensor.Tensor) *tensor.Tensor {
+	ctx.Reset()
+	if ctx == nil {
+		return m.Forward(nil, x)
+	}
+	return ctx.Apply(m, x)
+}
+
+// ParamCount returns the total number of scalar parameters of a module.
+func ParamCount(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// ZeroGrads clears every parameter gradient of a module.
+func ZeroGrads(m Module) {
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+}

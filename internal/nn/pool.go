@@ -1,0 +1,103 @@
+package nn
+
+import "goldeneye/internal/tensor"
+
+// MaxPool2D is a kxk max-pooling layer over NCHW tensors.
+type MaxPool2D struct {
+	name      string
+	k, stride int
+
+	lastShape []int
+	lastArg   []int
+}
+
+var _ Module = (*MaxPool2D)(nil)
+
+// NewMaxPool2D returns a max-pooling module with window k and the given
+// stride.
+func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
+	return &MaxPool2D{name: name, k: k, stride: stride}
+}
+
+// Name implements Module.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// Kind implements Module.
+func (p *MaxPool2D) Kind() Kind { return KindPool }
+
+// Params implements Module.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (p *MaxPool2D) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	out, arg := tensor.MaxPool2D(x, p.k, p.stride)
+	p.lastShape = x.Shape()
+	p.lastArg = arg
+	return out
+}
+
+// Backward implements Module: gradients route to each window's argmax.
+func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if p.lastArg == nil {
+		panic("nn: MaxPool2D.Backward before Forward")
+	}
+	dx := tensor.New(p.lastShape...)
+	n, c := p.lastShape[0], p.lastShape[1]
+	plane := p.lastShape[2] * p.lastShape[3]
+	oPlane := gradOut.Dim(2) * gradOut.Dim(3)
+	for nc := 0; nc < n*c; nc++ {
+		dst := dx.Data()[nc*plane : (nc+1)*plane]
+		src := gradOut.Data()[nc*oPlane : (nc+1)*oPlane]
+		for i, g := range src {
+			dst[p.lastArg[nc*oPlane+i]] += g
+		}
+	}
+	return dx
+}
+
+// GlobalAvgPool averages each channel plane of an NCHW tensor into a
+// rank-2 (N, C) tensor.
+type GlobalAvgPool struct {
+	name string
+
+	lastShape []int
+}
+
+var _ Module = (*GlobalAvgPool)(nil)
+
+// NewGlobalAvgPool returns a global average-pooling module.
+func NewGlobalAvgPool(name string) *GlobalAvgPool { return &GlobalAvgPool{name: name} }
+
+// Name implements Module.
+func (p *GlobalAvgPool) Name() string { return p.name }
+
+// Kind implements Module.
+func (p *GlobalAvgPool) Kind() Kind { return KindPool }
+
+// Params implements Module.
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (p *GlobalAvgPool) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	p.lastShape = x.Shape()
+	return tensor.AvgPool2DGlobal(x)
+}
+
+// Backward implements Module: the gradient spreads uniformly over each
+// pooled plane.
+func (p *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if p.lastShape == nil {
+		panic("nn: GlobalAvgPool.Backward before Forward")
+	}
+	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
+	dx := tensor.New(n, c, h, w)
+	inv := 1 / float32(h*w)
+	for nc := 0; nc < n*c; nc++ {
+		g := gradOut.Data()[nc] * inv
+		dst := dx.Data()[nc*h*w : (nc+1)*h*w]
+		for i := range dst {
+			dst[i] = g
+		}
+	}
+	return dx
+}

@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+// TransformerBlock is a pre-norm transformer encoder block:
+// x + MHA(LN(x)) followed by x + MLP(LN(x)), the DeiT/ViT layout.
+type TransformerBlock struct {
+	name string
+	ln1  *LayerNorm
+	attn *MultiHeadAttention
+	ln2  *LayerNorm
+	mlp  *Sequential
+}
+
+var _ Module = (*TransformerBlock)(nil)
+
+// NewTransformerBlock returns an encoder block with the given embedding
+// dim, head count and MLP expansion ratio.
+func NewTransformerBlock(name string, dim, heads, mlpRatio int, r *rng.RNG) *TransformerBlock {
+	hidden := dim * mlpRatio
+	return &TransformerBlock{
+		name: name,
+		ln1:  NewLayerNorm(name+".ln1", dim),
+		attn: NewMultiHeadAttention(name+".attn", dim, heads, r),
+		ln2:  NewLayerNorm(name+".ln2", dim),
+		mlp: NewSequential(name+".mlp",
+			NewLinear(name+".mlp.fc1", dim, hidden, r),
+			NewGELU(name+".mlp.gelu"),
+			NewLinear(name+".mlp.fc2", hidden, dim, r),
+		),
+	}
+}
+
+// Name implements Module.
+func (b *TransformerBlock) Name() string { return b.name }
+
+// Kind implements Module.
+func (b *TransformerBlock) Kind() Kind { return KindContainer }
+
+// Params implements Module.
+func (b *TransformerBlock) Params() []*Param {
+	ps := append(b.ln1.Params(), b.attn.Params()...)
+	ps = append(ps, b.ln2.Params()...)
+	return append(ps, b.mlp.Params()...)
+}
+
+// Forward implements Module on (N, T, D) input.
+func (b *TransformerBlock) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	h := ctx.Apply(b.ln1, x)
+	h = ctx.Apply(b.attn, h)
+	x = x.Add(h)
+	h2 := ctx.Apply(b.ln2, x)
+	h2 = ctx.Apply(b.mlp, h2.Reshape(n*t, d)).Reshape(n, t, d)
+	return x.Add(h2)
+}
+
+// Backward implements Module.
+func (b *TransformerBlock) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, t, d := gradOut.Dim(0), gradOut.Dim(1), gradOut.Dim(2)
+	// Second residual: grad flows both directly and through mlp∘ln2.
+	dMLP := b.mlp.Backward(gradOut.Reshape(n*t, d)).Reshape(n, t, d)
+	dMid := gradOut.Add(b.ln2.Backward(dMLP))
+	// First residual: through attn∘ln1 and directly.
+	dAttn := b.attn.Backward(dMid)
+	return dMid.Add(b.ln1.Backward(dAttn))
+}
+
+// PatchEmbed lowers an NCHW image into a (N, T, D) token tensor by applying
+// a strided convolution (patch size = kernel = stride) and flattening the
+// spatial grid, as in ViT/DeiT.
+type PatchEmbed struct {
+	name string
+	conv *Conv2D
+	dim  int
+
+	lastGrid [2]int
+}
+
+var _ Module = (*PatchEmbed)(nil)
+
+// NewPatchEmbed returns a patch-embedding module mapping inC channels to
+// dim-dimensional tokens with the given square patch size.
+func NewPatchEmbed(name string, inC, dim, patch int, r *rng.RNG) *PatchEmbed {
+	return &PatchEmbed{
+		name: name,
+		conv: NewConv2D(name+".proj", inC, dim, patch, patch, 0, r),
+		dim:  dim,
+	}
+}
+
+// Name implements Module.
+func (p *PatchEmbed) Name() string { return p.name }
+
+// Kind implements Module.
+func (p *PatchEmbed) Kind() Kind { return KindEmbed }
+
+// Params implements Module.
+func (p *PatchEmbed) Params() []*Param { return p.conv.Params() }
+
+// Forward implements Module.
+func (p *PatchEmbed) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
+	y := ctx.Apply(p.conv, x) // (N, D, gh, gw)
+	n, d, gh, gw := y.Dim(0), y.Dim(1), y.Dim(2), y.Dim(3)
+	p.lastGrid = [2]int{gh, gw}
+	// Permute (N, D, gh*gw) → (N, gh*gw, D).
+	out := tensor.New(n, gh*gw, d)
+	for ni := 0; ni < n; ni++ {
+		for di := 0; di < d; di++ {
+			src := y.Data()[(ni*d+di)*gh*gw : (ni*d+di+1)*gh*gw]
+			for s, v := range src {
+				out.Data()[(ni*gh*gw+s)*d+di] = v
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (p *PatchEmbed) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, t, d := gradOut.Dim(0), gradOut.Dim(1), gradOut.Dim(2)
+	gh, gw := p.lastGrid[0], p.lastGrid[1]
+	dy := tensor.New(n, d, gh, gw)
+	for ni := 0; ni < n; ni++ {
+		for di := 0; di < d; di++ {
+			dst := dy.Data()[(ni*d+di)*t : (ni*d+di+1)*t]
+			for s := range dst {
+				dst[s] = gradOut.Data()[(ni*t+s)*d+di]
+			}
+		}
+	}
+	return p.conv.Backward(dy)
+}
+
+// TokenPrep prepends a learned class token and adds learned positional
+// embeddings to a (N, T, D) token tensor, yielding (N, T+1, D).
+type TokenPrep struct {
+	name string
+	cls  *Param // (1, D)
+	pos  *Param // (T+1, D)
+}
+
+var _ Module = (*TokenPrep)(nil)
+
+// NewTokenPrep returns the class-token/positional-embedding module for
+// sequences of t patch tokens of width dim.
+func NewTokenPrep(name string, t, dim int, r *rng.RNG) *TokenPrep {
+	return &TokenPrep{
+		name: name,
+		cls:  NewParam(name+".cls", tensor.Randn(r, 0.02, 1, dim)),
+		pos:  NewParam(name+".pos", tensor.Randn(r, 0.02, t+1, dim)),
+	}
+}
+
+// Name implements Module.
+func (p *TokenPrep) Name() string { return p.name }
+
+// Kind implements Module.
+func (p *TokenPrep) Kind() Kind { return KindEmbed }
+
+// Params implements Module.
+func (p *TokenPrep) Params() []*Param { return []*Param{p.cls, p.pos} }
+
+// Forward implements Module.
+func (p *TokenPrep) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	out := tensor.New(n, t+1, d)
+	cls := p.cls.Value.Data()
+	pos := p.pos.Value.Data()
+	for ni := 0; ni < n; ni++ {
+		dst := out.Data()[ni*(t+1)*d : (ni+1)*(t+1)*d]
+		for j := 0; j < d; j++ {
+			dst[j] = cls[j] + pos[j]
+		}
+		src := x.Data()[ni*t*d : (ni+1)*t*d]
+		for s := 0; s < t; s++ {
+			for j := 0; j < d; j++ {
+				dst[(s+1)*d+j] = src[s*d+j] + pos[(s+1)*d+j]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Module.
+func (p *TokenPrep) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, t1, d := gradOut.Dim(0), gradOut.Dim(1), gradOut.Dim(2)
+	t := t1 - 1
+	dx := tensor.New(n, t, d)
+	for ni := 0; ni < n; ni++ {
+		g := gradOut.Data()[ni*t1*d : (ni+1)*t1*d]
+		for j := 0; j < d; j++ {
+			p.cls.Grad.Data()[j] += g[j]
+		}
+		for s := 0; s < t1; s++ {
+			for j := 0; j < d; j++ {
+				p.pos.Grad.Data()[s*d+j] += g[s*d+j]
+			}
+		}
+		dst := dx.Data()[ni*t*d : (ni+1)*t*d]
+		for s := 0; s < t; s++ {
+			copy(dst[s*d:(s+1)*d], g[(s+1)*d:(s+2)*d])
+		}
+	}
+	return dx
+}
+
+// ClsSelect extracts token 0 (the class token) from a (N, T, D) tensor,
+// producing (N, D) for the classifier head.
+type ClsSelect struct {
+	name string
+
+	lastShape []int
+}
+
+var _ Module = (*ClsSelect)(nil)
+
+// NewClsSelect returns a class-token selection module.
+func NewClsSelect(name string) *ClsSelect { return &ClsSelect{name: name} }
+
+// Name implements Module.
+func (c *ClsSelect) Name() string { return c.name }
+
+// Kind implements Module.
+func (c *ClsSelect) Kind() Kind { return KindOther }
+
+// Params implements Module.
+func (c *ClsSelect) Params() []*Param { return nil }
+
+// Forward implements Module.
+func (c *ClsSelect) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+	n, t, d := x.Dim(0), x.Dim(1), x.Dim(2)
+	c.lastShape = []int{n, t, d}
+	out := tensor.New(n, d)
+	for ni := 0; ni < n; ni++ {
+		copy(out.Data()[ni*d:(ni+1)*d], x.Data()[ni*t*d:ni*t*d+d])
+	}
+	return out
+}
+
+// Backward implements Module.
+func (c *ClsSelect) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, t, d := c.lastShape[0], c.lastShape[1], c.lastShape[2]
+	dx := tensor.New(n, t, d)
+	for ni := 0; ni < n; ni++ {
+		copy(dx.Data()[ni*t*d:ni*t*d+d], gradOut.Data()[ni*d:(ni+1)*d])
+	}
+	return dx
+}

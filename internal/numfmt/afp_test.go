@@ -1,0 +1,144 @@
+package numfmt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func TestAFPBiasAdaptsToTensorMax(t *testing.T) {
+	f := NewAFP(4, 3, true)
+	small := tensor.FromSlice([]float32{0.001, 0.002}, 2)
+	big := tensor.FromSlice([]float32{1000, 2000}, 2)
+	encSmall := f.Quantize(small)
+	encBig := f.Quantize(big)
+	if encSmall.Meta.Kind != MetaExpBias || encBig.Meta.Kind != MetaExpBias {
+		t.Fatal("AFP must carry a bias register")
+	}
+	if encSmall.Meta.ExpBias <= encBig.Meta.ExpBias {
+		t.Fatalf("small-valued tensor should get a larger bias: %d vs %d",
+			encSmall.Meta.ExpBias, encBig.Meta.ExpBias)
+	}
+}
+
+func TestAFPOutperformsFPOnShiftedDistributions(t *testing.T) {
+	// The reason AFP exists: a tensor living around 1e-4 is far below
+	// FP e4m3's minimum normal, but AFP slides its window there.
+	r := rng.New(1)
+	x := tensor.Randn(r, 1e-4, 1, 128)
+	fp := NewFP(4, 3, true)
+	afp := NewAFP(4, 3, true)
+	errFP := relError(x, fp.Emulate(x))
+	errAFP := relError(x, afp.Emulate(x))
+	if errAFP >= errFP/4 {
+		t.Fatalf("AFP error %v should be far below FP error %v", errAFP, errFP)
+	}
+}
+
+func relError(x, y *tensor.Tensor) float64 {
+	var sum float64
+	n := 0
+	for i, v := range x.Data() {
+		if v == 0 {
+			continue
+		}
+		sum += math.Abs(float64(y.Data()[i]-v)) / math.Abs(float64(v))
+		n++
+	}
+	return sum / float64(n)
+}
+
+func TestAFPDefaultBiasMatchesFP(t *testing.T) {
+	// With no adaptation trigger (zero tensor), AFP's window matches the
+	// IEEE placement, so Table I's AFP8 row equals the FP8 row.
+	afp := AFP8E4M3()
+	fp := FP8E4M3(false)
+	ra, rf := afp.Range(), fp.Range()
+	if ra.AbsMax != rf.AbsMax || ra.MinPos != rf.MinPos {
+		t.Fatalf("default AFP range %+v should equal FP range %+v", ra, rf)
+	}
+}
+
+func TestAFPSaturatesAtMovedMax(t *testing.T) {
+	f := NewAFP(4, 3, true)
+	x := tensor.FromSlice([]float32{100, 1}, 2)
+	y := f.Emulate(x)
+	// expMax = floor(log2 100) = 6 → maxFinite = 1.875 * 64 = 120.
+	if y.At(0) != 100 && y.At(0) > 120 {
+		t.Fatalf("value above moved max: %v", y.At(0))
+	}
+	if y.CountNonFinite() != 0 {
+		t.Fatal("clean emulation produced non-finite values")
+	}
+}
+
+func TestAFPDenormalToggle(t *testing.T) {
+	// Put values so the small one is subnormal relative to the moved
+	// window: max 1.0 → expMax 0, expMin = 0 - 13 = ... for e4: span 14,
+	// expMin = expMax - 13. A value 2^-16 below that window flushes.
+	withDN := NewAFP(4, 3, true)
+	noDN := NewAFP(4, 3, false)
+	x := tensor.FromSlice([]float32{1.0, 1.2e-5}, 2)
+	yDN := withDN.Emulate(x)
+	yNo := noDN.Emulate(x)
+	if yNo.At(1) != 0 {
+		t.Fatalf("subnormal should flush without denormals, got %v", yNo.At(1))
+	}
+	if yDN.At(1) == 0 {
+		t.Fatal("denormal support should preserve the subnormal value")
+	}
+}
+
+func TestAFPCorruptedBiasDecodes(t *testing.T) {
+	// FromBits must honor an arbitrary (fault-corrupted) bias without
+	// panicking, even when the implied exponent overflows float64.
+	f := NewAFP(5, 2, true)
+	x := tensor.FromSlice([]float32{1.5}, 1)
+	enc := f.Quantize(x)
+	enc.Meta.ExpBias = -128 // corrupted register
+	y := f.Dequantize(enc)
+	if y.CountNonFinite() == 0 && y.At(0) == 1.5 {
+		t.Fatal("corrupted bias should change decoded values")
+	}
+}
+
+// Property: AFP quantization error is relatively bounded for tensors of any
+// scale — the "movable range" in action.
+func TestAFPScaleInvariantErrorProperty(t *testing.T) {
+	f := NewAFP(5, 3, true)
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		for _, scale := range []float64{1e-12, 1e-3, 1, 1e6, 1e12} {
+			x := tensor.Randn(r, scale, 1, 64)
+			y := f.Emulate(x)
+			maxAbs := x.AbsMax()
+			for i, v := range x.Data() {
+				err := math.Abs(float64(y.Data()[i] - v))
+				// Error bounded by one step at the top binade.
+				if err > maxAbs*math.Ldexp(1, -3) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAFPBitsRoundTripUnderMeta(t *testing.T) {
+	f := NewAFP(5, 2, true)
+	x := tensor.FromSlice([]float32{0.7, -0.1, 3.2}, 3)
+	enc := f.Quantize(x)
+	y := f.Dequantize(enc)
+	for i := range x.Data() {
+		b := f.ToBits(float64(x.Data()[i]), enc.Meta)
+		if got := f.FromBits(b, enc.Meta); got != float64(y.Data()[i]) {
+			t.Fatalf("scalar/tensor disagreement at %d: %v vs %v", i, got, y.Data()[i])
+		}
+	}
+}

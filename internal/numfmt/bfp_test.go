@@ -1,0 +1,144 @@
+package numfmt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func TestBFPSharedExponentFollowsBlockMax(t *testing.T) {
+	f := NewBFP(5, 5, 0)
+	x := tensor.FromSlice([]float32{0.1, 0.2, 4.0, -0.3}, 4)
+	enc := f.Quantize(x)
+	if len(enc.Meta.SharedExp) != 1 {
+		t.Fatalf("whole-tensor block should have 1 exponent, got %d", len(enc.Meta.SharedExp))
+	}
+	// max |x| = 4 = 2^2 → biased code = 2 + 15 = 17.
+	if enc.Meta.SharedExp[0] != 17 {
+		t.Fatalf("shared exponent code %d, want 17", enc.Meta.SharedExp[0])
+	}
+}
+
+func TestBFPBlocking(t *testing.T) {
+	f := NewBFP(5, 5, 4)
+	x := tensor.New(10) // 3 blocks: 4 + 4 + 2
+	enc := f.Quantize(x)
+	if len(enc.Meta.SharedExp) != 3 {
+		t.Fatalf("10 elements at block 4 → 3 exponents, got %d", len(enc.Meta.SharedExp))
+	}
+	if f.MetaBits(10) != 15 {
+		t.Fatalf("MetaBits(10) = %d, want 3 blocks × 5 bits", f.MetaBits(10))
+	}
+}
+
+func TestBFPSmallValuesFlushWithLargeBlockMax(t *testing.T) {
+	// The Fig 6 observation: a large shared block magnitude destroys the
+	// resolution of small values — they round to zero.
+	f := NewBFP(5, 5, 0)
+	x := tensor.FromSlice([]float32{1024, 0.001}, 2)
+	y := f.Emulate(x)
+	if y.At(0) != 1024 {
+		t.Fatalf("large value %v", y.At(0))
+	}
+	if y.At(1) != 0 {
+		t.Fatalf("small value should flush to zero under a big shared exponent, got %v", y.At(1))
+	}
+	// With per-value blocks the small value survives.
+	f2 := NewBFP(5, 5, 1)
+	y2 := f2.Emulate(x)
+	if y2.At(1) == 0 {
+		t.Fatal("per-value block should preserve the small value")
+	}
+}
+
+func TestBFPSignMagnitudeBits(t *testing.T) {
+	f := NewBFP(5, 5, 0)
+	x := tensor.FromSlice([]float32{1.0, -1.0}, 2)
+	enc := f.Quantize(x)
+	// Same magnitude, opposite sign bit (bit 5).
+	if enc.Codes[0]&(1<<5) != 0 {
+		t.Fatal("positive value has sign bit set")
+	}
+	if enc.Codes[1]&(1<<5) == 0 {
+		t.Fatal("negative value missing sign bit")
+	}
+	if enc.Codes[0]&0x1f != enc.Codes[1]&0x1f {
+		t.Fatal("magnitudes differ")
+	}
+}
+
+func TestBFPVariableExponentWidth(t *testing.T) {
+	// QPyTorch pegged the shared exponent at 8 bits; this implementation
+	// must support other widths (§VI).
+	for _, e := range []int{2, 4, 8} {
+		f := NewBFP(e, 5, 0)
+		x := tensor.FromSlice([]float32{1, 0.5}, 2)
+		y := f.Emulate(x)
+		if y.CountNonFinite() != 0 {
+			t.Fatalf("e=%d produced non-finite values", e)
+		}
+	}
+}
+
+func TestBFPExponentSaturates(t *testing.T) {
+	f := NewBFP(3, 5, 0) // biased codes 0..7, bias 3 → exponents -3..4
+	x := tensor.FromSlice([]float32{1e30}, 1)
+	enc := f.Quantize(x)
+	if enc.Meta.SharedExp[0] != 7 {
+		t.Fatalf("huge value should saturate the exponent register, got %d", enc.Meta.SharedExp[0])
+	}
+	tiny := tensor.FromSlice([]float32{1e-30}, 1)
+	enc2 := f.Quantize(tiny)
+	if enc2.Meta.SharedExp[0] != 0 {
+		t.Fatalf("tiny value should floor the exponent register, got %d", enc2.Meta.SharedExp[0])
+	}
+}
+
+// Property: BFP quantization error within a block is bounded by half the
+// block's step.
+func TestBFPHalfStepProperty(t *testing.T) {
+	f := NewBFP(5, 5, 8)
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := tensor.Randn(r, 1, 64)
+		enc := f.Quantize(x)
+		y := f.Dequantize(enc)
+		n := x.Len()
+		for blk, ec := range enc.Meta.SharedExp {
+			lo, hi := blk*8, (blk+1)*8
+			if hi > n {
+				hi = n
+			}
+			step := f.stepFor(ec)
+			for i := lo; i < hi; i++ {
+				err := math.Abs(float64(y.Data()[i]) - float64(x.Data()[i]))
+				// Values beyond the representable max saturate; allow them.
+				if math.Abs(float64(x.Data()[i])) >= float64(f.maxMag)*step {
+					continue
+				}
+				if err > step/2+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFPScalarBitsUseFirstBlockMeta(t *testing.T) {
+	f := NewBFP(5, 5, 0)
+	meta := Metadata{Kind: MetaSharedExp, SharedExp: []uint8{17}} // exponent 2
+	b := f.ToBits(4.0, meta)                                      // 4.0 with step 2^(2+1-5)=0.25 → mag 16
+	if b != 16 {
+		t.Fatalf("ToBits(4.0) = %d, want magnitude 16", b)
+	}
+	if got := f.FromBits(b, meta); got != 4.0 {
+		t.Fatalf("FromBits round trip = %v", got)
+	}
+}

@@ -1,0 +1,289 @@
+package numfmt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+// --- Posit ---
+
+func TestPositKnownValues(t *testing.T) {
+	// posit8 es=0: useed=2, maxpos=2^6=64, minpos=1/64.
+	p := Posit8()
+	r := p.Range()
+	if r.AbsMax != 64 || r.MinPos != 1.0/64 {
+		t.Fatalf("posit8 range %+v, want 64 / 1/64", r)
+	}
+	meta := Metadata{Kind: MetaNone}
+	tests := []struct {
+		give float64
+		want float64
+	}{
+		{give: 0, want: 0},
+		{give: 1, want: 1},
+		{give: -1, want: -1},
+		{give: 64, want: 64},
+		{give: 1e6, want: 64},        // saturates at maxpos
+		{give: -1e6, want: -64},      // saturates at -maxpos
+		{give: 1e-9, want: 1.0 / 64}, // saturates at minpos (posits never underflow to 0)
+		{give: 0.5, want: 0.5},
+		{give: 1.5, want: 1.5}, // exactly representable: 01100100? (1.5 = 1+1/2)
+	}
+	for _, tt := range tests {
+		got := p.FromBits(p.ToBits(tt.give, meta), meta)
+		if got != tt.want {
+			t.Errorf("posit8 round trip %v = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestPositStandardEncodings(t *testing.T) {
+	// Classic posit properties: code 0x40 (01000000) = 1.0 for any es;
+	// NaR = 0x80; two's-complement negation mirrors values.
+	p := Posit8()
+	meta := Metadata{Kind: MetaNone}
+	if got := p.FromBits(0x40, meta); got != 1 {
+		t.Fatalf("0x40 = %v, want 1", got)
+	}
+	if got := p.FromBits(0x80, meta); !math.IsNaN(got) {
+		t.Fatalf("0x80 should decode NaR (NaN), got %v", got)
+	}
+	if got := p.FromBits(0xC0, meta); got != -1 {
+		t.Fatalf("0xC0 = %v, want -1 (two's complement of 0x40)", got)
+	}
+	// posit16 es=1: 0x4000 = 1.0.
+	p16 := Posit16()
+	if got := p16.FromBits(0x4000, meta); got != 1 {
+		t.Fatalf("posit16 0x4000 = %v, want 1", got)
+	}
+}
+
+func TestPositMonotoneCodes(t *testing.T) {
+	// Posits (excluding NaR) are monotone in signed code order — a
+	// defining property of the format.
+	p := NewPosit(6, 1)
+	meta := Metadata{Kind: MetaNone}
+	var prev float64
+	first := true
+	// Signed order: 100001 (most negative) ... 011111 (most positive).
+	for i := 0; i < 1<<6; i++ {
+		code := Bits((i + (1 << 5) + 1) % (1 << 6)) // start just above NaR
+		if code == 1<<5 {
+			continue // NaR
+		}
+		v := p.FromBits(code, meta)
+		if !first && v <= prev {
+			t.Fatalf("non-monotone at code %06b: %v after %v", code, v, prev)
+		}
+		prev, first = v, false
+	}
+}
+
+func TestPositTaperedPrecisionProperty(t *testing.T) {
+	// Relative quantization error is smallest near 1 and grows toward the
+	// extremes — posit's tapered-precision signature.
+	p := Posit16()
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		near := avgRelErr(p, r, 0.5, 2)    // around 1
+		far := avgRelErr(p, r, 1000, 4000) // far binades
+		return near <= far+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func avgRelErr(f Format, r *rng.RNG, lo, hi float64) float64 {
+	var sum float64
+	const n = 200
+	for i := 0; i < n; i++ {
+		v := lo + r.Float64()*(hi-lo)
+		q := f.FromBits(f.ToBits(v, Metadata{Kind: MetaNone}), Metadata{Kind: MetaNone})
+		sum += math.Abs(q-v) / v
+	}
+	return sum / n
+}
+
+// --- LNS ---
+
+func TestLNSKnownValues(t *testing.T) {
+	l := NewLNS(5, 2) // log step 0.25
+	meta := Metadata{Kind: MetaNone}
+	tests := []struct {
+		give float64
+		want float64
+	}{
+		{give: 0, want: 0},
+		{give: 1, want: 1},                       // log 0
+		{give: 2, want: 2},                       // log 1
+		{give: -4, want: -4},                     // log 2
+		{give: math.Sqrt2, want: math.Exp2(0.5)}, // log 0.5 exactly on grid
+	}
+	for _, tt := range tests {
+		got := l.FromBits(l.ToBits(tt.give, meta), meta)
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("lns round trip %v = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestLNSMultiplicativeError(t *testing.T) {
+	// LNS quantization error is bounded multiplicatively: the ratio
+	// q/v lies within 2^(±step/2).
+	l := LNS16()
+	r := rng.New(3)
+	bound := math.Exp2(l.step / 2 * 1.0000001)
+	meta := Metadata{Kind: MetaNone}
+	for i := 0; i < 500; i++ {
+		v := math.Exp2((r.Float64() - 0.5) * 20) // magnitudes 2^±10
+		q := l.FromBits(l.ToBits(v, meta), meta)
+		ratio := q / v
+		if ratio < 1/bound || ratio > bound {
+			t.Fatalf("ratio %v outside 2^±step/2 for v=%v", ratio, v)
+		}
+	}
+}
+
+func TestLNSZeroSentinel(t *testing.T) {
+	l := LNS8()
+	meta := Metadata{Kind: MetaNone}
+	b := l.ToBits(0, meta)
+	if got := l.FromBits(b, meta); got != 0 {
+		t.Fatalf("zero round trip = %v", got)
+	}
+	// Tiny values below the representable floor flush to zero.
+	if got := l.FromBits(l.ToBits(1e-30, meta), meta); got != 0 {
+		t.Fatalf("underflow should flush, got %v", got)
+	}
+}
+
+func TestLNSLogMSBFlipSquaresMagnitude(t *testing.T) {
+	// The characteristic LNS hazard: flipping a high log bit multiplies
+	// the value by an enormous power of two.
+	l := LNS8() // 5 integer log bits, 2 fraction
+	x := tensor.FromSlice([]float32{1.0}, 1)
+	enc := l.Quantize(x)
+	enc.Codes[0] = enc.Codes[0].Flip(5) // log += 2^3 = 8 → value ×2^8
+	got := l.Dequantize(enc).At(0)
+	if got != 256 {
+		t.Fatalf("log-bit flip on 1.0 = %v, want 256", got)
+	}
+}
+
+// --- LUT / NF4 ---
+
+func TestNF4CodebookShape(t *testing.T) {
+	f := NF4()
+	levels := f.Levels()
+	if len(levels) != 16 {
+		t.Fatalf("%d levels", len(levels))
+	}
+	// Sorted, spanning [-1, 1], containing exact 0.
+	hasZero := false
+	for i, v := range levels {
+		if i > 0 && v <= levels[i-1] {
+			t.Fatal("levels not strictly increasing")
+		}
+		if v == 0 {
+			hasZero = true
+		}
+	}
+	if !hasZero {
+		t.Fatal("codebook must contain exact zero")
+	}
+	if levels[0] != -1 && levels[len(levels)-1] != 1 {
+		t.Fatalf("outermost level should be ±1: %v..%v", levels[0], levels[len(levels)-1])
+	}
+	// Non-uniform: the central gap is smaller than the outer gap.
+	inner := levels[9] - levels[7]
+	outer := levels[15] - levels[13]
+	if inner >= outer {
+		t.Fatalf("normal-quantile codebook should be denser near zero: inner %v vs outer %v", inner, outer)
+	}
+}
+
+func TestLUTQuantizesToCodebook(t *testing.T) {
+	f := NF4()
+	r := rng.New(4)
+	x := tensor.Randn(r, 1, 64)
+	enc := f.Quantize(x)
+	y := f.Dequantize(enc)
+	scale := float64(enc.Meta.Scale)
+	levels := f.Levels()
+	for _, v := range y.Data() {
+		found := false
+		for _, lv := range levels {
+			if math.Abs(float64(v)-lv*scale) < 1e-6*scale {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("value %v not on the codebook grid", v)
+		}
+	}
+}
+
+func TestLUTBetterThanUniformForGaussianWeights(t *testing.T) {
+	// The reason NF4 exists: for normally distributed data, the quantile
+	// codebook beats uniform INT at equal width.
+	r := rng.New(5)
+	x := tensor.Randn(r, 1, 1, 4096)
+	nf := NewLUT(4)
+	uniform := NewINT(4)
+	errNF := meanSquaredErr(x, nf.Emulate(x))
+	errINT := meanSquaredErr(x, uniform.Emulate(x))
+	if errNF >= errINT {
+		t.Fatalf("NF4 MSE %v should beat INT4 MSE %v on Gaussian data", errNF, errINT)
+	}
+}
+
+func meanSquaredErr(x, y *tensor.Tensor) float64 {
+	var sum float64
+	for i, v := range x.Data() {
+		d := float64(y.Data()[i] - v)
+		sum += d * d
+	}
+	return sum / float64(x.Len())
+}
+
+func TestLUTMetadataIsScaleRegister(t *testing.T) {
+	f := NF4()
+	x := tensor.FromSlice([]float32{-3, 1.5}, 2)
+	enc := f.Quantize(x)
+	if enc.Meta.Kind != MetaScale || enc.Meta.Scale != 3 {
+		t.Fatalf("meta %+v, want scale register 3", enc.Meta)
+	}
+	if f.MetaBits(100) != 32 {
+		t.Fatal("LUT metadata is one float32 register")
+	}
+}
+
+func TestLUTIgnoresNonFiniteForScale(t *testing.T) {
+	f := NF4()
+	x := tensor.FromSlice([]float32{float32(math.Inf(1)), 2, -1}, 3)
+	enc := f.Quantize(x)
+	if enc.Meta.Scale != 2 {
+		t.Fatalf("scale %v should ignore Inf, want 2", enc.Meta.Scale)
+	}
+}
+
+func TestNormQuantileSymmetry(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.4} {
+		if d := normQuantile(p) + normQuantile(1-p); math.Abs(d) > 1e-8 {
+			t.Fatalf("quantile asymmetry at %v: %v", p, d)
+		}
+	}
+	if math.Abs(normQuantile(0.5)) > 1e-12 {
+		t.Fatal("median quantile must be 0")
+	}
+	// Known value: Φ⁻¹(0.975) ≈ 1.959964.
+	if math.Abs(normQuantile(0.975)-1.959964) > 1e-5 {
+		t.Fatalf("Φ⁻¹(0.975) = %v", normQuantile(0.975))
+	}
+}

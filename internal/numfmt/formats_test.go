@@ -1,0 +1,201 @@
+package numfmt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func allFormats() []Format {
+	return []Format{
+		FP32(true), FP16(true), BFloat16(true), FP8E4M3(true), FP8E4M3(false),
+		FxP32(), FxP16(), NewFxP(3, 4),
+		INT8(), INT16(),
+		BFPe5m5(), NewBFP(8, 7, 16),
+		AFPe5m2(), AFP8E4M3(),
+		Posit8(), Posit16(), NewPosit(6, 1),
+		LNS8(), LNS16(),
+		NF4(), NewLUT(3),
+	}
+}
+
+// Property (all formats): the fast Emulate path must agree exactly with the
+// hardware-faithful Dequantize(Quantize(x)) path. This is the consistency
+// contract between methods 1+2 and the scalar machinery of methods 3+4.
+func TestEmulateMatchesCodePathProperty(t *testing.T) {
+	for _, f := range allFormats() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			prop := func(seed uint64) bool {
+				r := rng.New(seed)
+				// Sweep magnitudes from deep-subnormal to saturation so the
+				// fast path's bit-twiddling edge cases are all exercised.
+				for _, scale := range []float64{1e-40, 1e-9, 1e-3, 1, 1e3, 1e9, 1e38} {
+					x := tensor.Randn(r, scale, 3, 13)
+					fast := f.Emulate(x)
+					slow := f.Dequantize(f.Quantize(x))
+					if !fast.AllClose(slow, 0) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: quantization preserves sign (or maps to zero).
+func TestQuantizationPreservesSignProperty(t *testing.T) {
+	for _, f := range allFormats() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			prop := func(seed uint64) bool {
+				r := rng.New(seed)
+				x := tensor.Randn(r, 1, 64)
+				y := f.Emulate(x)
+				for i, v := range x.Data() {
+					q := y.Data()[i]
+					if q != 0 && (q > 0) != (v > 0) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: emulated values never exceed the format's representable maximum
+// (for per-tensor-scaled formats, the tensor's own maximum defines it).
+func TestQuantizationBoundedProperty(t *testing.T) {
+	for _, f := range allFormats() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			prop := func(seed uint64) bool {
+				r := rng.New(seed)
+				x := tensor.Randn(r, 100, 64) // includes large magnitudes
+				y := f.Emulate(x)
+				bound := f.Range().AbsMax
+				switch f.(type) {
+				case *INT, *LUT:
+					// Scaled formats: the bound is the input max itself.
+					bound = x.AbsMax() * (1 + 1e-6)
+				case *AFP:
+					// AFP slides its window to the input's binade; rounding
+					// can land up to the top of that binade's finite range,
+					// which is strictly below twice the input max.
+					bound = math.Max(bound, 2*x.AbsMax())
+				}
+				return y.AbsMax() <= bound
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: Emulate is idempotent for formats whose quantization grid does
+// not move between passes (FP, FxP, INT, BFP). AFP is excluded: rounding at
+// a binade boundary can raise the tensor max and legitimately shift the
+// adaptive bias on the second pass.
+func TestEmulateIdempotentProperty(t *testing.T) {
+	formats := []Format{
+		FP16(true), FP8E4M3(false), FxP16(), INT8(), BFPe5m5(), NewBFP(4, 3, 8),
+	}
+	for _, f := range formats {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			prop := func(seed uint64) bool {
+				r := rng.New(seed)
+				x := tensor.Randn(r, 4, 31)
+				once := f.Emulate(x)
+				return f.Emulate(once).AllClose(once, 0)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: flipping any bit of a valid code and flipping it back restores
+// the original decoded value (injection reversibility).
+func TestBitFlipReversibleProperty(t *testing.T) {
+	for _, f := range allFormats() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			r := rng.New(5)
+			x := tensor.Randn(r, 1, 32)
+			enc := f.Quantize(x)
+			base := f.Dequantize(enc)
+			for i := 0; i < 20; i++ {
+				idx := r.Intn(len(enc.Codes))
+				bit := r.Intn(f.BitWidth())
+				enc.Codes[idx] = enc.Codes[idx].Flip(bit)
+				enc.Codes[idx] = enc.Codes[idx].Flip(bit)
+				if !f.Dequantize(enc).AllClose(base, 0) {
+					t.Fatalf("double flip of bit %d at %d is not identity", bit, idx)
+				}
+			}
+		})
+	}
+}
+
+func TestZeroTensorEncodesToZero(t *testing.T) {
+	for _, f := range allFormats() {
+		x := tensor.New(3, 3)
+		y := f.Emulate(x)
+		if y.AbsMax() != 0 {
+			t.Errorf("%s: zero tensor emulated to nonzero %v", f.Name(), y)
+		}
+	}
+}
+
+func TestEncodingCloneIsDeep(t *testing.T) {
+	f := BFPe5m5()
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 4)
+	enc := f.Quantize(x)
+	cp := enc.Clone()
+	cp.Codes[0] = cp.Codes[0].Flip(0)
+	cp.Meta.SharedExp[0] ^= 1
+	if enc.Codes[0] == cp.Codes[0] || enc.Meta.SharedExp[0] == cp.Meta.SharedExp[0] {
+		t.Fatal("Clone must not alias codes or metadata")
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	b := Bits(0b1010)
+	if b.Bit(1) != 1 || b.Bit(0) != 0 {
+		t.Fatal("Bit extraction wrong")
+	}
+	if b.Flip(0) != 0b1011 || b.Flip(3) != 0b0010 {
+		t.Fatal("Flip wrong")
+	}
+}
+
+func TestMetaKindString(t *testing.T) {
+	tests := []struct {
+		kind MetaKind
+		want string
+	}{
+		{MetaNone, "none"},
+		{MetaScale, "scale"},
+		{MetaSharedExp, "shared-exponent"},
+		{MetaExpBias, "exponent-bias"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("MetaKind.String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package numfmt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func TestFP32IsIdentityForFloat32(t *testing.T) {
+	f := FP32(true)
+	r := rng.New(1)
+	x := tensor.Randn(r, 10, 64)
+	if !f.Emulate(x).AllClose(x, 0) {
+		t.Fatal("FP32 emulation must be exact for float32 inputs")
+	}
+}
+
+func TestFP16KnownValues(t *testing.T) {
+	f := FP16(true)
+	tests := []struct {
+		give float64
+		want float64
+	}{
+		{give: 1.0, want: 1.0},
+		{give: 65504, want: 65504},                                 // max finite
+		{give: 1e9, want: 65504},                                   // saturates
+		{give: -1e9, want: -65504},                                 // saturates negative
+		{give: 5.960464477539063e-08, want: 5.960464477539063e-08}, // min denormal
+		{give: 3.1e-08, want: 5.960464477539063e-08},               // rounds up to min denormal
+		{give: 2.9e-08, want: 0},                                   // below half-ULP, rounds to zero
+		{give: 1e-12, want: 0},                                     // underflows to zero
+		{give: 0, want: 0},
+		{give: 1.0009765625, want: 1.0009765625}, // 1 + 2^-10 exactly representable
+	}
+	for _, tt := range tests {
+		got := f.quantizeScalar(tt.give)
+		if got != tt.want {
+			t.Errorf("quantize(%g) = %g, want %g", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFPRoundToNearestEven(t *testing.T) {
+	// e4m3: near 1.0 the step is 2^-3 = 0.125. The midpoint 1.0625 must
+	// round to the even mantissa neighbor 1.0 (mantissa 000), and 1.1875
+	// (midpoint between 1.125 and 1.25) to 1.25 (mantissa 010).
+	f := FP8E4M3(true)
+	if got := f.quantizeScalar(1.0625); got != 1.0 {
+		t.Errorf("RNE midpoint 1.0625 → %g, want 1.0", got)
+	}
+	if got := f.quantizeScalar(1.1875); got != 1.25 {
+		t.Errorf("RNE midpoint 1.1875 → %g, want 1.25", got)
+	}
+}
+
+func TestFPDenormalToggle(t *testing.T) {
+	withDN := FP8E4M3(true)
+	noDN := FP8E4M3(false)
+	// 2^-8 is below the min normal 2^-6 = 0.015625.
+	sub := math.Ldexp(1, -8)
+	if got := withDN.quantizeScalar(sub); got != sub {
+		t.Errorf("with denormals: quantize(2^-8) = %g, want %g", got, sub)
+	}
+	if got := noDN.quantizeScalar(sub); got != 0 {
+		t.Errorf("without denormals: quantize(2^-8) = %g, want 0", got)
+	}
+	// Values just below min normal but above half of it round up to minNorm.
+	almost := math.Ldexp(1, -6) * 0.8
+	if got := noDN.quantizeScalar(almost); got != math.Ldexp(1, -6) {
+		t.Errorf("without denormals: quantize(0.8·minNorm) = %g, want minNorm", got)
+	}
+}
+
+func TestFPToBitsKnownPatterns(t *testing.T) {
+	f := FP8E4M3(true)
+	meta := Metadata{Kind: MetaNone}
+	tests := []struct {
+		give float64
+		want Bits
+	}{
+		{give: 0, want: 0b0_0000_000},
+		{give: 1.0, want: 0b0_0111_000}, // exponent = bias = 7
+		{give: -1.0, want: 0b1_0111_000},
+		{give: 1.5, want: 0b0_0111_100},
+		{give: 240, want: 0b0_1110_111}, // max finite
+		{give: 1e9, want: 0b0_1110_111}, // saturates to max finite
+	}
+	for _, tt := range tests {
+		if got := f.ToBits(tt.give, meta); got != tt.want {
+			t.Errorf("ToBits(%g) = %08b, want %08b", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFPFromBitsInfNaN(t *testing.T) {
+	f := FP8E4M3(true)
+	meta := Metadata{Kind: MetaNone}
+	if got := f.FromBits(0b0_1111_000, meta); !math.IsInf(got, 1) {
+		t.Errorf("exp=all-ones mant=0 should decode +Inf, got %g", got)
+	}
+	if got := f.FromBits(0b1_1111_000, meta); !math.IsInf(got, -1) {
+		t.Errorf("sign+exp=all-ones should decode -Inf, got %g", got)
+	}
+	if got := f.FromBits(0b0_1111_001, meta); !math.IsNaN(got) {
+		t.Errorf("exp=all-ones mant≠0 should decode NaN, got %g", got)
+	}
+}
+
+func TestFPFromBitsDenormalFlush(t *testing.T) {
+	meta := Metadata{Kind: MetaNone}
+	pattern := Bits(0b0_0000_011) // denormal mantissa 3
+	withDN := FP8E4M3(true)
+	if got := withDN.FromBits(pattern, meta); got != 3*math.Ldexp(1, -9) {
+		t.Errorf("denormal decode = %g", got)
+	}
+	noDN := FP8E4M3(false)
+	if got := noDN.FromBits(pattern, meta); got != 0 {
+		t.Errorf("denormal pattern without DN support should flush to 0, got %g", got)
+	}
+}
+
+// Property: FromBits ∘ ToBits equals scalar quantization, for every FP
+// geometry in use.
+func TestFPBitsRoundTripProperty(t *testing.T) {
+	formats := []*FP{
+		FP16(true), FP16(false), BFloat16(true), FP8E4M3(true),
+		FP8E4M3(false), FP8E5M2(true), NewFP(3, 4, true),
+	}
+	meta := Metadata{Kind: MetaNone}
+	for _, f := range formats {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			r := rng.New(99)
+			for i := 0; i < 500; i++ {
+				v := randMagnitude(r)
+				q := f.quantizeScalar(v)
+				back := f.FromBits(f.ToBits(v, meta), meta)
+				if back != q {
+					t.Fatalf("round trip of %g: FromBits(ToBits) = %g, quantize = %g", v, back, q)
+				}
+			}
+		})
+	}
+}
+
+// Property: quantization is idempotent — emulating twice equals once.
+func TestFPEmulateIdempotentProperty(t *testing.T) {
+	f := FP8E4M3(true)
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := tensor.Randn(r, 10, 3, 7)
+		once := f.Emulate(x)
+		twice := f.Emulate(once)
+		return twice.AllClose(once, 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization error is at most half a ULP inside the normal range.
+func TestFPHalfULPProperty(t *testing.T) {
+	f := FP16(true)
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		for i := 0; i < 50; i++ {
+			v := (r.Float64()*2 - 1) * 100 // well inside FP16 normal range
+			q := f.quantizeScalar(v)
+			if v == 0 {
+				continue
+			}
+			exp := floorLog2(math.Abs(v))
+			ulp := math.Ldexp(1, exp-f.MantBits())
+			if math.Abs(q-v) > ulp/2+1e-300 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPGeometryAccessors(t *testing.T) {
+	f := FP8E4M3(true)
+	if f.BitWidth() != 8 || f.ExpBits() != 4 || f.MantBits() != 3 || !f.Denormals() {
+		t.Fatalf("unexpected geometry: width=%d e=%d m=%d dn=%v",
+			f.BitWidth(), f.ExpBits(), f.MantBits(), f.Denormals())
+	}
+	if f.MetaBits(1000) != 0 {
+		t.Fatal("FP must carry no metadata")
+	}
+}
+
+func TestNewFPRejectsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFP(1, 3, true)
+}
+
+// randMagnitude draws values spanning denormal-scale to saturation-scale
+// magnitudes, so round-trip properties exercise every quantization regime.
+func randMagnitude(r *rng.RNG) float64 {
+	exp := r.Intn(60) - 30
+	mant := r.Float64()*2 - 1
+	return mant * math.Ldexp(1, exp)
+}

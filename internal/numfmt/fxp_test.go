@@ -1,0 +1,127 @@
+package numfmt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func TestFxPKnownValues(t *testing.T) {
+	f := NewFxP(3, 4) // step 1/16, max code 127, min code -128
+	tests := []struct {
+		give float64
+		want float64
+	}{
+		{give: 0, want: 0},
+		{give: 1.0, want: 1.0},
+		{give: 0.0625, want: 0.0625},   // exactly one step
+		{give: 0.03, want: 0.0625 / 2}, // rounds to half-step? no: rounds to nearest multiple of 1/16
+		{give: 100, want: 127.0 / 16},  // saturates high
+		{give: -100, want: -8},         // saturates at two's-complement minimum
+		{give: 7.9375, want: 7.9375},   // max positive
+	}
+	// Correct the 0.03 expectation: nearest multiple of 0.0625 is 0.0625
+	// (0.03/0.0625 = 0.48 → rounds to 0).
+	tests[3].want = 0
+	for _, tt := range tests {
+		got := float64(f.quantizeCode(tt.give)) * f.step
+		if got != tt.want {
+			t.Errorf("quantize(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFxPRadixAndWidth(t *testing.T) {
+	f := NewFxP(7, 8)
+	if f.BitWidth() != 16 || f.Radix() != 8 {
+		t.Fatalf("geometry: width %d radix %d", f.BitWidth(), f.Radix())
+	}
+	if f.MetaBits(100) != 0 {
+		t.Fatal("FxP has no metadata")
+	}
+}
+
+func TestFxPTwosComplementBits(t *testing.T) {
+	f := NewFxP(3, 4)
+	meta := Metadata{Kind: MetaNone}
+	if got := f.ToBits(-0.0625, meta); got != 0xFF {
+		t.Fatalf("ToBits(-step) = %#x, want 0xFF (two's complement -1)", got)
+	}
+	if got := f.FromBits(0xFF, meta); got != -0.0625 {
+		t.Fatalf("FromBits(0xFF) = %v, want -0.0625", got)
+	}
+	if got := f.FromBits(0x80, meta); got != -8 {
+		t.Fatalf("FromBits(0x80) = %v, want -8", got)
+	}
+}
+
+func TestFxPRoundTiesToEven(t *testing.T) {
+	f := NewFxP(3, 1) // step 0.5
+	// 0.25 is exactly between 0 and 0.5; RNE picks 0 (even code).
+	if got := f.quantizeCode(0.25); got != 0 {
+		t.Fatalf("RNE(0.25/0.5) = %d, want 0", got)
+	}
+	// 0.75 is between 0.5 (code 1) and 1.0 (code 2); RNE picks 2.
+	if got := f.quantizeCode(0.75); got != 2 {
+		t.Fatalf("RNE(0.75/0.5) = %d, want 2", got)
+	}
+}
+
+// Property: FxP quantization error never exceeds half a step inside range.
+func TestFxPHalfStepProperty(t *testing.T) {
+	f := NewFxP(7, 8)
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		for i := 0; i < 100; i++ {
+			v := (r.Float64()*2 - 1) * 100 // inside ±128 range
+			q := float64(f.quantizeCode(v)) * f.step
+			if math.Abs(q-v) > f.step/2+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the magic-number fast path matches the scalar path bit-for-bit.
+func TestFxPFastPathExactProperty(t *testing.T) {
+	f := NewFxP(7, 8)
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := tensor.Randn(r, 100, 257)
+		fast := f.Emulate(x)
+		for i, v := range x.Data() {
+			want := float32(float64(f.quantizeCode(float64(v))) * f.step)
+			if fast.Data()[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFxPNaNQuantizesToZero(t *testing.T) {
+	f := NewFxP(3, 4)
+	x := tensor.FromSlice([]float32{float32(math.NaN())}, 1)
+	if got := f.Emulate(x).At(0); got != 0 {
+		t.Fatalf("NaN → %v, want 0", got)
+	}
+}
+
+func TestNewFxPRejectsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFxP(0, 0)
+}

@@ -1,0 +1,125 @@
+package numfmt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func TestINTScaleMapsMaxToQMax(t *testing.T) {
+	q := NewINT(8)
+	x := tensor.FromSlice([]float32{-2, 1, 0.5}, 3)
+	enc := q.Quantize(x)
+	if enc.Meta.Kind != MetaScale {
+		t.Fatal("INT encoding must carry a scale register")
+	}
+	wantScale := float32(2.0 / 127)
+	if math.Abs(float64(enc.Meta.Scale-wantScale)) > 1e-9 {
+		t.Fatalf("scale %v, want %v", enc.Meta.Scale, wantScale)
+	}
+	// The max-magnitude element maps to -qmax.
+	if got := q.FromBits(enc.Codes[0], enc.Meta); math.Abs(got+2) > 1e-6 {
+		t.Fatalf("decode max element = %v, want -2", got)
+	}
+}
+
+func TestINTSymmetry(t *testing.T) {
+	// Symmetric quantization: codes span [-qmax, qmax], never -2^(b-1).
+	q := NewINT(8)
+	x := tensor.FromSlice([]float32{-1, 1}, 2)
+	enc := q.Quantize(x)
+	for _, c := range enc.Codes {
+		v := int8(uint8(c))
+		if v == -128 {
+			t.Fatal("symmetric INT must not use -128")
+		}
+	}
+}
+
+func TestINTZeroTensor(t *testing.T) {
+	q := NewINT(8)
+	x := tensor.New(4)
+	enc := q.Quantize(x)
+	if enc.Meta.Scale != 1 {
+		t.Fatalf("zero tensor scale %v, want 1", enc.Meta.Scale)
+	}
+	if q.Dequantize(enc).AbsMax() != 0 {
+		t.Fatal("zero tensor must stay zero")
+	}
+}
+
+func TestINTRangeTable(t *testing.T) {
+	if r := NewINT(8).Range(); r.AbsMax != 127 || r.MinPos != 1 {
+		t.Fatalf("INT8 range %+v", r)
+	}
+	if r := NewINT(16).Range(); r.AbsMax != 32767 {
+		t.Fatalf("INT16 range %+v", r)
+	}
+}
+
+// Property: quantization error ≤ scale/2 for in-range values.
+func TestINTHalfScaleProperty(t *testing.T) {
+	q := NewINT(8)
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := tensor.Randn(r, 1, 64)
+		scale := float64(q.scaleFor(x))
+		y := q.Emulate(x)
+		for i, v := range x.Data() {
+			if math.Abs(float64(y.Data()[i])-float64(v)) > scale/2+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dequantized codes are always integer multiples of the scale.
+func TestINTGridProperty(t *testing.T) {
+	q := NewINT(6)
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := tensor.Randn(r, 3, 40)
+		enc := q.Quantize(x)
+		y := q.Dequantize(enc)
+		for _, v := range y.Data() {
+			c := float64(v) / float64(enc.Meta.Scale)
+			if math.Abs(c-math.Round(c)) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestINTBitsRoundTrip(t *testing.T) {
+	q := NewINT(8)
+	meta := Metadata{Kind: MetaScale, Scale: 0.1}
+	scale := float64(meta.Scale) // the float32 register value, widened
+	for _, v := range []float64{0, 0.1, -0.3, 12.7, -12.7, 1000} {
+		b := q.ToBits(v, meta)
+		back := q.FromBits(b, meta)
+		want := float64(q.quantizeCode(v, scale)) * scale
+		if math.Abs(back-want) > 1e-9 {
+			t.Errorf("round trip %v: %v vs %v", v, back, want)
+		}
+	}
+}
+
+func TestNewINTRejectsBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewINT(1)
+}

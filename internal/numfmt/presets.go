@@ -1,0 +1,57 @@
+package numfmt
+
+// Named preset constructors for the formats the paper evaluates. Each is a
+// parameter tuning of one of the five base families (§III-B: "These
+// generalizations allow us to support many previous number formats ... as a
+// parameter tuning of the base class").
+
+// FP32 returns IEEE-754 single precision (e8m23).
+func FP32(denormals bool) *FP { return named(NewFP(8, 23, denormals), "fp32", denormals) }
+
+// FP16 returns IEEE-754 half precision (e5m10).
+func FP16(denormals bool) *FP { return named(NewFP(5, 10, denormals), "fp16", denormals) }
+
+// BFloat16 returns Google bfloat (e8m7).
+func BFloat16(denormals bool) *FP { return named(NewFP(8, 7, denormals), "bfloat16", denormals) }
+
+// TensorFloat32 returns NVIDIA TensorFloat (e8m10).
+func TensorFloat32(denormals bool) *FP { return named(NewFP(8, 10, denormals), "tf32", denormals) }
+
+// DLFloat returns IBM DLFloat (e6m9).
+func DLFloat(denormals bool) *FP { return named(NewFP(6, 9, denormals), "dlfloat", denormals) }
+
+// FP8E4M3 returns the 8-bit e4m3 floating point evaluated in Table I.
+func FP8E4M3(denormals bool) *FP { return named(NewFP(4, 3, denormals), "fp8_e4m3", denormals) }
+
+// FP8E5M2 returns the 8-bit e5m2 floating point.
+func FP8E5M2(denormals bool) *FP { return named(NewFP(5, 2, denormals), "fp8_e5m2", denormals) }
+
+// INT8 returns 8-bit symmetric integer quantization.
+func INT8() *INT { return NewINT(8) }
+
+// INT16 returns 16-bit symmetric integer quantization.
+func INT16() *INT { return NewINT(16) }
+
+// FxP16 returns the 16-bit fixed point FxP(1, 7, 8).
+func FxP16() *FxP { return NewFxP(7, 8) }
+
+// FxP32 returns the 32-bit fixed point FxP(1, 15, 16) from Table I.
+func FxP32() *FxP { return NewFxP(15, 16) }
+
+// BFPe5m5 returns the BFP configuration of the paper's resiliency study
+// (Fig 7), sharing one exponent across the whole tensor.
+func BFPe5m5() *BFP { return NewBFP(5, 5, 0) }
+
+// AFPe5m2 returns the AFP configuration of the paper's resiliency study
+// (Fig 7), with denormals enabled.
+func AFPe5m2() *AFP { return NewAFP(5, 2, true) }
+
+// AFP8E4M3 returns the AFP8 e4m3 row of Table I (no denormals).
+func AFP8E4M3() *AFP { return NewAFP(4, 3, false) }
+
+func named(f *FP, name string, denormals bool) *FP {
+	if !denormals {
+		name += "_nodn"
+	}
+	return f.WithName(name)
+}

@@ -1,0 +1,49 @@
+package numfmt
+
+// RangeRow is one row of Table I: a data type's dynamic range.
+type RangeRow struct {
+	Label   string
+	AbsMax  float64
+	MinPos  float64
+	RangeDB float64
+	Movable bool // AFP's window slides with the bias register
+}
+
+// Table1Rows recomputes the paper's Table I ("Dynamic Range of Data Types")
+// from the format implementations themselves, in the paper's row order.
+//
+// Two clerical errors in the published table are corrected here and noted in
+// EXPERIMENTS.md: the FxP(1,15,16) maximum reads "3.2768" (3.2768e+04), and
+// the INT16 range reads 98.31 dB where 20·log10(32767) = 90.31 dB.
+func Table1Rows() []RangeRow {
+	entries := []struct {
+		label   string
+		format  Format
+		movable bool
+	}{
+		{label: "FP32 w/ DN", format: FP32(true)},
+		{label: "FP32 w/o DN", format: FP32(false)},
+		{label: "FxP (1,15,16)", format: FxP32()},
+		{label: "FP16 w/ DN", format: FP16(true)},
+		{label: "FP16 w/o DN", format: FP16(false)},
+		{label: "BFloat16 w/ DN", format: BFloat16(true)},
+		{label: "BFloat16 w/o DN", format: BFloat16(false)},
+		{label: "INT16 (symmetric)", format: INT16()},
+		{label: "INT8 (symmetric)", format: INT8()},
+		{label: "FP8 (e4m3) w/ DN", format: FP8E4M3(true)},
+		{label: "FP8 (e4m3) w/o DN", format: FP8E4M3(false)},
+		{label: "AFP8 (e4m3) w/o DN", format: AFP8E4M3(), movable: true},
+	}
+	rows := make([]RangeRow, len(entries))
+	for i, e := range entries {
+		r := e.format.Range()
+		rows[i] = RangeRow{
+			Label:   e.label,
+			AbsMax:  r.AbsMax,
+			MinPos:  r.MinPos,
+			RangeDB: r.DB(),
+			Movable: e.movable,
+		}
+	}
+	return rows
+}

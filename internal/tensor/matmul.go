@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the output-element count above which MatMul
+// shards rows across goroutines. Below it, the goroutine fan-out costs more
+// than it saves on the small tensors this simulator works with.
+const matmulParallelThreshold = 16 * 1024
+
+// MatMul returns t @ o for rank-2 tensors of shapes (m, k) and (k, n).
+// Rows of the result are computed in parallel for large outputs.
+func (t *Tensor) MatMul(o *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(o.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", t.shape, o.shape))
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v @ %v", t.shape, o.shape))
+	}
+	out := New(m, n)
+	if m*n >= matmulParallelThreshold && m > 1 {
+		parallelRows(m, func(lo, hi int) {
+			matmulRows(out.data, t.data, o.data, lo, hi, k, n)
+		})
+	} else {
+		matmulRows(out.data, t.data, o.data, 0, m, k, n)
+	}
+	return out
+}
+
+// matmulRows computes rows [lo, hi) of C = A @ B using an ikj loop order so
+// the inner loop streams both B and C rows sequentially (cache friendly, and
+// the Go compiler keeps the accumulation vectorizable).
+func matmulRows(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j := range ci {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// MatMulT returns t @ oᵀ for shapes (m, k) and (n, k). This avoids
+// materializing the transpose in attention and backward passes.
+func (t *Tensor) MatMulT(o *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(o.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT requires rank-2 operands, got %v and %v", t.shape, o.shape))
+	}
+	m, k := t.shape[0], t.shape[1]
+	n, k2 := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dimensions differ: %v @ %vᵀ", t.shape, o.shape))
+	}
+	out := New(m, n)
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := t.data[i*k : (i+1)*k]
+			ci := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := o.data[j*k : (j+1)*k]
+				var sum float32
+				for p := range ai {
+					sum += ai[p] * bj[p]
+				}
+				ci[j] = sum
+			}
+		}
+	}
+	if m*n >= matmulParallelThreshold && m > 1 {
+		parallelRows(m, work)
+	} else {
+		work(0, m)
+	}
+	return out
+}
+
+// TMatMul returns tᵀ @ o for shapes (k, m) and (k, n), producing (m, n).
+// Used by backward passes to compute weight gradients without a transpose
+// copy.
+func (t *Tensor) TMatMul(o *Tensor) *Tensor {
+	if len(t.shape) != 2 || len(o.shape) != 2 {
+		panic(fmt.Sprintf("tensor: TMatMul requires rank-2 operands, got %v and %v", t.shape, o.shape))
+	}
+	k, m := t.shape[0], t.shape[1]
+	k2, n := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dimensions differ: %vᵀ @ %v", t.shape, o.shape))
+	}
+	out := New(m, n)
+	// Accumulate rank-1 updates; the outer loop runs over the shared k axis,
+	// so sharding happens over output rows to stay race-free.
+	work := func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			ap := t.data[p*m : (p+1)*m]
+			bp := o.data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := ap[i]
+				if av == 0 {
+					continue
+				}
+				ci := out.data[i*n : (i+1)*n]
+				for j := range ci {
+					ci[j] += av * bp[j]
+				}
+			}
+		}
+	}
+	if m*n >= matmulParallelThreshold && m > 1 {
+		parallelRows(m, work)
+	} else {
+		work(0, m)
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor.
+func (t *Tensor) Transpose2D() *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Transpose2D requires a rank-2 tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// parallelRows splits [0, m) into contiguous chunks, one per worker, and
+// waits for all workers to finish.
+func parallelRows(m int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		f(0, m)
+		return
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,305 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/rng"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.Len() != 6 || x.Rank() != 2 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("unexpected geometry: %v", x.Shape())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(7.5, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	if got := x.At(0, 0, 0); got != 0 {
+		t.Fatalf("At(0,0,0) = %v, want 0", got)
+	}
+	// Row-major layout: index (1,2,3) is offset 1*12 + 2*4 + 3 = 23.
+	if got := x.Data()[23]; got != 7.5 {
+		t.Fatalf("flat offset = %v, want 7.5", got)
+	}
+}
+
+func TestFromSliceCopies(t *testing.T) {
+	src := []float32{1, 2, 3, 4}
+	x := FromSlice(src, 2, 2)
+	src[0] = 99
+	if x.At(0, 0) != 1 {
+		t.Fatal("FromSlice must copy its input")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Data()[0] = 42
+	if x.At(0) != 1 {
+		t.Fatal("Clone must not alias storage")
+	}
+}
+
+func TestReshapeInference(t *testing.T) {
+	x := New(4, 6)
+	y := x.Reshape(2, -1)
+	if y.Dim(0) != 2 || y.Dim(1) != 12 {
+		t.Fatalf("Reshape(-1) got %v", y.Shape())
+	}
+	// Reshape aliases data.
+	y.Data()[0] = 5
+	if x.Data()[0] != 5 {
+		t.Fatal("Reshape should alias storage")
+	}
+}
+
+func TestReshapePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestAddSubMul(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{10, 20, 30, 40}, 2, 2)
+	if got := a.Add(b).Data(); got[3] != 44 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a).Data(); got[0] != 9 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Mul(b).Data(); got[2] != 90 {
+		t.Fatalf("Mul = %v", got)
+	}
+}
+
+func TestAddRowBroadcast(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	bias := FromSlice([]float32{10, 20, 30}, 3)
+	got := a.Add(bias)
+	want := FromSlice([]float32{11, 22, 33, 14, 25, 36}, 2, 3)
+	if !got.AllClose(want, 0) {
+		t.Fatalf("broadcast Add = %v", got)
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	r := rng.New(1)
+	a := Randn(r, 1, 7, 5)
+	b := Randn(r, 1, 5, 9)
+	got := a.MatMul(b)
+	want := New(7, 9)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 9; j++ {
+			var s float64
+			for k := 0; k < 5; k++ {
+				s += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			want.Set(float32(s), i, j)
+		}
+	}
+	if !got.AllClose(want, 1e-5) {
+		t.Fatalf("MatMul mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	r := rng.New(2)
+	// Large enough to trigger the parallel path.
+	a := Randn(r, 1, 256, 64)
+	b := Randn(r, 1, 64, 128)
+	got := a.MatMul(b)
+	want := New(256, 128)
+	matmulRows(want.Data(), a.Data(), b.Data(), 0, 256, 64, 128)
+	if !got.AllClose(want, 0) {
+		t.Fatal("parallel MatMul differs from serial")
+	}
+}
+
+func TestMatMulTAndTMatMul(t *testing.T) {
+	r := rng.New(3)
+	a := Randn(r, 1, 6, 4)
+	b := Randn(r, 1, 8, 4) // a @ bᵀ : (6,8)
+	if got, want := a.MatMulT(b), a.MatMul(b.Transpose2D()); !got.AllClose(want, 1e-5) {
+		t.Fatal("MatMulT differs from explicit transpose")
+	}
+	c := Randn(r, 1, 4, 6)
+	d := Randn(r, 1, 4, 8) // cᵀ @ d : (6,8)
+	if got, want := c.TMatMul(d), c.Transpose2D().MatMul(d); !got.AllClose(want, 1e-5) {
+		t.Fatal("TMatMul differs from explicit transpose")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner-dim mismatch")
+		}
+	}()
+	New(2, 3).MatMul(New(4, 2))
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	got := a.Transpose2D()
+	if got.Dim(0) != 3 || got.Dim(1) != 2 || got.At(2, 1) != 6 || got.At(0, 1) != 4 {
+		t.Fatalf("Transpose2D = %v", got)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	r := rng.New(4)
+	x := Randn(r, 3, 5, 7)
+	s := x.SoftmaxRows()
+	for i := 0; i < 5; i++ {
+		var sum float64
+		for j := 0; j < 7; j++ {
+			v := float64(s.At(i, j))
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax element out of [0,1]: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestSoftmaxStableForLargeInputs(t *testing.T) {
+	x := FromSlice([]float32{1e30, 1e30, -1e30}, 1, 3)
+	s := x.SoftmaxRows()
+	if s.CountNonFinite() != 0 {
+		t.Fatalf("softmax produced non-finite values: %v", s)
+	}
+	if math.Abs(float64(s.At(0, 0))-0.5) > 1e-6 {
+		t.Fatalf("expected 0.5, got %v", s.At(0, 0))
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	x := FromSlice([]float32{1, 5, 2, 9, 0, 3}, 2, 3)
+	got := x.ArgMaxRows()
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRows = %v", got)
+	}
+}
+
+func TestLogSumExpMatchesSoftmaxDenominator(t *testing.T) {
+	r := rng.New(5)
+	x := Randn(r, 2, 4, 6)
+	lse := x.LogSumExpRows()
+	for i := range lse {
+		var sum float64
+		for j := 0; j < 6; j++ {
+			sum += math.Exp(float64(x.At(i, j)))
+		}
+		if math.Abs(lse[i]-math.Log(sum)) > 1e-6 {
+			t.Fatalf("row %d: lse %v vs log-sum %v", i, lse[i], math.Log(sum))
+		}
+	}
+}
+
+func TestSumRowsAndMean(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	sr := x.SumRows()
+	if sr.At(0) != 4 || sr.At(1) != 6 {
+		t.Fatalf("SumRows = %v", sr)
+	}
+	if x.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", x.Mean())
+	}
+}
+
+func TestClampAndAbsMax(t *testing.T) {
+	x := FromSlice([]float32{-5, -1, 0, 2, 9}, 5)
+	c := x.Clamp(-2, 3)
+	want := FromSlice([]float32{-2, -1, 0, 2, 3}, 5)
+	if !c.AllClose(want, 0) {
+		t.Fatalf("Clamp = %v", c)
+	}
+	if x.AbsMax() != 9 {
+		t.Fatalf("AbsMax = %v", x.AbsMax())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	x := FromSlice([]float32{3, -7, 2}, 3)
+	lo, hi := x.MinMax()
+	if lo != -7 || hi != 3 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestSliceAndConcat0(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+	mid := x.Slice(1, 2)
+	if mid.Dim(0) != 1 || mid.At(0, 1) != 4 {
+		t.Fatalf("Slice = %v", mid)
+	}
+	back := Concat0(x.Slice(0, 1), x.Slice(1, 3))
+	if !back.AllClose(x, 0) {
+		t.Fatal("Concat0(Slice...) should reconstruct the tensor")
+	}
+}
+
+func TestCountNonFinite(t *testing.T) {
+	x := FromSlice([]float32{1, float32(math.NaN()), float32(math.Inf(1))}, 3)
+	if got := x.CountNonFinite(); got != 2 {
+		t.Fatalf("CountNonFinite = %d, want 2", got)
+	}
+}
+
+// Property: (a+b)-b == a for finite inputs, element-wise.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := Randn(r, 1, 4, 5)
+		b := Randn(r, 1, 4, 5)
+		return a.Add(b).Sub(b).AllClose(a, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix multiplication distributes over addition:
+// (a+b)@c == a@c + b@c.
+func TestMatMulDistributesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := Randn(r, 1, 3, 4)
+		b := Randn(r, 1, 3, 4)
+		c := Randn(r, 1, 4, 2)
+		left := a.Add(b).MatMul(c)
+		right := a.MatMul(c).Add(b.MatMul(c))
+		return left.AllClose(right, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandnDeterministic(t *testing.T) {
+	a := Randn(rng.New(42), 1, 10)
+	b := Randn(rng.New(42), 1, 10)
+	if !a.AllClose(b, 0) {
+		t.Fatal("Randn must be deterministic for a fixed seed")
+	}
+}

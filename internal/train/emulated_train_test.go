@@ -1,0 +1,89 @@
+package train
+
+import (
+	"testing"
+
+	"goldeneye/internal/dataset"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+// TestFitUnderFormatEmulation exercises the paper's §V-B feature: number-
+// format emulation active during training (forward passes quantized via
+// hooks, gradients straight-through). Training must still converge.
+func TestFitUnderFormatEmulation(t *testing.T) {
+	cfg := dataset.Default()
+	cfg.Classes = 4
+	cfg.TrainPerClass = 40
+	cfg.ValPerClass = 10
+	ds := dataset.New(cfg)
+
+	r := rng.New(21)
+	model := nn.NewSequential("qat",
+		nn.NewFlatten("flat"),
+		nn.NewLinear("fc1", cfg.Channels*cfg.Height*cfg.Width, 32, r),
+		nn.NewReLU("relu"),
+		nn.NewLinear("fc2", 32, cfg.Classes, r),
+	)
+
+	format := numfmt.FP8E4M3(true)
+	hooks := nn.NewHookSet()
+	hooks.PostForward(nn.DefaultLayers(), func(_ nn.LayerInfo, x *tensor.Tensor) *tensor.Tensor {
+		return format.Emulate(x)
+	})
+
+	res := Fit(model, ds, Config{
+		Epochs: 10, BatchSize: 16, LR: 0.05, Momentum: 0.9,
+		StopAtTrainAcc: 0.98,
+		Hooks:          hooks,
+	})
+	if res.TrainAcc < 0.85 {
+		t.Fatalf("training under FP8 emulation failed to converge: %.3f", res.TrainAcc)
+	}
+	if res.ValAcc < 0.75 {
+		t.Fatalf("validation accuracy %.3f under emulated training", res.ValAcc)
+	}
+}
+
+// TestBackpropThroughEmulatedForward checks that hook-emulated forwards
+// leave the backward pass functional (straight-through estimation): the
+// loss must strictly decrease over steps.
+func TestBackpropThroughEmulatedForward(t *testing.T) {
+	cfg := dataset.Default()
+	cfg.Classes = 3
+	cfg.TrainPerClass = 30
+	cfg.ValPerClass = 5
+	ds := dataset.New(cfg)
+
+	r := rng.New(22)
+	model := nn.NewSequential("qat2",
+		nn.NewFlatten("flat"),
+		nn.NewLinear("fc", cfg.Channels*cfg.Height*cfg.Width, cfg.Classes, r),
+	)
+	format := numfmt.BFPe5m5()
+	hooks := nn.NewHookSet()
+	hooks.PostForward(nn.DefaultLayers(), func(_ nn.LayerInfo, x *tensor.Tensor) *tensor.Tensor {
+		return format.Emulate(x)
+	})
+	ctx := nn.NewContext(hooks)
+	ctx.Training = true
+	opt := NewSGD(0.05, 0.9, 0)
+
+	x, y := ds.TrainBatch(0, 60)
+	var first, last float64
+	for step := 0; step < 20; step++ {
+		logits := nn.Forward(ctx, model, x)
+		loss, grad := SoftmaxCrossEntropy(logits, y)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		model.Backward(grad)
+		opt.Step(model)
+	}
+	if last >= first {
+		t.Fatalf("loss did not decrease under emulated training: %v → %v", first, last)
+	}
+}

@@ -1,0 +1,67 @@
+// Package train provides the optimization substrate used to pre-train the
+// experiment models in-process: softmax cross-entropy loss with analytic
+// gradient, SGD with momentum and weight decay, and a small training loop.
+// The paper supports number-format emulation during training (§V-B); this
+// package is what makes that path exercisable in this repository.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"goldeneye/internal/tensor"
+)
+
+// SoftmaxCrossEntropy returns the mean cross-entropy loss of logits (N, K)
+// against integer labels, and the gradient of the mean loss with respect to
+// the logits: (softmax − onehot)/N.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Rank() != 2 || logits.Dim(0) != len(labels) {
+		panic(fmt.Sprintf("train: logits %v vs %d labels", logits.Shape(), len(labels)))
+	}
+	n, k := logits.Dim(0), logits.Dim(1)
+	probs := logits.SoftmaxRows()
+	lse := logits.LogSumExpRows()
+	var loss float64
+	grad := probs.Scale(1 / float32(n))
+	for i, label := range labels {
+		if label < 0 || label >= k {
+			panic(fmt.Sprintf("train: label %d out of range [0,%d)", label, k))
+		}
+		loss += lse[i] - float64(logits.At(i, label))
+		grad.Data()[i*k+label] -= 1 / float32(n)
+	}
+	return loss / float64(n), grad
+}
+
+// CrossEntropyPerSample returns each sample's cross-entropy loss, the
+// quantity the ΔLoss resiliency metric (paper §IV-C) compares between faulty
+// and fault-free inferences.
+func CrossEntropyPerSample(logits *tensor.Tensor, labels []int) []float64 {
+	if logits.Rank() != 2 || logits.Dim(0) != len(labels) {
+		panic(fmt.Sprintf("train: logits %v vs %d labels", logits.Shape(), len(labels)))
+	}
+	lse := logits.LogSumExpRows()
+	out := make([]float64, len(labels))
+	for i, label := range labels {
+		out[i] = lse[i] - float64(logits.At(i, label))
+		if math.IsNaN(out[i]) {
+			// A NaN-corrupted inference has effectively infinite loss; use a
+			// large finite sentinel so campaign averages stay meaningful.
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// Accuracy returns the top-1 accuracy of logits against labels.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	pred := logits.ArgMaxRows()
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

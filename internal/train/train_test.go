@@ -1,0 +1,225 @@
+package train
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"goldeneye/internal/dataset"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func TestSoftmaxCrossEntropyKnownValues(t *testing.T) {
+	// Uniform logits over K classes: loss = ln K, regardless of label.
+	logits := tensor.New(2, 4)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln 4", loss)
+	}
+	// Gradient: (1/4 - 1)/N at the label, 1/4/N elsewhere, N=2.
+	if math.Abs(float64(grad.At(0, 0))-(0.25-1)/2) > 1e-6 {
+		t.Fatalf("grad at label = %v", grad.At(0, 0))
+	}
+	if math.Abs(float64(grad.At(0, 1))-0.25/2) > 1e-6 {
+		t.Fatalf("grad off label = %v", grad.At(0, 1))
+	}
+}
+
+// Property: the analytic loss gradient matches finite differences.
+func TestSoftmaxCrossEntropyGradientProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		logits := tensor.Randn(r, 2, 3, 5)
+		labels := []int{r.Intn(5), r.Intn(5), r.Intn(5)}
+		_, grad := SoftmaxCrossEntropy(logits, labels)
+		const eps = 1e-3
+		for probe := 0; probe < 5; probe++ {
+			i := r.Intn(logits.Len())
+			orig := logits.Data()[i]
+			logits.Data()[i] = orig + eps
+			up, _ := SoftmaxCrossEntropy(logits, labels)
+			logits.Data()[i] = orig - eps
+			down, _ := SoftmaxCrossEntropy(logits, labels)
+			logits.Data()[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-float64(grad.Data()[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: gradient rows sum to zero (softmax-CE invariant).
+func TestCrossEntropyGradRowsSumZeroProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		logits := tensor.Randn(r, 1, 4, 6)
+		labels := []int{0, 1, 2, 3}
+		_, grad := SoftmaxCrossEntropy(logits, labels)
+		for i := 0; i < 4; i++ {
+			var sum float64
+			for j := 0; j < 6; j++ {
+				sum += float64(grad.At(i, j))
+			}
+			if math.Abs(sum) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossEntropyPerSample(t *testing.T) {
+	logits := tensor.FromSlice([]float32{10, 0, 0, 10}, 2, 2)
+	losses := CrossEntropyPerSample(logits, []int{0, 0})
+	if losses[0] > 0.01 {
+		t.Fatalf("confident correct: loss %v", losses[0])
+	}
+	if losses[1] < 5 {
+		t.Fatalf("confident wrong: loss %v", losses[1])
+	}
+}
+
+func TestCrossEntropyPerSampleNaN(t *testing.T) {
+	logits := tensor.FromSlice([]float32{float32(math.NaN()), 0}, 1, 2)
+	losses := CrossEntropyPerSample(logits, []int{0})
+	if !math.IsInf(losses[0], 1) {
+		t.Fatalf("NaN logits should yield +Inf loss, got %v", losses[0])
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		1, 2, 0, // pred 1
+		5, 1, 0, // pred 0
+		0, 0, 9, // pred 2
+	}, 3, 3)
+	if got := Accuracy(logits, []int{1, 0, 0}); math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+}
+
+func TestSGDStepMovesAgainstGradient(t *testing.T) {
+	r := rng.New(1)
+	lin := nn.NewLinear("fc", 2, 2, r)
+	before := append([]float32(nil), lin.Weight().Value.Data()...)
+	for i := range lin.Weight().Grad.Data() {
+		lin.Weight().Grad.Data()[i] = 1
+	}
+	opt := NewSGD(0.1, 0, 0)
+	opt.Step(lin)
+	for i, v := range lin.Weight().Value.Data() {
+		if math.Abs(float64(v-(before[i]-0.1))) > 1e-6 {
+			t.Fatalf("weight %d: %v, want %v", i, v, before[i]-0.1)
+		}
+	}
+	// Gradients must be cleared after the step.
+	if lin.Weight().Grad.AbsMax() != 0 {
+		t.Fatal("gradients not cleared")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	r := rng.New(2)
+	lin := nn.NewLinear("fc", 1, 1, r)
+	opt := NewSGD(1, 0.5, 0)
+	w := lin.Weight()
+	start := w.Value.Data()[0]
+	// Two steps with constant unit gradient: Δ = 1, then 1.5.
+	w.Grad.Data()[0] = 1
+	opt.Step(lin)
+	w.Grad.Data()[0] = 1
+	opt.Step(lin)
+	want := start - 1 - 1.5
+	if math.Abs(float64(w.Value.Data()[0]-want)) > 1e-6 {
+		t.Fatalf("momentum update: %v, want %v", w.Value.Data()[0], want)
+	}
+}
+
+func TestSGDSkipsFrozen(t *testing.T) {
+	bn := nn.NewBatchNorm2D("bn", 2)
+	var frozen *nn.Param
+	for _, p := range bn.Params() {
+		if p.Frozen {
+			frozen = p
+			break
+		}
+	}
+	frozen.Grad.Data()[0] = 100
+	before := frozen.Value.Data()[0]
+	NewSGD(1, 0, 0).Step(bn)
+	if frozen.Value.Data()[0] != before {
+		t.Fatal("frozen parameter was updated")
+	}
+}
+
+func TestFitLearnsSeparableTask(t *testing.T) {
+	cfg := dataset.Default()
+	cfg.Classes = 4
+	cfg.TrainPerClass = 40
+	cfg.ValPerClass = 10
+	ds := dataset.New(cfg)
+	r := rng.New(9)
+	model := nn.NewSequential("tiny",
+		nn.NewFlatten("flat"),
+		nn.NewLinear("fc1", cfg.Channels*cfg.Height*cfg.Width, 32, r),
+		nn.NewReLU("relu"),
+		nn.NewLinear("fc2", 32, cfg.Classes, r),
+	)
+	res := Fit(model, ds, Config{
+		Epochs: 8, BatchSize: 16, LR: 0.05, Momentum: 0.9, StopAtTrainAcc: 0.99,
+	})
+	if res.TrainAcc < 0.9 {
+		t.Fatalf("training failed to learn: train acc %.3f", res.TrainAcc)
+	}
+	if res.ValAcc < 0.8 {
+		t.Fatalf("validation accuracy %.3f implausibly low", res.ValAcc)
+	}
+}
+
+func TestFitDeterministic(t *testing.T) {
+	cfg := dataset.Default()
+	cfg.Classes = 3
+	cfg.TrainPerClass = 20
+	cfg.ValPerClass = 5
+	ds := dataset.New(cfg)
+	run := func() []float32 {
+		r := rng.New(5)
+		model := nn.NewSequential("tiny",
+			nn.NewFlatten("flat"),
+			nn.NewLinear("fc", cfg.Channels*cfg.Height*cfg.Width, cfg.Classes, r),
+		)
+		Fit(model, ds, Config{Epochs: 2, BatchSize: 10, LR: 0.05, Momentum: 0.9})
+		return append([]float32(nil), model.Params()[0].Value.Data()...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("training is not deterministic")
+		}
+	}
+}
+
+func TestEvaluateMatchesManualCount(t *testing.T) {
+	r := rng.New(11)
+	model := nn.NewSequential("tiny",
+		nn.NewFlatten("flat"),
+		nn.NewLinear("fc", 4, 2, r),
+	)
+	x := tensor.Randn(r, 1, 10, 1, 2, 2)
+	y := make([]int, 10)
+	logits := nn.Forward(nil, model, x)
+	want := Accuracy(logits, y)
+	if got := Evaluate(model, x, y, 3, nil); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Evaluate = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,141 @@
+// Package zoo provides pre-trained models for the experiments. Models are
+// trained in-process the first time they are requested and cached on disk
+// (gob-serialized parameters, including frozen BatchNorm statistics), so the
+// test suite and benchmark harness stay fast and fully deterministic.
+package zoo
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"goldeneye/internal/dataset"
+	"goldeneye/internal/models"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/train"
+)
+
+// modelSeed is the weight-initialization seed shared by all zoo models.
+const modelSeed = 1
+
+// trainConfigs holds per-model hyperparameters. CNNs take SGD at a higher
+// rate; transformers need a gentler schedule.
+var trainConfigs = map[string]train.Config{
+	"resnet_s":  {Epochs: 30, BatchSize: 25, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, StopAtTrainAcc: 0.995},
+	"resnet_m":  {Epochs: 30, BatchSize: 25, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, StopAtTrainAcc: 0.995},
+	"vit_tiny":  {Epochs: 40, BatchSize: 25, LR: 0.02, Momentum: 0.9, WeightDecay: 1e-4, StopAtTrainAcc: 0.995},
+	"vit_small": {Epochs: 40, BatchSize: 25, LR: 0.015, Momentum: 0.9, WeightDecay: 1e-4, StopAtTrainAcc: 0.995},
+	"mlp":       {Epochs: 25, BatchSize: 25, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, StopAtTrainAcc: 0.995},
+}
+
+// DefaultDir returns the default on-disk cache location.
+func DefaultDir() string {
+	return filepath.Join(os.TempDir(), "goldeneye-zoo-v1")
+}
+
+// Pretrained returns the named model trained on the default dataset, loading
+// cached weights from DefaultDir when available.
+func Pretrained(name string) (nn.Module, *dataset.Dataset, error) {
+	return PretrainedIn(DefaultDir(), name)
+}
+
+// PretrainedIn is Pretrained with an explicit cache directory.
+func PretrainedIn(dir, name string) (nn.Module, *dataset.Dataset, error) {
+	ds := dataset.New(dataset.Default())
+	model, err := PretrainedOn(dir, name, ds)
+	return model, ds, err
+}
+
+// PretrainedOn loads (or trains) the named model against an already-
+// synthesized dataset. Parallel campaign builders use it to avoid paying
+// dataset synthesis once per worker.
+func PretrainedOn(dir, name string, ds *dataset.Dataset) (nn.Module, error) {
+	model, err := models.Build(name, ds.Config.Classes, modelSeed)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, cacheKey(name, ds.Config))
+	if err := LoadState(model, path); err == nil {
+		return model, nil
+	}
+	cfg, ok := trainConfigs[name]
+	if !ok {
+		return nil, fmt.Errorf("zoo: no training config for %q", name)
+	}
+	res := train.Fit(model, ds, cfg)
+	if res.ValAcc < 0.5 {
+		return nil, fmt.Errorf("zoo: %s trained to implausible val accuracy %.3f", name, res.ValAcc)
+	}
+	if err := SaveState(model, path); err != nil {
+		// A failed cache write degrades performance, not correctness.
+		return model, nil
+	}
+	return model, nil
+}
+
+func cacheKey(name string, cfg dataset.Config) string {
+	return fmt.Sprintf("%s-c%d-s%d-d%d.gob", name, cfg.Classes, modelSeed, cfg.Seed)
+}
+
+// state is the serialized form of a model's parameters.
+type state struct {
+	Names  []string
+	Shapes [][]int
+	Values [][]float32
+}
+
+// SaveState writes all parameters (trainable and frozen) of m to path,
+// atomically.
+func SaveState(m nn.Module, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("zoo: mkdir: %w", err)
+	}
+	var st state
+	for _, p := range m.Params() {
+		st.Names = append(st.Names, p.Name)
+		st.Shapes = append(st.Shapes, p.Value.Shape())
+		st.Values = append(st.Values, append([]float32(nil), p.Value.Data()...))
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".zoo-*")
+	if err != nil {
+		return fmt.Errorf("zoo: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(&st); err != nil {
+		tmp.Close()
+		return fmt.Errorf("zoo: encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("zoo: close: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadState restores parameters saved by SaveState into m. The model must
+// have been built identically (same names and shapes).
+func LoadState(m nn.Module, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var st state
+	if err := gob.NewDecoder(f).Decode(&st); err != nil {
+		return fmt.Errorf("zoo: decode %s: %w", path, err)
+	}
+	params := m.Params()
+	if len(params) != len(st.Names) {
+		return fmt.Errorf("zoo: %s has %d params, model has %d", path, len(st.Names), len(params))
+	}
+	for i, p := range params {
+		if p.Name != st.Names[i] {
+			return fmt.Errorf("zoo: param %d name mismatch: %q vs %q", i, st.Names[i], p.Name)
+		}
+		if p.Value.Len() != len(st.Values[i]) {
+			return fmt.Errorf("zoo: param %q size mismatch", p.Name)
+		}
+		copy(p.Value.Data(), st.Values[i])
+	}
+	return nil
+}

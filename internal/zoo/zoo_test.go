@@ -1,0 +1,76 @@
+package zoo
+
+import (
+	"path/filepath"
+	"testing"
+
+	"goldeneye/internal/models"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.gob")
+	a, _ := models.Build("mlp", 10, 3)
+	// Perturb weights so the round trip is meaningful.
+	a.Params()[0].Value.Data()[0] = 1.234
+	if err := SaveState(a, path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := models.Build("mlp", 10, 99) // different init
+	if err := LoadState(b, path); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng.New(1), 1, 2, models.InChannels, models.InHeight, models.InWidth)
+	if !nn.Forward(nil, a, x).AllClose(nn.Forward(nil, b, x), 0) {
+		t.Fatal("loaded model behaves differently")
+	}
+}
+
+func TestLoadStateRejectsMismatchedModel(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.gob")
+	a, _ := models.Build("mlp", 10, 1)
+	if err := SaveState(a, path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := models.Build("resnet_s", 10, 1)
+	if err := LoadState(b, path); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestLoadStateMissingFile(t *testing.T) {
+	a, _ := models.Build("mlp", 10, 1)
+	if err := LoadState(a, filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestPretrainedTrainsAndCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	m1, ds, err := PretrainedIn(dir, "mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second call must hit the cache and produce identical weights.
+	m2, _, err := PretrainedIn(dir, "mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ds.ValX.Slice(0, 4)
+	if !nn.Forward(nil, m1, x).AllClose(nn.Forward(nil, m2, x), 0) {
+		t.Fatal("cache round trip changed the model")
+	}
+}
+
+func TestPretrainedUnknownModel(t *testing.T) {
+	if _, _, err := PretrainedIn(t.TempDir(), "nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
