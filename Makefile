@@ -1,0 +1,23 @@
+# Tier-1: the gate every PR must keep green.
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Tier-2: stricter gate for telemetry-touched packages — vet, formatting,
+# and the race detector over the packages whose hot paths share atomics
+# across goroutines (telemetry registry, tensor/numfmt/dse stats counters,
+# nn timing hooks, parallel campaigns in the root package).
+RACE_PKGS = ./internal/telemetry ./internal/tensor ./internal/nn \
+            ./internal/numfmt ./internal/dse .
+
+.PHONY: check
+check:
+	go vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	go test -race $(RACE_PKGS)
+
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem ./...

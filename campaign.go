@@ -2,13 +2,16 @@ package goldeneye
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"goldeneye/internal/inject"
 	"goldeneye/internal/metrics"
 	"goldeneye/internal/nn"
 	"goldeneye/internal/numfmt"
 	"goldeneye/internal/rng"
+	"goldeneye/internal/telemetry"
 	"goldeneye/internal/tensor"
 	"goldeneye/internal/train"
 )
@@ -68,6 +71,13 @@ type CampaignConfig struct {
 	// convergence experiment); costs memory proportional to Injections.
 	KeepTrace bool
 
+	// Metrics, when non-nil, receives campaign telemetry: injection
+	// progress/mismatch/latency counters and per-layer forward-time
+	// histograms (see internal/telemetry/README.md for the metric
+	// inventory). It does not alter results; parallel campaigns share one
+	// registry across workers via lock-free atomics.
+	Metrics *telemetry.Registry
+
 	// MeasureDMR additionally re-executes every injected inference without
 	// the transient fault and counts an injection as *detected* when the
 	// two outputs differ — dual modular redundancy, one of the software-
@@ -120,6 +130,11 @@ type campaignRunner struct {
 	cleanLoss []float64
 	elems     int
 	flips     int
+
+	// timing is this runner's per-layer forward timer (nil without
+	// cfg.Metrics). One per runner because the hook closure carries
+	// per-pass state; the histograms it feeds are shared and atomic.
+	timing *nn.HookSet
 }
 
 // campaignGeometry validates cfg against the simulator and returns the
@@ -163,6 +178,9 @@ func (s *Simulator) newRunner(cfg CampaignConfig) (*campaignRunner, error) {
 		return nil, err
 	}
 	r := &campaignRunner{sim: s, cfg: cfg, elems: elems, flips: flips}
+	if cfg.Metrics != nil {
+		r.timing = layerTimingHooks(cfg.Metrics)
+	}
 	r.backup = inject.BackupWeights(s.model)
 	if cfg.QuantizeWeights {
 		inject.QuantizeWeights(s.model, cfg.Format)
@@ -176,7 +194,7 @@ func (s *Simulator) newRunner(cfg CampaignConfig) (*campaignRunner, error) {
 	n := cfg.X.Dim(0)
 	r.cleanPred = make([]int, n)
 	r.cleanLoss = make([]float64, n)
-	cleanCtx := nn.NewContext(r.baseHooks())
+	cleanCtx := nn.NewContext(r.withTiming(r.baseHooks()))
 	for i := 0; i < n; i++ {
 		logits := nn.Forward(cleanCtx, s.model, cfg.X.Slice(i, i+1))
 		r.cleanPred[i] = logits.ArgMaxRows()[0]
@@ -194,6 +212,16 @@ func (r *campaignRunner) baseHooks() *nn.HookSet {
 		h.PostForward(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
 			return format.Emulate(t)
 		})
+	}
+	return h
+}
+
+// withTiming merges the runner's per-layer timer into h as the last hook
+// set, so emulation/injection/clamp hooks registered earlier fall inside
+// each layer's measured window. No-op without telemetry.
+func (r *campaignRunner) withTiming(h *nn.HookSet) *nn.HookSet {
+	if r.timing != nil {
+		h.Merge(r.timing)
 	}
 	return h
 }
@@ -232,7 +260,7 @@ func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out Injectio
 		hooks.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 	}
 
-	logits := nn.Forward(nn.NewContext(hooks), r.sim.model, cfg.X.Slice(sample, sample+1))
+	logits := nn.Forward(nn.NewContext(r.withTiming(hooks)), r.sim.model, cfg.X.Slice(sample, sample+1))
 	if cfg.MeasureDMR {
 		// Re-execute without the transient fault; weight corruption is
 		// still in place, so it escapes detection (as real DMR would).
@@ -240,7 +268,7 @@ func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out Injectio
 		if r.ranger != nil {
 			redo.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 		}
-		again := nn.Forward(nn.NewContext(redo), r.sim.model, cfg.X.Slice(sample, sample+1))
+		again := nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, cfg.X.Slice(sample, sample+1))
 		detected = !again.AllClose(logits, 0)
 	}
 	// Undo weight corruption in reverse order so overlapping faults
@@ -273,13 +301,16 @@ func (s *Simulator) RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
 	defer runner.close()
 
 	report := &CampaignReport{Config: cfg}
+	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections)
 	src := rng.New(cfg.Seed)
 	n := cfg.X.Dim(0)
 	for i := 0; i < cfg.Injections; i++ {
+		start := time.Now()
 		out, nonFinite, detected, err := runner.runOne(runner.drawFaults(src), i%n)
 		if err != nil {
 			return nil, err
 		}
+		ct.record(out.Mismatch, nonFinite, detected, time.Since(start))
 		report.Record(out.Mismatch, out.DeltaLoss, nonFinite)
 		if detected {
 			report.Detected++
@@ -334,12 +365,19 @@ func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulat
 		err    error
 	}
 	n := cfg.X.Dim(0)
+	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections)
 	shards := make([]shard, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if cfg.Metrics != nil {
+				// Per-worker shard wall time, for spotting stragglers in
+				// the metrics dump.
+				shardGauge := cfg.Metrics.Gauge(telemetry.Label(MetricCampaignShardTime, "worker", strconv.Itoa(w)))
+				defer func(start time.Time) { shardGauge.Set(time.Since(start).Seconds()) }(time.Now())
+			}
 			sim := scout
 			if w > 0 { // reuse the scout for worker 0
 				var berr error
@@ -355,12 +393,21 @@ func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulat
 				return
 			}
 			defer runner.close()
+			var shardWork *telemetry.Counter
+			if cfg.Metrics != nil {
+				shardWork = cfg.Metrics.Counter(telemetry.Label(MetricCampaignShardWork, "worker", strconv.Itoa(w)))
+			}
 			rep := &CampaignReport{}
 			for i := w; i < cfg.Injections; i += workers {
+				start := time.Now()
 				out, nonFinite, detected, oerr := runner.runOne(allFaults[i], i%n)
 				if oerr != nil {
 					shards[w].err = oerr
 					return
+				}
+				ct.record(out.Mismatch, nonFinite, detected, time.Since(start))
+				if shardWork != nil {
+					shardWork.Inc()
 				}
 				rep.Record(out.Mismatch, out.DeltaLoss, nonFinite)
 				if detected {
@@ -381,7 +428,10 @@ func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulat
 	}
 	for w, sh := range shards {
 		if sh.err != nil {
-			return nil, sh.err
+			// Wrap with the shard index so a failed campaign is
+			// diagnosable from the progress output (which shard stalled,
+			// which worker's build failed).
+			return nil, fmt.Errorf("goldeneye: campaign worker %d/%d: %w", w, workers, sh.err)
 		}
 		merged.CampaignResult.Merge(sh.report.CampaignResult)
 		merged.Detected += sh.report.Detected

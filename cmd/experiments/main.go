@@ -14,6 +14,11 @@
 //
 // The first run trains the model zoo (seconds per model); results are
 // cached under the system temp directory.
+//
+// Observability: -metrics prints a final Prometheus-text dump of the
+// runtime counters (tensor kernel time, quantization ops, DSE evaluations)
+// to stderr, keeping stdout clean for -json; -debug-addr serves /metrics
+// and /debug/pprof while an experiment runs.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"goldeneye/internal/dse"
 	"goldeneye/internal/exper"
 	"goldeneye/internal/numfmt"
+	"goldeneye/internal/telemetry"
 )
 
 func main() {
@@ -53,9 +59,29 @@ func run(args []string) error {
 		threshold  = fs.Float64("threshold", 0.01, "DSE accuracy-loss threshold")
 		layerFlag  = fs.Int("layer", -1, "layer visit index for convergence (-1 = middle)")
 		jsonOut    = fs.Bool("json", false, "emit rows as JSON instead of text")
+		metricsFl  = fs.Bool("metrics", false, "print a final metrics dump (Prometheus text) to stderr")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if *metricsFl || *debugAddr != "" {
+		reg := telemetry.Default()
+		goldeneye.RegisterRuntimeCollectors(reg)
+		if *debugAddr != "" {
+			bound, shutdown, derr := telemetry.ServeDebug(*debugAddr, reg)
+			if derr != nil {
+				return derr
+			}
+			defer shutdown()
+			fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", bound)
+		}
+		if *metricsFl {
+			defer func() {
+				fmt.Fprintln(os.Stderr, "\n== metrics ==")
+				reg.WritePrometheus(os.Stderr)
+			}()
+		}
 	}
 	opts := exper.Options{ValSamples: *samples, Injections: *injFlag}
 

@@ -11,12 +11,19 @@
 // Format specifications accept presets (fp16, bfloat16, int8, …) and
 // generic geometries (fp_e4m3, fxp_1_7_8, bfp_e5m5_b16, afp_e4m4); append
 // "_nodn" to disable denormals. Models are trained on first use and cached.
+//
+// Observability (any subcommand; see the README's Observability section):
+//
+//	-progress            live progress line with injections/sec (inject)
+//	-metrics             final Prometheus-text metrics dump on stdout
+//	-debug-addr addr     HTTP server with /metrics, /metrics.json, /debug/pprof/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"goldeneye"
 	"goldeneye/internal/dataset"
@@ -25,6 +32,7 @@ import (
 	"goldeneye/internal/inject"
 	"goldeneye/internal/models"
 	"goldeneye/internal/nn"
+	"goldeneye/internal/telemetry"
 	"goldeneye/internal/zoo"
 )
 
@@ -56,9 +64,32 @@ func run(args []string) error {
 		samples   = fs.Int("samples", 300, "validation samples")
 		batch     = fs.Int("batch", 30, "evaluation batch size")
 		workers   = fs.Int("workers", 1, "parallel campaign workers (inject)")
+		progress  = fs.Bool("progress", false, "render a live progress line (campaigns) and imply -metrics")
+		metricsFl = fs.Bool("metrics", false, "print a final metrics dump (Prometheus text) to stdout")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+
+	var reg *telemetry.Registry
+	if *progress || *metricsFl || *debugAddr != "" {
+		reg = telemetry.Default()
+		goldeneye.RegisterRuntimeCollectors(reg)
+	}
+	if *debugAddr != "" {
+		bound, shutdown, derr := telemetry.ServeDebug(*debugAddr, reg)
+		if derr != nil {
+			return derr
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", bound)
+	}
+	if *metricsFl || *progress {
+		defer func() {
+			fmt.Println("\n== metrics ==")
+			reg.WritePrometheus(os.Stdout)
+		}()
 	}
 
 	if cmd == "range" {
@@ -146,6 +177,12 @@ func run(args []string) error {
 				candidates = sim.WeightedLayers()
 			}
 			cfg.Layer = candidates[len(candidates)/2]
+		}
+		cfg.Metrics = reg
+		if *progress {
+			stop := telemetry.WatchProgress(os.Stderr, "inject",
+				reg.Counter(goldeneye.MetricCampaignInjections), int64(*n), 500*time.Millisecond)
+			defer stop()
 		}
 		var rep *goldeneye.CampaignReport
 		if *workers > 1 {

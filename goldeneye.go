@@ -5,10 +5,11 @@
 //
 // The package is the public facade over the substrates in internal/:
 //
-//   - numfmt: the five format families (FP, FxP, INT, BFP, AFP) behind a
-//     single Format interface mirroring the paper's four-method API, with
-//     hardware metadata (scaling factors, shared exponents, exponent biases)
-//     exposed for hardware-aware fault injection.
+//   - numfmt: the paper's five format families (FP, FxP, INT, BFP, AFP)
+//     plus emerging extensions (posit, LNS, codebook LUT) behind a single
+//     Format interface mirroring the paper's four-method API, with hardware
+//     metadata (scaling factors, shared exponents, exponent biases) exposed
+//     for hardware-aware fault injection.
 //   - nn + tensor: the DNN execution substrate with layer-granularity hooks,
 //     where emulation and injection interpose.
 //   - inject + metrics: single-/multi-bit flips in values and metadata, the
@@ -16,6 +17,9 @@
 //     detector.
 //   - dse: the recursive binary-tree design-space-exploration heuristic for
 //     number-format selection.
+//   - telemetry: counters/gauges/histograms with Prometheus and JSON
+//     exposition; attach a Registry via CampaignConfig.Metrics and see
+//     RegisterRuntimeCollectors for substrate-level counters.
 //
 // # Quick start
 //

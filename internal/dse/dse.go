@@ -226,6 +226,7 @@ func (r *Result) Accepted() []Node {
 // results are memoized per configuration.
 func Search(cfg Config, eval func(numfmt.Format) float64) *Result {
 	cfg.setDefaults()
+	searchStats.searches.Add(1)
 	res := &Result{Config: cfg}
 	memo := make(map[Point]float64)
 
@@ -234,19 +235,25 @@ func Search(cfg Config, eval func(numfmt.Format) float64) *Result {
 			return 0, false
 		}
 		if acc, ok := memo[p]; ok {
+			searchStats.memoHits.Add(1)
 			return acc, true
 		}
 		f, err := MakeFormat(p)
 		if err != nil {
 			return 0, false
 		}
+		searchStats.evaluations.Add(1)
 		acc := eval(f)
 		memo[p] = acc
+		accepted := acc >= cfg.Baseline-cfg.Threshold
+		if accepted {
+			searchStats.accepted.Add(1)
+		}
 		res.Nodes = append(res.Nodes, Node{
 			Point:    p,
 			Accuracy: acc,
 			Order:    len(res.Nodes),
-			Accepted: acc >= cfg.Baseline-cfg.Threshold,
+			Accepted: accepted,
 		})
 		return acc, true
 	}

@@ -11,7 +11,7 @@ import "math"
 // MaxDeltaLoss caps a single injection's ΔLoss contribution. A fault that
 // drives the network to NaN/Inf has unbounded cross-entropy; capping keeps
 // campaign averages finite while still registering such faults as
-// catastrophic. The value is ln(1e13), far beyond any non-corrupted loss.
+// catastrophic. The value is ≈ ln(1e13), far beyond any non-corrupted loss.
 const MaxDeltaLoss = 30.0
 
 // DeltaLoss returns |faulty − clean| cross-entropy, capped at MaxDeltaLoss
@@ -111,7 +111,7 @@ type CampaignResult struct {
 	// DeltaLoss accumulates the ΔLoss observations.
 	DeltaLoss RunningStat
 
-	// MismatchRate accumulates the binary mismatch observations, so both
+	// MismatchStat accumulates the binary mismatch observations, so both
 	// metrics' convergence can be compared on equal footing.
 	MismatchStat RunningStat
 

@@ -1,0 +1,38 @@
+package nn
+
+import (
+	"time"
+
+	"goldeneye/internal/tensor"
+)
+
+// TimingHooks returns a hook set that measures every layer visit's forward
+// wall-clock time and reports it to observe. The pre-forward hook pushes a
+// start time; the post-forward hook pops it and reports the elapsed
+// duration, so modules that route children through ctx.Apply (attention
+// applying its internal linears, for example) nest correctly: the parent's
+// duration includes its children's.
+//
+// Post-forward hooks fire in registration order, so hooks registered
+// *before* this set's (i.e. hook sets this one is merged into last) run
+// inside the measured window: merging TimingHooks after the emulation and
+// injection hooks makes a layer's time include the format emulation and
+// fault injection applied to its output — the accounting the paper's Fig 3
+// overhead comparison wants. The returned set
+// carries per-pass state and must not be shared across concurrent
+// contexts; give each campaign worker its own.
+func TimingHooks(observe func(layer LayerInfo, d time.Duration)) *HookSet {
+	h := NewHookSet()
+	var stack []time.Time
+	h.PreForward(AllLayers(), func(_ LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		stack = append(stack, time.Now())
+		return t
+	})
+	h.PostForward(AllLayers(), func(info LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		start := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		observe(info, time.Since(start))
+		return t
+	})
+	return h
+}

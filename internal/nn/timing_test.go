@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"testing"
+	"time"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+func TestTimingHooksObservesEveryLayer(t *testing.T) {
+	r := rng.New(1)
+	model := NewSequential("m",
+		NewLinear("m.fc1", 4, 8, r),
+		NewReLU("m.relu"),
+		NewLinear("m.fc2", 8, 3, r),
+	)
+	var got []LayerInfo
+	hooks := TimingHooks(func(info LayerInfo, d time.Duration) {
+		if d < 0 {
+			t.Fatalf("negative duration %v for %v", d, info)
+		}
+		got = append(got, info)
+	})
+	x := tensor.New(2, 4)
+	Forward(NewContext(hooks), model, x)
+
+	want := []string{"m.fc1", "m.relu", "m.fc2"}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d layer visits, want %d: %v", len(got), len(want), got)
+	}
+	for i, name := range want {
+		if got[i].Name != name || got[i].Index != i {
+			t.Fatalf("visit %d = %v, want name %s index %d", i, got[i], name, i)
+		}
+	}
+}
+
+// Attention routes its internal linears through ctx.Apply, nesting layer
+// visits; the timer's start-time stack must pair pre/post correctly and
+// the parent's duration must cover its children's.
+func TestTimingHooksNestedVisits(t *testing.T) {
+	r := rng.New(2)
+	attn := NewMultiHeadAttention("attn", 8, 2, r)
+	durations := map[string]time.Duration{}
+	var order []string
+	hooks := TimingHooks(func(info LayerInfo, d time.Duration) {
+		durations[info.Name] = d
+		order = append(order, info.Name)
+	})
+	x := tensor.New(1, 3, 8) // (N, T, D)
+	Forward(NewContext(hooks), attn, x)
+
+	if len(order) != 3 {
+		t.Fatalf("expected qkv, proj, attn visits, got %v", order)
+	}
+	if order[len(order)-1] != "attn" {
+		t.Fatalf("parent must be observed last, got %v", order)
+	}
+	if durations["attn"] < durations[order[0]] {
+		t.Fatalf("parent duration %v must cover child %v", durations["attn"], durations[order[0]])
+	}
+}
+
+func TestTimingHooksMergedLastIncludesEarlierPostHooks(t *testing.T) {
+	r := rng.New(3)
+	model := NewSequential("m", NewLinear("m.fc", 4, 4, r))
+	const delay = 2 * time.Millisecond
+
+	slow := NewHookSet()
+	slow.PostForward(AllLayers(), func(_ LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		time.Sleep(delay)
+		return t
+	})
+	var measured time.Duration
+	slow.Merge(TimingHooks(func(_ LayerInfo, d time.Duration) { measured = d }))
+
+	Forward(NewContext(slow), model, tensor.New(1, 4))
+	if measured < delay {
+		t.Fatalf("timing merged last measured %v, want >= %v (post hooks registered earlier must fall inside the window)", measured, delay)
+	}
+}

@@ -104,6 +104,7 @@ func (f *AFP) geometry(bias int8) (expMin, expMax int, maxFinite, denStep float6
 
 // Quantize implements Format (method 1).
 func (f *AFP) Quantize(t *tensor.Tensor) *Encoding {
+	countQuantize(t.Len())
 	meta := Metadata{Kind: MetaExpBias, ExpBias: f.biasFor(t.AbsMax())}
 	data := t.Data()
 	codes := make([]Bits, len(data))
@@ -115,6 +116,7 @@ func (f *AFP) Quantize(t *tensor.Tensor) *Encoding {
 
 // Dequantize implements Format (method 2).
 func (f *AFP) Dequantize(enc *Encoding) *tensor.Tensor {
+	countDequantize(len(enc.Codes))
 	out := tensor.New(enc.Shape...)
 	data := out.Data()
 	for i, c := range enc.Codes {
@@ -126,6 +128,7 @@ func (f *AFP) Dequantize(enc *Encoding) *tensor.Tensor {
 // Emulate implements Format via the generic code-based path; like BFP, AFP
 // has no arithmetic fast path (Fig 3's Python-speed side).
 func (f *AFP) Emulate(t *tensor.Tensor) *tensor.Tensor {
+	countEmulate(t.Len())
 	return emulateViaCodes(f, t)
 }
 

@@ -113,6 +113,7 @@ func (f *BFP) stepFor(code uint8) float64 {
 // exponent from the block's maximum magnitude, then encode each value as
 // sign + magnitude against that exponent's step.
 func (f *BFP) Quantize(t *tensor.Tensor) *Encoding {
+	countQuantize(t.Len())
 	data := t.Data()
 	n := len(data)
 	nb := f.numBlocks(n)
@@ -158,6 +159,7 @@ func (f *BFP) encodeValue(v, step float64) Bits {
 // Dequantize implements Format (method 2). It honors whatever shared
 // exponents the metadata carries — including fault-corrupted ones.
 func (f *BFP) Dequantize(enc *Encoding) *tensor.Tensor {
+	countDequantize(len(enc.Codes))
 	out := tensor.New(enc.Shape...)
 	data := out.Data()
 	n := len(data)
@@ -183,6 +185,7 @@ func (f *BFP) decodeValue(b Bits, step float64) float64 {
 // Emulate implements Format via the generic code-based path; BFP has no
 // arithmetic fast path (the paper's Python-speed side of Fig 3).
 func (f *BFP) Emulate(t *tensor.Tensor) *tensor.Tensor {
+	countEmulate(t.Len())
 	return emulateViaCodes(f, t)
 }
 

@@ -135,6 +135,7 @@ func (f *FP) quantizeScalar(v float64) float64 {
 // fall back to the scalar arithmetic path. Tests assert exact agreement
 // with Dequantize∘Quantize.
 func (f *FP) Emulate(t *tensor.Tensor) *tensor.Tensor {
+	countEmulate(t.Len())
 	out := t.Clone()
 	data := out.Data()
 	if f.mantBits > 23 {
@@ -197,6 +198,7 @@ func (f *FP) Emulate(t *tensor.Tensor) *tensor.Tensor {
 
 // Quantize implements Format (method 1).
 func (f *FP) Quantize(t *tensor.Tensor) *Encoding {
+	countQuantize(t.Len())
 	data := t.Data()
 	codes := make([]Bits, len(data))
 	meta := Metadata{Kind: MetaNone}
@@ -208,6 +210,7 @@ func (f *FP) Quantize(t *tensor.Tensor) *Encoding {
 
 // Dequantize implements Format (method 2).
 func (f *FP) Dequantize(enc *Encoding) *tensor.Tensor {
+	countDequantize(len(enc.Codes))
 	out := tensor.New(enc.Shape...)
 	data := out.Data()
 	for i, c := range enc.Codes {

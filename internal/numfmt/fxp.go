@@ -77,6 +77,7 @@ func (f *FxP) quantizeCode(v float64) int64 {
 // Emulate implements Format with an arithmetic fast path: scale, one
 // branch-free RNE, clamp, scale back.
 func (f *FxP) Emulate(t *tensor.Tensor) *tensor.Tensor {
+	countEmulate(t.Len())
 	out := t.Clone()
 	data := out.Data()
 	if f.maxCode >= magicSafe {
@@ -106,6 +107,7 @@ func (f *FxP) Emulate(t *tensor.Tensor) *tensor.Tensor {
 
 // Quantize implements Format (method 1).
 func (f *FxP) Quantize(t *tensor.Tensor) *Encoding {
+	countQuantize(t.Len())
 	data := t.Data()
 	codes := make([]Bits, len(data))
 	meta := Metadata{Kind: MetaNone}
@@ -117,6 +119,7 @@ func (f *FxP) Quantize(t *tensor.Tensor) *Encoding {
 
 // Dequantize implements Format (method 2).
 func (f *FxP) Dequantize(enc *Encoding) *tensor.Tensor {
+	countDequantize(len(enc.Codes))
 	out := tensor.New(enc.Shape...)
 	data := out.Data()
 	for i, c := range enc.Codes {

@@ -85,6 +85,7 @@ func (q *INT) quantizeCode(v, scale float64) int64 {
 // Emulate implements Format with an arithmetic fast path: scale, one
 // branch-free RNE, clamp, scale back.
 func (q *INT) Emulate(t *tensor.Tensor) *tensor.Tensor {
+	countEmulate(t.Len())
 	scale := float64(q.scaleFor(t))
 	out := t.Clone()
 	data := out.Data()
@@ -114,6 +115,7 @@ func (q *INT) Emulate(t *tensor.Tensor) *tensor.Tensor {
 // Quantize implements Format (method 1), recording the scale register in
 // the encoding's metadata.
 func (q *INT) Quantize(t *tensor.Tensor) *Encoding {
+	countQuantize(t.Len())
 	meta := Metadata{Kind: MetaScale, Scale: q.scaleFor(t)}
 	data := t.Data()
 	codes := make([]Bits, len(data))
@@ -125,6 +127,7 @@ func (q *INT) Quantize(t *tensor.Tensor) *Encoding {
 
 // Dequantize implements Format (method 2).
 func (q *INT) Dequantize(enc *Encoding) *tensor.Tensor {
+	countDequantize(len(enc.Codes))
 	out := tensor.New(enc.Shape...)
 	data := out.Data()
 	for i, c := range enc.Codes {

@@ -107,6 +107,7 @@ func (l *LNS) valueOf(sign bool, logCode int64) float64 {
 
 // Emulate implements Format.
 func (l *LNS) Emulate(t *tensor.Tensor) *tensor.Tensor {
+	countEmulate(t.Len())
 	out := t.Clone()
 	data := out.Data()
 	for i, v := range data {
@@ -117,6 +118,7 @@ func (l *LNS) Emulate(t *tensor.Tensor) *tensor.Tensor {
 
 // Quantize implements Format (method 1).
 func (l *LNS) Quantize(t *tensor.Tensor) *Encoding {
+	countQuantize(t.Len())
 	meta := Metadata{Kind: MetaNone}
 	data := t.Data()
 	codes := make([]Bits, len(data))
@@ -128,6 +130,7 @@ func (l *LNS) Quantize(t *tensor.Tensor) *Encoding {
 
 // Dequantize implements Format (method 2).
 func (l *LNS) Dequantize(enc *Encoding) *tensor.Tensor {
+	countDequantize(len(enc.Codes))
 	out := tensor.New(enc.Shape...)
 	data := out.Data()
 	for i, c := range enc.Codes {

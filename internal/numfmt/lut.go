@@ -127,6 +127,7 @@ func (l *LUT) nearestLevel(x float64) int {
 
 // Emulate implements Format.
 func (l *LUT) Emulate(t *tensor.Tensor) *tensor.Tensor {
+	countEmulate(t.Len())
 	scale := float64(l.scaleFor(t))
 	out := t.Clone()
 	data := out.Data()
@@ -143,6 +144,7 @@ func (l *LUT) Emulate(t *tensor.Tensor) *tensor.Tensor {
 
 // Quantize implements Format (method 1).
 func (l *LUT) Quantize(t *tensor.Tensor) *Encoding {
+	countQuantize(t.Len())
 	meta := Metadata{Kind: MetaScale, Scale: l.scaleFor(t)}
 	data := t.Data()
 	codes := make([]Bits, len(data))
@@ -154,6 +156,7 @@ func (l *LUT) Quantize(t *tensor.Tensor) *Encoding {
 
 // Dequantize implements Format (method 2).
 func (l *LUT) Dequantize(enc *Encoding) *tensor.Tensor {
+	countDequantize(len(enc.Codes))
 	out := tensor.New(enc.Shape...)
 	data := out.Data()
 	for i, c := range enc.Codes {

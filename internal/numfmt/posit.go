@@ -199,6 +199,7 @@ func (p *Posit) quantizeScalar(v float64) float64 {
 
 // Emulate implements Format via table lookup (O(log n) per element).
 func (p *Posit) Emulate(t *tensor.Tensor) *tensor.Tensor {
+	countEmulate(t.Len())
 	out := t.Clone()
 	data := out.Data()
 	for i, v := range data {
@@ -209,6 +210,7 @@ func (p *Posit) Emulate(t *tensor.Tensor) *tensor.Tensor {
 
 // Quantize implements Format (method 1).
 func (p *Posit) Quantize(t *tensor.Tensor) *Encoding {
+	countQuantize(t.Len())
 	meta := Metadata{Kind: MetaNone}
 	data := t.Data()
 	codes := make([]Bits, len(data))
@@ -220,6 +222,7 @@ func (p *Posit) Quantize(t *tensor.Tensor) *Encoding {
 
 // Dequantize implements Format (method 2).
 func (p *Posit) Dequantize(enc *Encoding) *tensor.Tensor {
+	countDequantize(len(enc.Codes))
 	out := tensor.New(enc.Shape...)
 	data := out.Data()
 	for i, c := range enc.Codes {

@@ -1,0 +1,58 @@
+package numfmt
+
+import "sync/atomic"
+
+// OpCounts is a snapshot of the package's quantization-op counters: how
+// many times each Format method ran and how many tensor elements passed
+// through them in total. Formats whose Emulate goes through the generic
+// code-based path (BFP, AFP) also count the internal Quantize/Dequantize
+// pair, which is exactly the extra work Fig 3's overhead dichotomy is
+// about — the counters make the fast-path/slow-path split visible.
+type OpCounts struct {
+	Quantize   int64 // Quantize calls
+	Dequantize int64 // Dequantize calls
+	Emulate    int64 // Emulate calls
+	Elements   int64 // tensor elements processed across all three
+}
+
+// opStats holds the live counters: package-global atomics so that the
+// stateless, concurrently used Format implementations need no per-instance
+// plumbing. The telemetry registry reads them through a collector
+// (goldeneye.RegisterRuntimeCollectors).
+var opStats struct {
+	quantize, dequantize, emulate, elements atomic.Int64
+}
+
+func countQuantize(n int) {
+	opStats.quantize.Add(1)
+	opStats.elements.Add(int64(n))
+}
+
+func countDequantize(n int) {
+	opStats.dequantize.Add(1)
+	opStats.elements.Add(int64(n))
+}
+
+func countEmulate(n int) {
+	opStats.emulate.Add(1)
+	opStats.elements.Add(int64(n))
+}
+
+// ReadOpCounts returns the current counter values (each field read
+// atomically; the set is not one atomic snapshot).
+func ReadOpCounts() OpCounts {
+	return OpCounts{
+		Quantize:   opStats.quantize.Load(),
+		Dequantize: opStats.dequantize.Load(),
+		Emulate:    opStats.emulate.Load(),
+		Elements:   opStats.elements.Load(),
+	}
+}
+
+// ResetOpCounts zeroes all counters, scoping a measurement window.
+func ResetOpCounts() {
+	opStats.quantize.Store(0)
+	opStats.dequantize.Store(0)
+	opStats.emulate.Store(0)
+	opStats.elements.Store(0)
+}

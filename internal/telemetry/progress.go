@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// WatchProgress renders a live single-line progress display to w every
+// interval, driven by a counter of completed work items and a known total
+// (0 = unknown, renders count and rate only). Each tick overwrites the
+// previous line with \r, so w should be a terminal stream (stderr). The
+// returned stop function halts the ticker, prints a final line terminated
+// by a newline, and is safe to call more than once.
+//
+// The rendered line shows completed/total, percentage, the overall average
+// rate, and the instantaneous rate over the last tick:
+//
+//	inject   1234/5000  24.7%   312.4/s (now 305.1/s)
+func WatchProgress(w io.Writer, label string, done *Counter, total int64, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	start := time.Now()
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+
+	render := func(final bool) {
+		cur := done.Value()
+		elapsed := time.Since(start).Seconds()
+		avg := 0.0
+		if elapsed > 0 {
+			avg = float64(cur) / elapsed
+		}
+		line := fmt.Sprintf("%-8s %d", label, cur)
+		if total > 0 {
+			line = fmt.Sprintf("%-8s %d/%d  %5.1f%%", label, cur, total, 100*float64(cur)/float64(total))
+		}
+		line += fmt.Sprintf("  %8.1f/s  %6.1fs elapsed", avg, elapsed)
+		if final {
+			fmt.Fprintf(w, "\r%s\n", line)
+		} else {
+			fmt.Fprintf(w, "\r%s", line)
+		}
+	}
+
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				render(false)
+			}
+		}
+	}()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-finished
+			render(true)
+		})
+	}
+}

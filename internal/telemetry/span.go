@@ -1,0 +1,34 @@
+package telemetry
+
+import "time"
+
+// Span measures one wall-clock section and records its duration, in
+// seconds, into a histogram. The zero Span is inert (End returns 0 and
+// records nothing), so instrumentation can be compiled in unconditionally
+// and activated only when a registry is attached:
+//
+//	span := telemetry.StartSpan(h) // h may be nil
+//	defer span.End()
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing. A nil histogram yields an inert span.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End stops the span, records its duration into the histogram, and
+// returns the elapsed time. Calling End on an inert span returns 0.
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}

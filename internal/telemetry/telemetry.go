@@ -1,0 +1,156 @@
+// Package telemetry is GoldenEye's instrumentation substrate: counters,
+// gauges, and fixed-bucket histograms on lock-free atomics, collected in a
+// Registry with Prometheus-text and JSON exposition, plus a Span helper for
+// timing wall-clock sections and a progress-line renderer for long-running
+// campaigns.
+//
+// The package is dependency-free (standard library only) by design, so any
+// layer of the simulator — tensor kernels, the nn substrate, the campaign
+// engine — can be instrumented without import-cycle or dependency concerns.
+// Hot-path operations (Inc, Add, Observe, Set) are single atomic updates;
+// metric lookup through the Registry is a lock-free sync.Map read after the
+// first access.
+//
+// Metric names follow the Prometheus convention
+// goldeneye_<subsystem>_<metric>_<unit>, with optional labels embedded in
+// the name via Label (e.g. `goldeneye_nn_forward_seconds{layer="3"}`). See
+// README.md in this directory for the naming rules and the full metric
+// inventory.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative deltas are ignored: a counter only goes up.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down (stored as IEEE-754
+// bits in a uint64). The zero value is ready to use; all methods are safe
+// for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta via a compare-and-swap loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (defined by their
+// inclusive upper bounds, plus an implicit +Inf overflow bucket) and tracks
+// their sum. Observe is a bucket scan plus three atomic updates — no locks —
+// so it is safe on hot paths shared by campaign workers.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the last entry is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram returns a histogram over the given strictly increasing
+// upper bounds. An empty bounds slice yields a single +Inf bucket (the
+// histogram still tracks count and sum).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bucket is one histogram bucket in a snapshot: the count of observations
+// at or below UpperBound that exceeded the previous bound (non-cumulative).
+// The final bucket has UpperBound +Inf.
+type Bucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// Buckets returns a consistent-enough snapshot of the per-bucket counts
+// (individual buckets are read atomically; the set is not a single atomic
+// snapshot, which is fine for monitoring).
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.counts))
+	for i := range h.bounds {
+		out[i] = Bucket{UpperBound: h.bounds[i], Count: h.counts[i].Load()}
+	}
+	out[len(h.bounds)] = Bucket{UpperBound: math.Inf(1), Count: h.counts[len(h.bounds)].Load()}
+	return out
+}
+
+// ExponentialBuckets returns n upper bounds starting at start and growing
+// by factor: the standard shape for latency histograms.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExponentialBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the default bucket layout for wall-clock sections,
+// spanning 1µs to ~4s — wide enough for a single layer forward on a small
+// model and a full injected inference on a large one.
+var DurationBuckets = ExponentialBuckets(1e-6, 4, 12)

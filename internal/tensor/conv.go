@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // ConvOut returns the spatial output size of a convolution/pooling window.
 func ConvOut(in, kernel, stride, pad int) int {
@@ -18,6 +21,7 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	out := New(c*kh*kw, n*oh*ow)
+	defer func(start time.Time) { recordIm2Col(start) }(time.Now())
 	cols := n * oh * ow
 	for ci := 0; ci < c; ci++ {
 		for ki := 0; ki < kh; ki++ {

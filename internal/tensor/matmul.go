@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // matmulParallelThreshold is the output-element count above which MatMul
@@ -23,6 +24,7 @@ func (t *Tensor) MatMul(o *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v @ %v", t.shape, o.shape))
 	}
 	out := New(m, n)
+	defer func(start time.Time) { recordMatMul(start, m, n, k) }(time.Now())
 	if m*n >= matmulParallelThreshold && m > 1 {
 		parallelRows(m, func(lo, hi int) {
 			matmulRows(out.data, t.data, o.data, lo, hi, k, n)
@@ -65,6 +67,7 @@ func (t *Tensor) MatMulT(o *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT inner dimensions differ: %v @ %vᵀ", t.shape, o.shape))
 	}
 	out := New(m, n)
+	defer func(start time.Time) { recordMatMul(start, m, n, k) }(time.Now())
 	work := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ai := t.data[i*k : (i+1)*k]
@@ -100,6 +103,7 @@ func (t *Tensor) TMatMul(o *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: TMatMul inner dimensions differ: %vᵀ @ %v", t.shape, o.shape))
 	}
 	out := New(m, n)
+	defer func(start time.Time) { recordMatMul(start, m, n, k) }(time.Now())
 	// Accumulate rank-1 updates; the outer loop runs over the shared k axis,
 	// so sharding happens over output rows to stay race-free.
 	work := func(lo, hi int) {

@@ -1,0 +1,118 @@
+package goldeneye
+
+import (
+	"time"
+
+	"goldeneye/internal/dse"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/telemetry"
+	"goldeneye/internal/tensor"
+)
+
+// ForwardSecondsMetric is the per-layer forward-time histogram family; one
+// histogram exists per layer, labeled `layer="<index>:<name>(<kind>)"`.
+const ForwardSecondsMetric = "goldeneye_nn_forward_seconds"
+
+// Campaign metric names (see internal/telemetry/README.md for the naming
+// rules and the full inventory).
+const (
+	MetricCampaignInjections = "goldeneye_campaign_injections_total"
+	MetricCampaignMismatches = "goldeneye_campaign_mismatches_total"
+	MetricCampaignNonFinite  = "goldeneye_campaign_nonfinite_total"
+	MetricCampaignDetected   = "goldeneye_campaign_detected_total"
+	MetricCampaignPlanned    = "goldeneye_campaign_injections_planned"
+	MetricCampaignLatency    = "goldeneye_campaign_injection_seconds"
+	MetricCampaignShardTime  = "goldeneye_campaign_shard_seconds" // labeled worker="N"
+	MetricCampaignShardWork  = "goldeneye_campaign_shard_injections_total"
+)
+
+// RegisterRuntimeCollectors attaches snapshot-time bridges for the
+// package-level counters maintained by the internal substrates (tensor
+// kernel timings, numfmt quantization ops, dse exploration counters) to
+// reg, so one exposition covers every layer of the stack. Registering the
+// same registry twice is harmless: collector samples overwrite by name.
+func RegisterRuntimeCollectors(reg *telemetry.Registry) {
+	reg.RegisterCollector(func(set func(string, float64)) {
+		ts := tensor.ReadOpStats()
+		set("goldeneye_tensor_matmul_total", float64(ts.MatMulCalls))
+		set("goldeneye_tensor_matmul_seconds_total", float64(ts.MatMulNanos)/1e9)
+		set("goldeneye_tensor_matmul_flops_total", float64(ts.MatMulFLOPs))
+		set("goldeneye_tensor_im2col_total", float64(ts.Im2ColCalls))
+		set("goldeneye_tensor_im2col_seconds_total", float64(ts.Im2ColNanos)/1e9)
+
+		nf := numfmt.ReadOpCounts()
+		set("goldeneye_numfmt_quantize_total", float64(nf.Quantize))
+		set("goldeneye_numfmt_dequantize_total", float64(nf.Dequantize))
+		set("goldeneye_numfmt_emulate_total", float64(nf.Emulate))
+		set("goldeneye_numfmt_elements_total", float64(nf.Elements))
+
+		ds := dse.ReadSearchStats()
+		set("goldeneye_dse_searches_total", float64(ds.Searches))
+		set("goldeneye_dse_evaluations_total", float64(ds.Evaluations))
+		set("goldeneye_dse_memo_hits_total", float64(ds.MemoHits))
+		set("goldeneye_dse_accepted_total", float64(ds.Accepted))
+	})
+}
+
+// layerTimingHooks returns a hook set recording per-layer forward time
+// into reg's ForwardSecondsMetric histograms. Histogram lookups are cached
+// per layer index; like nn.TimingHooks, the returned set carries per-pass
+// state and must not be shared across concurrent contexts.
+func layerTimingHooks(reg *telemetry.Registry) *nn.HookSet {
+	cache := make(map[int]*telemetry.Histogram)
+	return nn.TimingHooks(func(info nn.LayerInfo, d time.Duration) {
+		h, ok := cache[info.Index]
+		if !ok {
+			h = reg.Histogram(telemetry.Label(ForwardSecondsMetric, "layer", info.String()),
+				telemetry.DurationBuckets)
+			cache[info.Index] = h
+		}
+		h.Observe(d.Seconds())
+	})
+}
+
+// campaignTelemetry bundles the campaign-level instruments. A nil
+// *campaignTelemetry is inert, so campaign code records unconditionally.
+type campaignTelemetry struct {
+	injections *telemetry.Counter
+	mismatches *telemetry.Counter
+	nonFinite  *telemetry.Counter
+	detected   *telemetry.Counter
+	latency    *telemetry.Histogram
+}
+
+// newCampaignTelemetry fetches the campaign instruments from reg (nil reg
+// → nil, inert) and publishes the planned injection count for progress
+// rendering.
+func newCampaignTelemetry(reg *telemetry.Registry, planned int) *campaignTelemetry {
+	if reg == nil {
+		return nil
+	}
+	reg.Gauge(MetricCampaignPlanned).Set(float64(planned))
+	return &campaignTelemetry{
+		injections: reg.Counter(MetricCampaignInjections),
+		mismatches: reg.Counter(MetricCampaignMismatches),
+		nonFinite:  reg.Counter(MetricCampaignNonFinite),
+		detected:   reg.Counter(MetricCampaignDetected),
+		latency:    reg.Histogram(MetricCampaignLatency, telemetry.DurationBuckets),
+	}
+}
+
+// record folds one injection outcome into the campaign counters.
+func (ct *campaignTelemetry) record(mismatch, nonFinite, detected bool, d time.Duration) {
+	if ct == nil {
+		return
+	}
+	ct.injections.Inc()
+	if mismatch {
+		ct.mismatches.Inc()
+	}
+	if nonFinite {
+		ct.nonFinite.Inc()
+	}
+	if detected {
+		ct.detected.Inc()
+	}
+	ct.latency.Observe(d.Seconds())
+}
