@@ -9,7 +9,8 @@ test:
 # across goroutines (telemetry registry, tensor/numfmt/dse stats counters,
 # nn timing hooks, parallel campaigns in the root package).
 RACE_PKGS = ./internal/telemetry ./internal/tensor ./internal/nn \
-            ./internal/numfmt ./internal/dse .
+            ./internal/numfmt ./internal/dse ./internal/checkpoint \
+            ./internal/exper .
 
 .PHONY: check
 check:
@@ -17,6 +18,13 @@ check:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	go test -race $(RACE_PKGS)
+
+# Cancellation paths are the raciest part of the lifecycle: a cancel can
+# land while workers are mid-injection, mid-merge, or not yet started.
+# Repeated race-detector runs shake out orderings a single run misses.
+.PHONY: stress-cancel
+stress-cancel:
+	go test -race -run Cancel -count=5 .
 
 .PHONY: bench
 bench:

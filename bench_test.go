@@ -7,6 +7,7 @@ package goldeneye_test
 // versions.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -89,7 +90,7 @@ func BenchmarkFig3ErrorInjection(b *testing.B) {
 			}
 			layer := sim.InjectableLayers()[2]
 			for i := 0; i < b.N; i++ {
-				_, err := sim.RunCampaign(goldeneye.CampaignConfig{
+				_, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 					Format:         numfmt.BFPe5m5(),
 					Site:           s,
 					Target:         goldeneye.TargetNeuron,
@@ -113,7 +114,7 @@ func BenchmarkFig3ErrorInjection(b *testing.B) {
 func BenchmarkFig4AccuracySweep(b *testing.B) {
 	opts := exper.Options{ValSamples: 60, BatchSize: 20}
 	for i := 0; i < b.N; i++ {
-		if _, err := exper.Fig4([]string{"resnet_s"}, io.Discard, opts); err != nil {
+		if _, err := exper.Fig4(context.Background(), []string{"resnet_s"}, io.Discard, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -152,7 +153,7 @@ func BenchmarkFig7Resiliency(b *testing.B) {
 				s = goldeneye.SiteMetadata
 			}
 			for i := 0; i < b.N; i++ {
-				_, err := sim.RunCampaign(goldeneye.CampaignConfig{
+				_, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 					Format:         numfmt.BFPe5m5(),
 					Site:           s,
 					Target:         goldeneye.TargetNeuron,
@@ -182,7 +183,7 @@ func BenchmarkFig9Tradeoff(b *testing.B) {
 		sim.Evaluate(x.Slice(0, 60), y[:60], 20, goldeneye.EmulationConfig{
 			Format: format, Weights: true, Neurons: true,
 		})
-		_, err := sim.RunCampaign(goldeneye.CampaignConfig{
+		_, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 			Format:         format,
 			Site:           goldeneye.SiteMetadata,
 			Target:         goldeneye.TargetNeuron,
@@ -232,7 +233,7 @@ func BenchmarkParallelCampaign(b *testing.B) {
 					Y:              y[:16],
 					EmulateNetwork: true,
 				}
-				if _, err := goldeneye.RunCampaignParallel(cfg, workers, build); err != nil {
+				if _, err := goldeneye.RunCampaignParallel(context.Background(), cfg, workers, build); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -245,7 +246,7 @@ func BenchmarkParallelCampaign(b *testing.B) {
 func BenchmarkMetricConvergence(b *testing.B) {
 	opts := exper.Options{ValSamples: 40, Injections: 100}
 	for i := 0; i < b.N; i++ {
-		if _, err := exper.Convergence("mlp", numfmt.BFPe5m5(), -1, io.Discard, opts); err != nil {
+		if _, err := exper.Convergence(context.Background(), "mlp", numfmt.BFPe5m5(), -1, io.Discard, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -257,7 +258,7 @@ func BenchmarkMetricConvergence(b *testing.B) {
 func BenchmarkAblationBFPBlockSize(b *testing.B) {
 	opts := exper.Options{ValSamples: 40, Injections: 20, BatchSize: 20}
 	for i := 0; i < b.N; i++ {
-		if _, err := exper.AblationBFPBlock("mlp", io.Discard, opts); err != nil {
+		if _, err := exper.AblationBFPBlock(context.Background(), "mlp", io.Discard, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,9 +1,12 @@
 package goldeneye
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"goldeneye/internal/inject"
@@ -86,6 +89,67 @@ type CampaignConfig struct {
 	// executions and is structurally undetectable by DMR. Doubles the
 	// campaign's inference cost.
 	MeasureDMR bool
+
+	// MaxAborts bounds degraded-mode operation: a panicking injection
+	// (e.g. metadata corruption producing a degenerate scale) is recovered
+	// and counted as aborted rather than crashing the campaign, but once
+	// more than MaxAborts injections have aborted the campaign fails with
+	// the last *InjectionError. Zero or negative means unlimited — the
+	// campaign always completes in degraded mode.
+	MaxAborts int
+
+	// Resume continues a previously interrupted campaign from persisted
+	// state (see internal/checkpoint). The already-executed prefix of the
+	// deterministic fault sequence is drawn and discarded, so a resumed
+	// campaign's report is bit-identical to an uninterrupted run's.
+	// Incompatible with KeepTrace (traces are not persisted).
+	Resume *CampaignResume
+}
+
+// CampaignResume is the state of an interrupted campaign: how many
+// injections were executed (recorded + aborted) and the aggregates they
+// produced. Serial resumption continues the Welford accumulators in place,
+// so the final moments carry no merge reassociation.
+type CampaignResume struct {
+	// Completed is the number of injections already executed — the length
+	// of the fault-sequence prefix to replay without running inference.
+	Completed int
+
+	// Result is the interrupted run's aggregate over the prefix.
+	Result metrics.CampaignResult
+
+	// Detected and Aborted restore the report fields outside
+	// metrics.CampaignResult.
+	Detected int
+	Aborted  int
+}
+
+// InjectionError is one injection that aborted: a panic during the injected
+// inference (degenerate metadata scales, non-finite propagation into an
+// assertion, a corrupted hook) was recovered and converted into this typed
+// error. Campaigns continue in degraded mode past aborted injections,
+// counting them in CampaignReport.Aborted, until CampaignConfig.MaxAborts
+// is exceeded.
+type InjectionError struct {
+	// Shard is the worker index that executed the injection (0 for serial
+	// campaigns).
+	Shard int
+
+	// Injection is the global injection index within the campaign.
+	Injection int
+
+	// Fault is the first flip of the offending injection.
+	Fault inject.Fault
+
+	// Panic is the recovered panic value.
+	Panic interface{}
+}
+
+// Error renders the abort with enough context to replay it (the fault plus
+// its position in the deterministic sequence).
+func (e *InjectionError) Error() string {
+	return fmt.Sprintf("goldeneye: injection %d aborted on worker %d (%s): panic: %v",
+		e.Injection, e.Shard, e.Fault, e.Panic)
 }
 
 // InjectionOutcome is one recorded injection (with KeepTrace).
@@ -97,6 +161,17 @@ type InjectionOutcome struct {
 	Sample    int
 	Mismatch  bool
 	DeltaLoss float64
+
+	// NonFinite reports whether the faulty output contained NaN/Inf.
+	NonFinite bool
+
+	// Detected reports whether DMR re-execution flagged the fault (only
+	// meaningful with MeasureDMR).
+	Detected bool
+
+	// Aborted marks an injection whose inference panicked and was
+	// recovered; its metric fields are zero.
+	Aborted bool
 }
 
 // CampaignReport is a campaign's aggregated result plus optional trace.
@@ -109,6 +184,14 @@ type CampaignReport struct {
 	// Detected counts injections flagged by DMR re-execution (only
 	// populated with MeasureDMR).
 	Detected int
+
+	// Aborted counts injections whose inference panicked and was recovered
+	// (degraded mode); they are excluded from the metric aggregates.
+	Aborted int
+
+	// Interrupted marks a report cut short by context cancellation; the
+	// aggregates cover exactly the injections completed before the cut.
+	Interrupted bool
 }
 
 // DetectionCoverage returns the fraction of injections DMR detected.
@@ -152,6 +235,15 @@ func (s *Simulator) campaignGeometry(cfg CampaignConfig) (elems, flips int, err 
 	if cfg.Site == inject.SiteMetadata && inject.MetaBitWidth(cfg.Format) == 0 {
 		return 0, 0, fmt.Errorf("goldeneye: format %s has no metadata to inject into", cfg.Format.Name())
 	}
+	if cfg.Resume != nil {
+		if cfg.KeepTrace {
+			return 0, 0, fmt.Errorf("goldeneye: resume does not support KeepTrace campaigns")
+		}
+		if cfg.Resume.Completed < 0 || cfg.Resume.Completed > cfg.Injections {
+			return 0, 0, fmt.Errorf("goldeneye: resume point %d outside campaign of %d injections",
+				cfg.Resume.Completed, cfg.Injections)
+		}
+	}
 	elems = s.sizes[cfg.Layer]
 	if cfg.Target == inject.TargetNeuron && elems == 0 {
 		return 0, 0, fmt.Errorf("goldeneye: unknown layer index %d", cfg.Layer)
@@ -171,8 +263,10 @@ func (s *Simulator) campaignGeometry(cfg CampaignConfig) (elems, flips int, err 
 }
 
 // newRunner validates cfg against the simulator and computes the
-// fault-free references. Callers must invoke close() to restore weights.
-func (s *Simulator) newRunner(cfg CampaignConfig) (*campaignRunner, error) {
+// fault-free references, checking ctx between forward passes so a SIGINT
+// during setup (range profiling, clean references) aborts promptly.
+// Callers must invoke close() to restore weights.
+func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaignRunner, error) {
 	elems, flips, err := s.campaignGeometry(cfg)
 	if err != nil {
 		return nil, err
@@ -182,11 +276,19 @@ func (s *Simulator) newRunner(cfg CampaignConfig) (*campaignRunner, error) {
 		r.timing = layerTimingHooks(cfg.Metrics)
 	}
 	r.backup = inject.BackupWeights(s.model)
+	// Any early exit below must restore the weights it may have quantized.
+	fail := func(err error) (*campaignRunner, error) {
+		r.backup.Restore()
+		return nil, err
+	}
 	if cfg.QuantizeWeights {
 		inject.QuantizeWeights(s.model, cfg.Format)
 	}
 	if cfg.UseRanger {
-		r.ranger = inject.ProfileRanges(s.model, cfg.X, 16, r.baseHooks())
+		r.ranger = inject.ProfileRanges(ctx, s.model, cfg.X, 16, r.baseHooks())
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 	}
 
 	// Fault-free reference per pool sample, at batch 1 (per-tensor metadata
@@ -196,6 +298,9 @@ func (s *Simulator) newRunner(cfg CampaignConfig) (*campaignRunner, error) {
 	r.cleanLoss = make([]float64, n)
 	cleanCtx := nn.NewContext(r.withTiming(r.baseHooks()))
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
 		logits := nn.Forward(cleanCtx, s.model, cfg.X.Slice(i, i+1))
 		r.cleanPred[i] = logits.ArgMaxRows()[0]
 		r.cleanLoss[i] = train.CrossEntropyPerSample(logits, cfg.Y[i:i+1])[0]
@@ -226,32 +331,64 @@ func (r *campaignRunner) withTiming(h *nn.HookSet) *nn.HookSet {
 	return h
 }
 
-// drawFaults produces injection i's fault set from the shared sequence.
-func (r *campaignRunner) drawFaults(src *rng.RNG) []inject.Fault {
-	faults := make([]inject.Fault, r.flips)
+// faultDrawer draws a campaign's deterministic fault sequence from its
+// seed. It is the single drawing implementation shared by the serial and
+// parallel paths (and by resume-prefix replay), so the sequences cannot
+// drift apart.
+type faultDrawer struct {
+	src   *rng.RNG
+	cfg   *CampaignConfig
+	elems int
+	flips int
+}
+
+// newFaultDrawer positions a drawer at the start of cfg's fault sequence.
+func newFaultDrawer(cfg *CampaignConfig, elems, flips int) *faultDrawer {
+	return &faultDrawer{src: rng.New(cfg.Seed), cfg: cfg, elems: elems, flips: flips}
+}
+
+// next produces the next injection's fault set.
+func (d *faultDrawer) next() []inject.Fault {
+	faults := make([]inject.Fault, d.flips)
 	for j := range faults {
-		faults[j] = inject.RandomFault(src, r.cfg.Format, r.cfg.Layer, r.elems, r.cfg.Site, r.cfg.Target)
-		faults[j].Kind = r.cfg.FaultKind
+		faults[j] = inject.RandomFault(d.src, d.cfg.Format, d.cfg.Layer, d.elems, d.cfg.Site, d.cfg.Target)
+		faults[j].Kind = d.cfg.FaultKind
 	}
 	return faults
 }
 
-// runOne executes one injected inference and returns its outcome plus
-// whether the output was non-finite and whether DMR detected the fault.
-func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out InjectionOutcome, nonFinite, detected bool, err error) {
+// abortedOutcome is the trace placeholder for an injection whose inference
+// panicked: the faults and sample are known, the metrics are not.
+func abortedOutcome(faults []inject.Fault, sample int) InjectionOutcome {
+	out := InjectionOutcome{Fault: faults[0], Sample: sample, Aborted: true}
+	if len(faults) > 1 {
+		out.Extra = faults[1:]
+	}
+	return out
+}
+
+// runOne executes one injected inference and returns its outcome. Weight
+// corruption is undone via defer so that a panic inside the forward pass
+// (recovered by runIsolated) cannot leak corrupted weights into the next
+// injection.
+func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out InjectionOutcome, err error) {
 	cfg := r.cfg
-	var restores []func()
 	hooks := r.baseHooks()
 	if cfg.Target == inject.TargetNeuron {
 		hooks.PostForward(nn.ByIndex(cfg.Layer), inject.NeuronHookMulti(cfg.Format, faults))
 	} else {
+		var restores []func()
+		// Undo weight corruption in reverse order so overlapping faults
+		// restore correctly — deferred, so panic unwinding restores too.
+		defer func() {
+			for j := len(restores) - 1; j >= 0; j-- {
+				restores[j]()
+			}
+		}()
 		for _, fault := range faults {
 			restore, ferr := inject.WeightFault(cfg.Format, fault, r.sim.widx)
 			if ferr != nil {
-				for _, undo := range restores {
-					undo()
-				}
-				return out, false, false, ferr
+				return out, ferr
 			}
 			restores = append(restores, restore)
 		}
@@ -269,50 +406,104 @@ func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out Injectio
 			redo.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 		}
 		again := nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, cfg.X.Slice(sample, sample+1))
-		detected = !again.AllClose(logits, 0)
-	}
-	// Undo weight corruption in reverse order so overlapping faults
-	// restore correctly.
-	for j := len(restores) - 1; j >= 0; j-- {
-		restores[j]()
+		out.Detected = !again.AllClose(logits, 0)
 	}
 
 	faultyLoss := train.CrossEntropyPerSample(logits, cfg.Y[sample:sample+1])[0]
-	out = InjectionOutcome{
-		Fault:     faults[0],
-		Sample:    sample,
-		Mismatch:  logits.ArgMaxRows()[0] != r.cleanPred[sample],
-		DeltaLoss: metrics.DeltaLoss(r.cleanLoss[sample], faultyLoss),
-	}
+	out.Fault = faults[0]
+	out.Sample = sample
+	out.Mismatch = logits.ArgMaxRows()[0] != r.cleanPred[sample]
+	out.DeltaLoss = metrics.DeltaLoss(r.cleanLoss[sample], faultyLoss)
+	out.NonFinite = logits.CountNonFinite() > 0
 	if len(faults) > 1 {
 		out.Extra = faults[1:]
 	}
-	return out, logits.CountNonFinite() > 0, detected, nil
+	return out, nil
+}
+
+// runIsolated executes one injection with panic isolation: a panic inside
+// the injected inference is recovered and converted into an
+// *InjectionError carrying the shard index and the offending fault, so one
+// corrupted injection degrades the campaign instead of killing the process.
+func (r *campaignRunner) runIsolated(shard, injection int, faults []inject.Fault, sample int) (out InjectionOutcome, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			out = abortedOutcome(faults, sample)
+			err = &InjectionError{Shard: shard, Injection: injection, Fault: faults[0], Panic: p}
+		}
+	}()
+	return r.runOne(faults, sample)
 }
 
 // RunCampaign executes the configured campaign and returns its report. The
 // model's weights are restored to their pre-campaign values before
 // returning.
-func (s *Simulator) RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
-	runner, err := s.newRunner(cfg)
+//
+// Lifecycle semantics:
+//   - Cancellation: ctx is checked cooperatively before every injection;
+//     on cancellation the partial report (aggregating exactly the
+//     completed-injection prefix, Interrupted set) is returned together
+//     with ctx.Err().
+//   - Panic isolation: an injection whose inference panics is recovered,
+//     counted in the report's Aborted field, and the campaign continues in
+//     degraded mode until more than cfg.MaxAborts injections abort.
+//   - Resume: with cfg.Resume, the already-executed fault prefix is drawn
+//     but not re-run and the Welford accumulators continue from the
+//     persisted state, so the final report is bit-identical to an
+//     uninterrupted run's.
+func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runner, err := s.newRunner(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer runner.close()
 
 	report := &CampaignReport{Config: cfg}
+	skip := 0
+	if cfg.Resume != nil {
+		skip = cfg.Resume.Completed
+		report.CampaignResult = cfg.Resume.Result
+		report.Detected = cfg.Resume.Detected
+		report.Aborted = cfg.Resume.Aborted
+	}
 	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections)
-	src := rng.New(cfg.Seed)
+	drawer := newFaultDrawer(&cfg, runner.elems, runner.flips)
 	n := cfg.X.Dim(0)
 	for i := 0; i < cfg.Injections; i++ {
-		start := time.Now()
-		out, nonFinite, detected, err := runner.runOne(runner.drawFaults(src), i%n)
-		if err != nil {
-			return nil, err
+		// Always draw: a resumed campaign replays the prefix of the
+		// deterministic sequence without executing it.
+		faults := drawer.next()
+		if i < skip {
+			continue
 		}
-		ct.record(out.Mismatch, nonFinite, detected, time.Since(start))
-		report.Record(out.Mismatch, out.DeltaLoss, nonFinite)
-		if detected {
+		if err := ctx.Err(); err != nil {
+			report.Interrupted = true
+			return report, err
+		}
+		start := time.Now()
+		out, err := runner.runIsolated(0, i, faults, i%n)
+		if err != nil {
+			var ie *InjectionError
+			if !errors.As(err, &ie) {
+				return nil, err
+			}
+			report.Aborted++
+			ct.recordAborted()
+			if cfg.KeepTrace {
+				report.Trace = append(report.Trace, out)
+			}
+			if cfg.MaxAborts > 0 && report.Aborted > cfg.MaxAborts {
+				return report, fmt.Errorf("goldeneye: %d aborted injections exceed MaxAborts=%d: %w",
+					report.Aborted, cfg.MaxAborts, ie)
+			}
+			continue
+		}
+		ct.record(out.Mismatch, out.NonFinite, out.Detected, time.Since(start))
+		report.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
+		if out.Detected {
 			report.Detected++
 		}
 		if cfg.KeepTrace {
@@ -327,13 +518,24 @@ func (s *Simulator) RunCampaign(cfg CampaignConfig) (*CampaignReport, error) {
 // a fresh zoo load). The fault sequence is drawn up front from cfg.Seed, so
 // the injected faults are exactly those of the serial RunCampaign; only
 // floating-point aggregation order differs (Welford merge).
-func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulator, error)) (*CampaignReport, error) {
+//
+// The lifecycle semantics of RunCampaign apply per worker: cancellation
+// stops every worker at its next injection boundary and returns the merged
+// partial report with ctx.Err(); a panicking injection aborts only that
+// injection (the sibling workers continue); and a worker goroutine that
+// panics outside an injection surfaces as that shard's error rather than
+// crashing the process. The MaxAborts threshold is enforced across all
+// workers combined.
+func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, build func() (*Simulator, error)) (*CampaignReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 1 {
 		sim, err := build()
 		if err != nil {
 			return nil, err
 		}
-		return sim.RunCampaign(cfg)
+		return sim.RunCampaign(ctx, cfg)
 	}
 	if cfg.Injections < workers {
 		workers = cfg.Injections
@@ -349,29 +551,49 @@ func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulat
 	if err != nil {
 		return nil, err
 	}
-	src := rng.New(cfg.Seed)
+	drawer := newFaultDrawer(&cfg, elems, flips)
 	allFaults := make([][]inject.Fault, cfg.Injections)
 	for i := range allFaults {
-		faults := make([]inject.Fault, flips)
-		for j := range faults {
-			faults[j] = inject.RandomFault(src, cfg.Format, cfg.Layer, elems, cfg.Site, cfg.Target)
-			faults[j].Kind = cfg.FaultKind
-		}
-		allFaults[i] = faults
+		allFaults[i] = drawer.next()
+	}
+	skip := 0
+	if cfg.Resume != nil {
+		skip = cfg.Resume.Completed
 	}
 
+	// A worker hitting a fatal error (abort threshold, failed build) stops
+	// its siblings at their next injection boundary instead of letting
+	// them run the campaign to completion for a result that is discarded.
+	wctx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+
 	type shard struct {
-		report *CampaignReport
-		err    error
+		report      *CampaignReport
+		err         error
+		interrupted bool
 	}
 	n := cfg.X.Dim(0)
 	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections)
 	shards := make([]shard, workers)
+	var aborted atomic.Int64
+	if cfg.Resume != nil {
+		// Prior aborts count toward the shared threshold.
+		aborted.Store(int64(cfg.Resume.Aborted))
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Last line of defense: a panic outside the per-injection
+			// isolation (runner setup, telemetry) becomes the shard's
+			// error instead of crashing the whole process.
+			defer func() {
+				if p := recover(); p != nil {
+					shards[w].err = fmt.Errorf("worker panicked outside an injection: %v", p)
+					stopWorkers()
+				}
+			}()
 			if cfg.Metrics != nil {
 				// Per-worker shard wall time, for spotting stragglers in
 				// the metrics dump.
@@ -384,12 +606,19 @@ func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulat
 				sim, berr = build()
 				if berr != nil {
 					shards[w].err = berr
+					stopWorkers()
 					return
 				}
 			}
-			runner, rerr := sim.newRunner(cfg)
+			runner, rerr := sim.newRunner(wctx, cfg)
 			if rerr != nil {
+				if wctx.Err() != nil && errors.Is(rerr, wctx.Err()) {
+					shards[w].interrupted = true
+					shards[w].report = &CampaignReport{}
+					return
+				}
 				shards[w].err = rerr
+				stopWorkers()
 				return
 			}
 			defer runner.close()
@@ -399,18 +628,43 @@ func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulat
 			}
 			rep := &CampaignReport{}
 			for i := w; i < cfg.Injections; i += workers {
-				start := time.Now()
-				out, nonFinite, detected, oerr := runner.runOne(allFaults[i], i%n)
-				if oerr != nil {
-					shards[w].err = oerr
-					return
+				if i < skip {
+					continue
 				}
-				ct.record(out.Mismatch, nonFinite, detected, time.Since(start))
+				if wctx.Err() != nil {
+					shards[w].interrupted = true
+					break
+				}
+				start := time.Now()
+				out, oerr := runner.runIsolated(w, i, allFaults[i], i%n)
+				if oerr != nil {
+					var ie *InjectionError
+					if !errors.As(oerr, &ie) {
+						shards[w].err = oerr
+						stopWorkers()
+						return
+					}
+					total := aborted.Add(1)
+					ct.recordAborted()
+					rep.Aborted++
+					if cfg.KeepTrace {
+						rep.Trace = append(rep.Trace, out)
+					}
+					if cfg.MaxAborts > 0 && total > int64(cfg.MaxAborts) {
+						shards[w].report = rep
+						shards[w].err = fmt.Errorf("%d aborted injections exceed MaxAborts=%d: %w",
+							total, cfg.MaxAborts, ie)
+						stopWorkers()
+						return
+					}
+					continue
+				}
+				ct.record(out.Mismatch, out.NonFinite, out.Detected, time.Since(start))
 				if shardWork != nil {
 					shardWork.Inc()
 				}
-				rep.Record(out.Mismatch, out.DeltaLoss, nonFinite)
-				if detected {
+				rep.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
+				if out.Detected {
 					rep.Detected++
 				}
 				if cfg.KeepTrace {
@@ -422,10 +676,7 @@ func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulat
 	}
 	wg.Wait()
 
-	merged := &CampaignReport{Config: cfg}
-	if cfg.KeepTrace {
-		merged.Trace = make([]InjectionOutcome, cfg.Injections)
-	}
+	// Fatal shard errors take precedence over partial results.
 	for w, sh := range shards {
 		if sh.err != nil {
 			// Wrap with the shard index so a failed campaign is
@@ -433,13 +684,29 @@ func RunCampaignParallel(cfg CampaignConfig, workers int, build func() (*Simulat
 			// which worker's build failed).
 			return nil, fmt.Errorf("goldeneye: campaign worker %d/%d: %w", w, workers, sh.err)
 		}
+	}
+	merged := &CampaignReport{Config: cfg}
+	if cfg.Resume != nil {
+		merged.CampaignResult = cfg.Resume.Result
+		merged.Detected = cfg.Resume.Detected
+		merged.Aborted = cfg.Resume.Aborted
+	}
+	if cfg.KeepTrace {
+		merged.Trace = make([]InjectionOutcome, cfg.Injections)
+	}
+	for w, sh := range shards {
+		merged.Interrupted = merged.Interrupted || sh.interrupted
 		merged.CampaignResult.Merge(sh.report.CampaignResult)
 		merged.Detected += sh.report.Detected
+		merged.Aborted += sh.report.Aborted
 		if cfg.KeepTrace {
 			for k, out := range sh.report.Trace {
 				merged.Trace[w+k*workers] = out
 			}
 		}
+	}
+	if merged.Interrupted {
+		return merged, ctx.Err()
 	}
 	return merged, nil
 }

@@ -1,6 +1,7 @@
 package goldeneye_test
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -35,7 +36,7 @@ func TestCampaignDeterminismAcrossWorkerCounts(t *testing.T) {
 
 	reports := map[int]*goldeneye.CampaignReport{}
 	for _, workers := range []int{1, 2, 8} {
-		rep, err := goldeneye.RunCampaignParallel(cfg, workers, mlpBuilder(t))
+		rep, err := goldeneye.RunCampaignParallel(context.Background(), cfg, workers, mlpBuilder(t))
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -87,7 +88,7 @@ func TestCampaignTelemetry(t *testing.T) {
 		EmulateNetwork: true,
 		Metrics:        reg,
 	}
-	rep, err := sim.RunCampaign(cfg)
+	rep, err := sim.RunCampaign(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestParallelCampaignTelemetryShards(t *testing.T) {
 		Y:          y,
 		Metrics:    reg,
 	}
-	if _, err := goldeneye.RunCampaignParallel(cfg, 4, mlpBuilder(t)); err != nil {
+	if _, err := goldeneye.RunCampaignParallel(context.Background(), cfg, 4, mlpBuilder(t)); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Counter(goldeneye.MetricCampaignInjections).Value(); got != int64(cfg.Injections) {
@@ -170,7 +171,7 @@ func TestParallelCampaignWrapsWorkerError(t *testing.T) {
 		Y:          y,
 	}
 	var calls atomic.Int32
-	_, err := goldeneye.RunCampaignParallel(cfg, 4, func() (*goldeneye.Simulator, error) {
+	_, err := goldeneye.RunCampaignParallel(context.Background(), cfg, 4, func() (*goldeneye.Simulator, error) {
 		// First call (the scout) succeeds so the campaign reaches the
 		// worker phase; later builds fail inside workers.
 		if calls.Add(1) == 1 {

@@ -19,17 +19,29 @@
 // runtime counters (tensor kernel time, quantization ops, DSE evaluations)
 // to stderr, keeping stdout clean for -json; -debug-addr serves /metrics
 // and /debug/pprof while an experiment runs.
+//
+// Robustness: SIGINT/SIGTERM stop a sweep at the next campaign boundary
+// and exit cleanly. With -checkpoint-dir DIR, per-campaign state persists
+// across interruptions; rerunning with -resume serves completed cells from
+// the store and continues the interrupted one at its recorded injection,
+// reproducing the uninterrupted output bit for bit. Without -resume the
+// directory is cleared first.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"goldeneye"
+	"goldeneye/internal/checkpoint"
 	"goldeneye/internal/dse"
 	"goldeneye/internal/exper"
 	"goldeneye/internal/numfmt"
@@ -37,13 +49,23 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the context: drivers stop at the next cell or
+	// injection boundary, run's deferred cleanup (metrics dump, debug
+	// server) unwinds, and with -checkpoint-dir the interrupted sweep is
+	// resumable. Interruption is a clean exit, not a failure.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; rerun with -checkpoint-dir DIR -resume to continue the sweep")
+			return
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: experiments <table1|table2|fig3|fig4|fig6|fig7|fig9|convergence|all> [flags]")
 	}
@@ -61,6 +83,8 @@ func run(args []string) error {
 		jsonOut    = fs.Bool("json", false, "emit rows as JSON instead of text")
 		metricsFl  = fs.Bool("metrics", false, "print a final metrics dump (Prometheus text) to stderr")
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+		ckptDir    = fs.String("checkpoint-dir", "", "persist per-campaign checkpoints in this directory (makes sweeps resumable)")
+		resume     = fs.Bool("resume", false, "resume from the checkpoints in -checkpoint-dir instead of clearing them")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -84,6 +108,22 @@ func run(args []string) error {
 		}
 	}
 	opts := exper.Options{ValSamples: *samples, Injections: *injFlag}
+	if *ckptDir != "" {
+		st, cerr := checkpoint.Open(*ckptDir)
+		if cerr != nil {
+			return cerr
+		}
+		if !*resume {
+			// A fresh sweep must not inherit cells from a previous run that
+			// happened to use the same directory.
+			if cerr := st.Clear(); cerr != nil {
+				return cerr
+			}
+		}
+		opts.Checkpoint = st
+	} else if *resume {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
 
 	modelList := func(def []string) []string {
 		if *modelsFlag == "" {
@@ -116,45 +156,45 @@ func run(args []string) error {
 		return emit(exper.Table2(w), nil)
 	case "fig3":
 		fmt.Fprintln(w, "== Fig 3: runtime of format emulation and error injection ==")
-		return emit(exper.Fig3(modelList([]string{"resnet_s", "vit_tiny"}), *runsFlag, w, opts))
+		return emit(exper.Fig3(ctx, modelList([]string{"resnet_s", "vit_tiny"}), *runsFlag, w, opts))
 	case "fig4":
 		fmt.Fprintln(w, "== Fig 4: accuracy vs bitwidth across format families ==")
-		return emit(exper.Fig4(modelList([]string{"resnet_s", "vit_tiny"}), w, opts))
+		return emit(exper.Fig4(ctx, modelList([]string{"resnet_s", "vit_tiny"}), w, opts))
 	case "fig6":
 		fmt.Fprintln(w, "== Fig 6: DSE heuristic traversals ==")
-		return emit(exper.Fig6(modelList([]string{"resnet_s", "vit_tiny"}), dse.Families(), *threshold, w, opts))
+		return emit(exper.Fig6(ctx, modelList([]string{"resnet_s", "vit_tiny"}), dse.Families(), *threshold, w, opts))
 	case "fig7":
 		fmt.Fprintln(w, "== Fig 7: per-layer ΔLoss, value vs metadata injections ==")
-		return emit(exper.Fig7(modelList([]string{"resnet_m", "vit_small"}), w, opts))
+		return emit(exper.Fig7(ctx, modelList([]string{"resnet_m", "vit_small"}), w, opts))
 	case "fig9":
 		fmt.Fprintln(w, "== Fig 9: accuracy / resilience / bitwidth trade-off ==")
-		return emit(exper.Fig9(*modelFlag, *threshold, w, opts))
+		return emit(exper.Fig9(ctx, *modelFlag, *threshold, w, opts))
 	case "convergence":
 		fmt.Fprintln(w, "== §IV-C: ΔLoss vs mismatch metric convergence ==")
-		return emit(exper.Convergence(*modelFlag, numfmt.BFPe5m5(), *layerFlag, w, opts))
+		return emit(exper.Convergence(ctx, *modelFlag, numfmt.BFPe5m5(), *layerFlag, w, opts))
 	case "ablation":
 		fmt.Fprintln(w, "== Ablation: BFP shared-exponent block size ==")
-		return emit(exper.AblationBFPBlock(*modelFlag, w, opts))
+		return emit(exper.AblationBFPBlock(ctx, *modelFlag, w, opts))
 	case "errormodels":
 		fmt.Fprintln(w, "== Extension: reliability under different error models ==")
-		rows1, err := exper.ErrorModels(*modelFlag, numfmt.FP8E4M3(true), w, opts)
+		rows1, err := exper.ErrorModels(ctx, *modelFlag, numfmt.FP8E4M3(true), w, opts)
 		if err != nil {
 			return err
 		}
-		rows2, err := exper.ErrorModels(*modelFlag, numfmt.BFPe5m5(), w, opts)
+		rows2, err := exper.ErrorModels(ctx, *modelFlag, numfmt.BFPe5m5(), w, opts)
 		return emit(append(rows1, rows2...), err)
 	case "emerging":
 		fmt.Fprintln(w, "== Extension: emerging formats (posit, LNS, NF4) vs classic families ==")
-		return emit(exper.Emerging(modelList([]string{"resnet_s", "vit_tiny"}), w, opts))
+		return emit(exper.Emerging(ctx, modelList([]string{"resnet_s", "vit_tiny"}), w, opts))
 	case "security":
 		fmt.Fprintln(w, "== §V-D use case: FGSM attack efficacy vs number format ==")
-		return emit(exper.SecurityFGSM(*modelFlag, nil, w, opts))
+		return emit(exper.SecurityFGSM(ctx, *modelFlag, nil, w, opts))
 	case "protection":
 		fmt.Fprintln(w, "== §V-B use case: software-directed protection (ranger vs DMR) ==")
-		return emit(exper.Protection(*modelFlag, w, opts))
+		return emit(exper.Protection(ctx, *modelFlag, w, opts))
 	case "weightsvsneurons":
 		fmt.Fprintln(w, "== §V-B: weight-targeted vs neuron-targeted faults ==")
-		return emit(exper.WeightsVsNeurons(*modelFlag, numfmt.FP16(true), w, opts))
+		return emit(exper.WeightsVsNeurons(ctx, *modelFlag, numfmt.FP16(true), w, opts))
 	case "bitsens":
 		fmt.Fprintln(w, "== Per-bit vulnerability (the §IV-C sign-bit analysis) ==")
 		var all []exper.BitSensRow
@@ -163,7 +203,7 @@ func run(args []string) error {
 			if perr != nil {
 				return perr
 			}
-			rows, err := exper.BitSensitivity(*modelFlag, format, w, opts)
+			rows, err := exper.BitSensitivity(ctx, *modelFlag, format, w, opts)
 			if err != nil {
 				return err
 			}
@@ -172,7 +212,7 @@ func run(args []string) error {
 		return emit(all, nil)
 	case "all":
 		for _, sub := range []string{"table1", "table2", "fig3", "fig4", "fig6", "fig7", "fig9", "convergence", "ablation", "errormodels", "emerging", "security", "protection", "bitsens", "weightsvsneurons"} {
-			if err := run(append([]string{sub}, rest...)); err != nil {
+			if err := run(ctx, append([]string{sub}, rest...)); err != nil {
 				return fmt.Errorf("%s: %w", sub, err)
 			}
 			fmt.Fprintln(w)

@@ -1,27 +1,31 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"os"
+	"testing"
+)
 
 func TestRunTable1(t *testing.T) {
-	if err := run([]string{"table1"}); err != nil {
+	if err := run(context.Background(), []string{"table1"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTable2(t *testing.T) {
-	if err := run([]string{"table2"}); err != nil {
+	if err := run(context.Background(), []string{"table2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoArgs(t *testing.T) {
-	if err := run(nil); err == nil {
+	if err := run(context.Background(), nil); err == nil {
 		t.Fatal("expected usage error")
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"fig42"}); err == nil {
+	if err := run(context.Background(), []string{"fig42"}); err == nil {
 		t.Fatal("expected unknown-experiment error")
 	}
 }
@@ -30,7 +34,7 @@ func TestRunFig4Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the model zoo")
 	}
-	if err := run([]string{"fig4", "-models", "mlp", "-samples", "40"}); err != nil {
+	if err := run(context.Background(), []string{"fig4", "-models", "mlp", "-samples", "40"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -39,19 +43,80 @@ func TestRunConvergenceTiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the model zoo")
 	}
-	if err := run([]string{"convergence", "-model", "mlp", "-inj", "50", "-samples", "40"}); err != nil {
+	if err := run(context.Background(), []string{"convergence", "-model", "mlp", "-inj", "50", "-samples", "40"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"fig4", "-bogusflag"}); err == nil {
+	if err := run(context.Background(), []string{"fig4", "-bogusflag"}); err == nil {
 		t.Fatal("expected flag parse error")
 	}
 }
 
 func TestRunTable1JSON(t *testing.T) {
-	if err := run([]string{"table1", "-json"}); err != nil {
+	if err := run(context.Background(), []string{"table1", "-json"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunResumeRequiresCheckpointDir(t *testing.T) {
+	if err := run(context.Background(), []string{"table1", "-resume"}); err == nil {
+		t.Fatal("expected -resume without -checkpoint-dir to fail")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, rerr := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	ferr := fn()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+func TestRunCheckpointResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the model zoo")
+	}
+	dir := t.TempDir()
+	args := []string{"weightsvsneurons", "-model", "mlp", "-inj", "12", "-samples", "40", "-checkpoint-dir", dir}
+
+	fresh := captureStdout(t, func() error { return run(context.Background(), args) })
+	// Every cell is now checkpointed as done; a -resume rerun must serve
+	// the sweep from the store and print byte-identical output.
+	resumed := captureStdout(t, func() error {
+		return run(context.Background(), append(args, "-resume"))
+	})
+	if fresh != resumed {
+		t.Fatalf("resumed sweep output differs from fresh run:\n--- fresh ---\n%s\n--- resumed ---\n%s", fresh, resumed)
+	}
+	if len(fresh) == 0 {
+		t.Fatal("sweep printed nothing")
 	}
 }

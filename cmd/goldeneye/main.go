@@ -17,12 +17,22 @@
 //	-progress            live progress line with injections/sec (inject)
 //	-metrics             final Prometheus-text metrics dump on stdout
 //	-debug-addr addr     HTTP server with /metrics, /metrics.json, /debug/pprof/
+//
+// Robustness: SIGINT/SIGTERM stop a campaign at the next injection
+// boundary and still print the partial report. A panic inside one
+// injected inference aborts only that injection (counted in the report's
+// "aborted" line); -max-aborts N fails the campaign once N injections
+// have aborted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"goldeneye"
@@ -37,13 +47,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the context; run unwinds its deferred cleanup
+	// (metrics dump, progress watcher, debug server) before main exits, so
+	// an interrupted campaign still reports what it completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "goldeneye:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: goldeneye <range|models|layers|eval|inject|dse> [flags]")
 	}
@@ -64,6 +79,7 @@ func run(args []string) error {
 		samples   = fs.Int("samples", 300, "validation samples")
 		batch     = fs.Int("batch", 30, "evaluation batch size")
 		workers   = fs.Int("workers", 1, "parallel campaign workers (inject)")
+		maxAborts = fs.Int("max-aborts", 0, "fail the campaign after this many aborted injections (0 = unlimited degraded mode)")
 		progress  = fs.Bool("progress", false, "render a live progress line (campaigns) and imply -metrics")
 		metricsFl = fs.Bool("metrics", false, "print a final metrics dump (Prometheus text) to stdout")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
@@ -153,6 +169,7 @@ func run(args []string) error {
 			Y:              y,
 			UseRanger:      *ranger,
 			EmulateNetwork: true,
+			MaxAborts:      *maxAborts,
 		}
 		switch *site {
 		case "value":
@@ -186,7 +203,7 @@ func run(args []string) error {
 		}
 		var rep *goldeneye.CampaignReport
 		if *workers > 1 {
-			rep, err = goldeneye.RunCampaignParallel(cfg, *workers, func() (*goldeneye.Simulator, error) {
+			rep, err = goldeneye.RunCampaignParallel(ctx, cfg, *workers, func() (*goldeneye.Simulator, error) {
 				wm, wds, werr := zoo.Pretrained(*model)
 				if werr != nil {
 					return nil, werr
@@ -194,16 +211,27 @@ func run(args []string) error {
 				return goldeneye.Wrap(wm, wds.ValX.Slice(0, 1)), nil
 			})
 		} else {
-			rep, err = sim.RunCampaign(cfg)
+			rep, err = sim.RunCampaign(ctx, cfg)
 		}
 		if err != nil {
-			return err
+			// A cancelled campaign still yields the partial report over its
+			// completed prefix; print it and exit cleanly (the deferred
+			// metrics dump and progress stop run on unwind).
+			if rep == nil || !errors.Is(err, context.Canceled) {
+				return err
+			}
 		}
 		fmt.Printf("model=%s format=%s layer=%d site=%s target=%s injections=%d\n",
 			*model, f.Name(), cfg.Layer, cfg.Site, cfg.Target, rep.Injections)
 		fmt.Printf("mean ΔLoss:    %.5f (±%.5f at 95%%)\n", rep.MeanDeltaLoss(), rep.DeltaLoss.CI95())
 		fmt.Printf("mismatch rate: %.4f (%d/%d)\n", rep.MismatchRate(), rep.Mismatches, rep.Injections)
 		fmt.Printf("non-finite:    %d\n", rep.NonFinite)
+		if rep.Aborted > 0 {
+			fmt.Printf("aborted:       %d (degraded mode)\n", rep.Aborted)
+		}
+		if rep.Interrupted {
+			fmt.Fprintln(os.Stderr, "goldeneye: campaign interrupted; the report covers the completed injections")
+		}
 		return nil
 
 	case "dse":

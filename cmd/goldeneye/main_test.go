@@ -1,25 +1,26 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunRange(t *testing.T) {
-	if err := run([]string{"range"}); err != nil {
+	if err := run(context.Background(), []string{"range"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunNoArgs(t *testing.T) {
-	err := run(nil)
+	err := run(context.Background(), nil)
 	if err == nil || !strings.Contains(err.Error(), "usage") {
 		t.Fatalf("expected usage error, got %v", err)
 	}
 }
 
 func TestRunUnknownCommand(t *testing.T) {
-	if err := run([]string{"frobnicate"}); err == nil {
+	if err := run(context.Background(), []string{"frobnicate"}); err == nil {
 		t.Fatal("expected unknown-command error")
 	}
 }
@@ -28,7 +29,7 @@ func TestRunLayers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the model zoo")
 	}
-	if err := run([]string{"layers", "-model", "mlp"}); err != nil {
+	if err := run(context.Background(), []string{"layers", "-model", "mlp"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -37,7 +38,7 @@ func TestRunEval(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the model zoo")
 	}
-	if err := run([]string{"eval", "-model", "mlp", "-format", "fp8_e4m3", "-samples", "40"}); err != nil {
+	if err := run(context.Background(), []string{"eval", "-model", "mlp", "-format", "fp8_e4m3", "-samples", "40"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -46,7 +47,7 @@ func TestRunEvalBadFormat(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the model zoo")
 	}
-	if err := run([]string{"eval", "-model", "mlp", "-format", "bogus"}); err == nil {
+	if err := run(context.Background(), []string{"eval", "-model", "mlp", "-format", "bogus"}); err == nil {
 		t.Fatal("expected format parse error")
 	}
 }
@@ -57,7 +58,7 @@ func TestRunInject(t *testing.T) {
 	}
 	args := []string{"inject", "-model", "mlp", "-format", "bfp_e5m5",
 		"-site", "metadata", "-n", "20", "-samples", "16"}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +69,7 @@ func TestRunInjectParallel(t *testing.T) {
 	}
 	args := []string{"inject", "-model", "mlp", "-format", "fp16",
 		"-n", "24", "-samples", "8", "-workers", "3"}
-	if err := run(args); err != nil {
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -77,10 +78,10 @@ func TestRunInjectBadSiteTarget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the model zoo")
 	}
-	if err := run([]string{"inject", "-model", "mlp", "-site", "nowhere"}); err == nil {
+	if err := run(context.Background(), []string{"inject", "-model", "mlp", "-site", "nowhere"}); err == nil {
 		t.Fatal("expected site error")
 	}
-	if err := run([]string{"inject", "-model", "mlp", "-target", "nothing"}); err == nil {
+	if err := run(context.Background(), []string{"inject", "-model", "mlp", "-target", "nothing"}); err == nil {
 		t.Fatal("expected target error")
 	}
 }
@@ -89,19 +90,19 @@ func TestRunDSECommand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the model zoo")
 	}
-	if err := run([]string{"dse", "-model", "mlp", "-family", "int", "-samples", "60"}); err != nil {
+	if err := run(context.Background(), []string{"dse", "-model", "mlp", "-family", "int", "-samples", "60"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownModel(t *testing.T) {
-	if err := run([]string{"eval", "-model", "lenet9000"}); err == nil {
+	if err := run(context.Background(), []string{"eval", "-model", "lenet9000"}); err == nil {
 		t.Fatal("expected unknown-model error")
 	}
 }
 
 func TestRunModels(t *testing.T) {
-	if err := run([]string{"models"}); err != nil {
+	if err := run(context.Background(), []string{"models"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -92,7 +93,7 @@ func run() error {
 		model nn.Module
 	}{{name: "plain", model: plain}, {name: "fault-trained", model: hardened}} {
 		sim := goldeneye.Wrap(entry.model, ds.ValX.Slice(0, 1))
-		rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+		rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 			Format:         format,
 			Site:           goldeneye.SiteValue,
 			Target:         goldeneye.TargetNeuron,

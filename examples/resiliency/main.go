@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,7 +48,7 @@ func run(name string, injections int) error {
 		for _, layer := range sim.InjectableLayers() {
 			var means [2]float64
 			for i, site := range []goldeneye.Fault{{Site: goldeneye.SiteValue}, {Site: goldeneye.SiteMetadata}} {
-				rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+				rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 					Format:         format,
 					Site:           site.Site,
 					Target:         goldeneye.TargetNeuron,

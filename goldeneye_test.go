@@ -1,6 +1,7 @@
 package goldeneye_test
 
 import (
+	"context"
 	"testing"
 
 	"goldeneye"
@@ -94,7 +95,7 @@ func TestCampaignDeterministicPerSeed(t *testing.T) {
 	sim, pool := loadSim(t, "mlp")
 	x, y := pool.subset(16)
 	run := func(seed uint64) *goldeneye.CampaignReport {
-		rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+		rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 			Format:     numfmt.FP16(true),
 			Site:       goldeneye.SiteValue,
 			Target:     goldeneye.TargetNeuron,
@@ -135,7 +136,7 @@ func TestCampaignDeterministicPerSeed(t *testing.T) {
 func TestCampaignMetadataOnPlainFormatFails(t *testing.T) {
 	sim, pool := loadSim(t, "mlp")
 	x, y := pool.subset(8)
-	_, err := sim.RunCampaign(goldeneye.CampaignConfig{
+	_, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 		Format:     numfmt.FP16(true),
 		Site:       goldeneye.SiteMetadata,
 		Target:     goldeneye.TargetNeuron,
@@ -159,22 +160,22 @@ func TestCampaignValidation(t *testing.T) {
 
 	noFormat := base
 	noFormat.Format = nil
-	if _, err := sim.RunCampaign(noFormat); err == nil {
+	if _, err := sim.RunCampaign(context.Background(), noFormat); err == nil {
 		t.Error("nil format accepted")
 	}
 	noInj := base
 	noInj.Injections = 0
-	if _, err := sim.RunCampaign(noInj); err == nil {
+	if _, err := sim.RunCampaign(context.Background(), noInj); err == nil {
 		t.Error("zero injections accepted")
 	}
 	badLayer := base
 	badLayer.Layer = 9999
-	if _, err := sim.RunCampaign(badLayer); err == nil {
+	if _, err := sim.RunCampaign(context.Background(), badLayer); err == nil {
 		t.Error("bogus layer accepted")
 	}
 	badPool := base
 	badPool.Y = y[:4]
-	if _, err := sim.RunCampaign(badPool); err == nil {
+	if _, err := sim.RunCampaign(context.Background(), badPool); err == nil {
 		t.Error("mismatched pool accepted")
 	}
 }
@@ -191,7 +192,7 @@ func TestBFPMetadataFaultsWorseThanValueFaults(t *testing.T) {
 		if meta {
 			site = goldeneye.SiteMetadata
 		}
-		rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+		rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 			Format:     numfmt.BFPe5m5(),
 			Site:       site,
 			Target:     goldeneye.TargetNeuron,
@@ -217,7 +218,7 @@ func TestWeightTargetCampaignRuns(t *testing.T) {
 	sim, pool := loadSim(t, "mlp")
 	x, y := pool.subset(16)
 	before := append([]float32(nil), sim.Model().Params()[0].Value.Data()...)
-	rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+	rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 		Format:     numfmt.FP16(true),
 		Site:       goldeneye.SiteValue,
 		Target:     goldeneye.TargetWeight,
@@ -244,7 +245,7 @@ func TestRangerSuppressesNonFinite(t *testing.T) {
 	sim, pool := loadSim(t, "mlp")
 	x, y := pool.subset(16)
 	run := func(useRanger bool) *goldeneye.CampaignReport {
-		rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+		rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 			Format:     numfmt.FP16(true),
 			Site:       goldeneye.SiteValue,
 			Target:     goldeneye.TargetNeuron,
@@ -274,7 +275,7 @@ func TestMultiBitCampaign(t *testing.T) {
 	sim, pool := loadSim(t, "mlp")
 	x, y := pool.subset(16)
 	run := func(flips int) *goldeneye.CampaignReport {
-		rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+		rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 			Format:            numfmt.FP16(true),
 			Site:              goldeneye.SiteValue,
 			Target:            goldeneye.TargetNeuron,
@@ -316,7 +317,7 @@ func TestMultiBitWeightCampaignRestores(t *testing.T) {
 	sim, pool := loadSim(t, "mlp")
 	x, y := pool.subset(8)
 	before := append([]float32(nil), sim.Model().Params()[0].Value.Data()...)
-	_, err := sim.RunCampaign(goldeneye.CampaignConfig{
+	_, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 		Format:            numfmt.FP16(true),
 		Site:              goldeneye.SiteValue,
 		Target:            goldeneye.TargetWeight,

@@ -1,0 +1,169 @@
+// Package checkpoint persists per-cell sweep state so interrupted
+// experiment campaigns can resume where they stopped. A "cell" is one
+// campaign of a figure sweep (one model × format × layer × site
+// combination); its checkpoint records the merged aggregates, how many
+// injections were executed, and a hash of the configuration that produced
+// them. Because the fault sequence is drawn deterministically from the
+// campaign seed, a resumed cell replays the already-executed prefix and
+// its final report is bit-identical to an uninterrupted run's.
+//
+// Files are one JSON document per cell, written atomically (temp file +
+// rename) so a kill mid-write can never leave a truncated checkpoint.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"goldeneye/internal/metrics"
+)
+
+// Cell is the persisted state of one sweep cell.
+type Cell struct {
+	// Key identifies the cell within its sweep (e.g.
+	// "fig7/mlp/fp32/L03/value"). It is stored in the file as well as the
+	// filename so hash-truncated filenames cannot silently collide.
+	Key string `json:"key"`
+
+	// ConfigHash fingerprints the campaign configuration that produced
+	// this state. A mismatch on load means the sweep parameters changed;
+	// the stale cell is ignored rather than resumed.
+	ConfigHash uint64 `json:"config_hash"`
+
+	// Seed is the campaign RNG seed, recorded so the deterministic fault
+	// prefix can be replayed.
+	Seed uint64 `json:"seed"`
+
+	// Planned is the campaign's total injection count; Completed is how
+	// many were executed (recorded + aborted) before the checkpoint.
+	Planned   int  `json:"planned"`
+	Completed int  `json:"completed"`
+	Done      bool `json:"done"`
+
+	// Result aggregates the executed prefix; Detected and Aborted carry
+	// the report fields outside metrics.CampaignResult.
+	Result   metrics.CampaignResult `json:"result"`
+	Detected int                    `json:"detected"`
+	Aborted  int                    `json:"aborted"`
+}
+
+// Store reads and writes cell checkpoints under one directory.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the checkpoint store at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a cell key to its checkpoint filename: the key sanitized to a
+// filesystem-safe slug (capped in length), plus a short hash suffix that
+// keeps distinct keys distinct after sanitization/truncation.
+func (s *Store) path(key string) string {
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+	if len(slug) > 80 {
+		slug = slug[:80]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%08x.json", slug, h.Sum32()))
+}
+
+// Load returns the checkpoint for key, or nil if none exists. A file whose
+// stored key does not match (filename-hash collision) or that fails to
+// parse (truncated by a crash predating atomic writes, manual edits) is
+// treated as absent rather than poisoning the sweep.
+func (s *Store) Load(key string) (*Cell, error) {
+	data, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: load %q: %w", key, err)
+	}
+	var c Cell
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, nil
+	}
+	if c.Key != key {
+		return nil, nil
+	}
+	return &c, nil
+}
+
+// Save atomically writes the checkpoint for c.Key: the JSON is written to a
+// temp file in the store directory and renamed into place, so a concurrent
+// reader or a kill mid-write sees either the old cell or the new one, never
+// a torn file.
+func (s *Store) Save(c *Cell) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save %q: %w", c.Key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save %q: %w", c.Key, err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("checkpoint: save %q: %w", c.Key, werr)
+	}
+	if err := os.Rename(tmp.Name(), s.path(c.Key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: save %q: %w", c.Key, err)
+	}
+	return nil
+}
+
+// Clear removes every checkpoint in the store (a fresh, non-resumed sweep
+// must not inherit cells from a previous run with the same directory).
+func (s *Store) Clear() error {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("checkpoint: clear: %w", err)
+		}
+	}
+	return nil
+}
+
+// HashConfig fingerprints an arbitrary tuple of configuration values with
+// FNV-1a over their %v renderings. It is not cryptographic — it only needs
+// to distinguish "same sweep parameters" from "sweep was re-run with
+// different flags", in which case the stale checkpoint is discarded.
+func HashConfig(parts ...interface{}) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%v\x00", p)
+	}
+	return h.Sum64()
+}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,7 +27,7 @@ type AblationRow struct {
 // accuracy/resilience/metadata-cost trade-off the block size controls:
 // smaller blocks preserve small-magnitude values (higher accuracy) and
 // shrink each fault's blast radius, at the cost of more exponent registers.
-func AblationBFPBlock(model string, w io.Writer, o Options) ([]AblationRow, error) {
+func AblationBFPBlock(ctx context.Context, model string, w io.Writer, o Options) ([]AblationRow, error) {
 	sim, ds, err := loadSim(model, o)
 	if err != nil {
 		return nil, err
@@ -38,11 +39,14 @@ func AblationBFPBlock(model string, w io.Writer, o Options) ([]AblationRow, erro
 
 	var rows []AblationRow
 	for _, block := range []int{0, 256, 64, 16, 4} {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		format := numfmt.NewBFP(5, 3, block)
 		acc := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{
 			Format: format, Weights: true, Neurons: true,
 		})
-		rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+		rep, err := runCell(ctx, sim, fmt.Sprintf("ablation/%s/block%04d", model, block), goldeneye.CampaignConfig{
 			Format:         format,
 			Site:           inject.SiteMetadata,
 			Target:         inject.TargetNeuron,
@@ -53,9 +57,9 @@ func AblationBFPBlock(model string, w io.Writer, o Options) ([]AblationRow, erro
 			Y:              py,
 			UseRanger:      true,
 			EmulateNetwork: true,
-		})
+		}, o)
 		if err != nil {
-			return nil, err
+			return rows, err
 		}
 		row := AblationRow{
 			Model:       paperName(model),

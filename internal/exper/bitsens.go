@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -69,14 +70,14 @@ func bitRole(format numfmt.Format, bit int) string {
 // outcomes by bit position. The range detector is left OFF so each bit's
 // raw blast radius is visible (with it on, clamping flattens the profile —
 // which is precisely what the detector is for).
-func BitSensitivity(model string, format numfmt.Format, w io.Writer, o Options) ([]BitSensRow, error) {
+func BitSensitivity(ctx context.Context, model string, format numfmt.Format, w io.Writer, o Options) ([]BitSensRow, error) {
 	sim, ds, err := loadSim(model, o)
 	if err != nil {
 		return nil, err
 	}
 	pool := min(48, ds.ValLen())
 	layer := sim.InjectableLayers()[len(sim.InjectableLayers())/2]
-	report, err := sim.RunCampaign(goldeneye.CampaignConfig{
+	report, err := sim.RunCampaign(ctx, goldeneye.CampaignConfig{
 		Format:         format,
 		Site:           inject.SiteValue,
 		Target:         inject.TargetNeuron,

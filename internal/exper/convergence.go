@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,7 +24,7 @@ type ConvergenceRow struct {
 
 // Convergence runs one KeepTrace campaign and reports the running relative
 // 95% confidence interval of each metric at checkpoints.
-func Convergence(model string, format numfmt.Format, layer int, w io.Writer, o Options) ([]ConvergenceRow, error) {
+func Convergence(ctx context.Context, model string, format numfmt.Format, layer int, w io.Writer, o Options) ([]ConvergenceRow, error) {
 	sim, ds, err := loadSim(model, o)
 	if err != nil {
 		return nil, err
@@ -33,7 +34,7 @@ func Convergence(model string, format numfmt.Format, layer int, w io.Writer, o O
 		layer = inj[len(inj)/2]
 	}
 	pool := min(64, ds.ValLen())
-	report, err := sim.RunCampaign(goldeneye.CampaignConfig{
+	report, err := sim.RunCampaign(ctx, goldeneye.CampaignConfig{
 		Format:         format,
 		Site:           inject.SiteValue,
 		Target:         inject.TargetNeuron,

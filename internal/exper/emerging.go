@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,7 +24,7 @@ type EmergingRow struct {
 // against the classic families at matched widths, demonstrating the open
 // Format interface absorbing "future number formats" (Table II's last
 // capability row).
-func Emerging(models []string, w io.Writer, o Options) ([]EmergingRow, error) {
+func Emerging(ctx context.Context, models []string, w io.Writer, o Options) ([]EmergingRow, error) {
 	classes := []struct {
 		name    string
 		formats []numfmt.Format
@@ -60,6 +61,9 @@ func Emerging(models []string, w io.Writer, o Options) ([]EmergingRow, error) {
 		x, y := valPool(ds, o)
 		for _, class := range classes {
 			for _, format := range class.formats {
+				if err := ctx.Err(); err != nil {
+					return rows, err
+				}
 				acc := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{
 					Format: format, Weights: true, Neurons: true,
 				})

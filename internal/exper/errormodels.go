@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,7 +27,7 @@ type ErrorModelRow struct {
 // sites. Burst faults dominate single-element models; the relative severity
 // of the two stuck-at directions depends on the resting bit values of the
 // targeted layer (a stuck-at matching the stored bit is a no-op).
-func ErrorModels(model string, format numfmt.Format, w io.Writer, o Options) ([]ErrorModelRow, error) {
+func ErrorModels(ctx context.Context, model string, format numfmt.Format, w io.Writer, o Options) ([]ErrorModelRow, error) {
 	sim, ds, err := loadSim(model, o)
 	if err != nil {
 		return nil, err
@@ -46,7 +47,8 @@ func ErrorModels(model string, format numfmt.Format, w io.Writer, o Options) ([]
 	var rows []ErrorModelRow
 	for _, site := range sites {
 		for _, kind := range kinds {
-			rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+			key := fmt.Sprintf("errormodels/%s/%s/%s/%s", model, format.Name(), kind, site)
+			rep, err := runCell(ctx, sim, key, goldeneye.CampaignConfig{
 				Format:         format,
 				Site:           site,
 				Target:         inject.TargetNeuron,
@@ -58,9 +60,9 @@ func ErrorModels(model string, format numfmt.Format, w io.Writer, o Options) ([]
 				Y:              y,
 				UseRanger:      true,
 				EmulateNetwork: true,
-			})
+			}, o)
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
 			row := ErrorModelRow{
 				Model:        paperName(model),

@@ -6,10 +6,12 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"goldeneye"
+	"goldeneye/internal/checkpoint"
 	"goldeneye/internal/dataset"
 	"goldeneye/internal/nn"
 	"goldeneye/internal/numfmt"
@@ -32,6 +34,12 @@ type Options struct {
 
 	// ZooDir overrides the pre-trained model cache location ("" = default).
 	ZooDir string
+
+	// Checkpoint, when non-nil, persists per-cell campaign state so an
+	// interrupted sweep resumes at (or inside) the first incomplete cell.
+	// Because fault sequences are deterministic in the seed, a resumed
+	// sweep's output is bit-identical to an uninterrupted run's.
+	Checkpoint *checkpoint.Store
 }
 
 func (o Options) valSamples() int { return orDefault(o.ValSamples, 300) }
@@ -88,6 +96,74 @@ func paperName(model string) string {
 	default:
 		return model
 	}
+}
+
+// cellHash fingerprints the campaign parameters that determine a cell's
+// deterministic result; a persisted cell whose hash differs (sweep re-run
+// with different flags) is discarded instead of resumed.
+func cellHash(cfg goldeneye.CampaignConfig) uint64 {
+	return checkpoint.HashConfig(
+		cfg.Format.Name(), cfg.Site, cfg.Target, cfg.FaultKind, cfg.Layer,
+		cfg.Injections, cfg.FlipsPerInjection, cfg.Seed, cfg.X.Dim(0),
+		cfg.UseRanger, cfg.EmulateNetwork, cfg.QuantizeWeights, cfg.MeasureDMR,
+	)
+}
+
+// runCell executes one sweep cell through the checkpoint store: a completed
+// cell is served from its checkpoint without re-running, a partially
+// completed one resumes at its recorded injection, and the (possibly
+// partial) outcome is persisted before returning. Without a store — or for
+// KeepTrace campaigns, whose traces are not persisted — it falls through to
+// a plain RunCampaign.
+func runCell(ctx context.Context, sim *goldeneye.Simulator, key string, cfg goldeneye.CampaignConfig, o Options) (*goldeneye.CampaignReport, error) {
+	st := o.Checkpoint
+	if st == nil || cfg.KeepTrace {
+		return sim.RunCampaign(ctx, cfg)
+	}
+	hash := cellHash(cfg)
+	cell, err := st.Load(key)
+	if err != nil {
+		return nil, err
+	}
+	if cell != nil && cell.ConfigHash == hash {
+		if cell.Done {
+			return &goldeneye.CampaignReport{
+				CampaignResult: cell.Result,
+				Config:         cfg,
+				Detected:       cell.Detected,
+				Aborted:        cell.Aborted,
+			}, nil
+		}
+		if cell.Completed > 0 && cell.Completed < cfg.Injections {
+			cfg.Resume = &goldeneye.CampaignResume{
+				Completed: cell.Completed,
+				Result:    cell.Result,
+				Detected:  cell.Detected,
+				Aborted:   cell.Aborted,
+			}
+		}
+	}
+	rep, runErr := sim.RunCampaign(ctx, cfg)
+	if rep != nil {
+		// Persist even interrupted cells: Completed counts every executed
+		// injection (recorded + aborted), which is exactly the fault-
+		// sequence prefix a resume must replay.
+		save := &checkpoint.Cell{
+			Key:        key,
+			ConfigHash: hash,
+			Seed:       cfg.Seed,
+			Planned:    cfg.Injections,
+			Completed:  rep.Injections + rep.Aborted,
+			Done:       runErr == nil,
+			Result:     rep.CampaignResult,
+			Detected:   rep.Detected,
+			Aborted:    rep.Aborted,
+		}
+		if serr := st.Save(save); serr != nil && runErr == nil {
+			runErr = serr
+		}
+	}
+	return rep, runErr
 }
 
 // Table1 renders the dynamic-range table (paper Table I).

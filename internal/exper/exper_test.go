@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestTable2AllSupported(t *testing.T) {
 func TestFig3Shapes(t *testing.T) {
 	// The timing dichotomy needs a model with real tensor volume; the MLP
 	// finishes in microseconds and drowns in noise.
-	rows, err := Fig3([]string{"resnet_s"}, 3, nil, tinyOptions())
+	rows, err := Fig3(context.Background(), []string{"resnet_s"}, 3, nil, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestFig3Shapes(t *testing.T) {
 }
 
 func TestFig4Shapes(t *testing.T) {
-	rows, err := Fig4([]string{"mlp"}, nil, tinyOptions())
+	rows, err := Fig4(context.Background(), []string{"mlp"}, nil, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFig4Shapes(t *testing.T) {
 }
 
 func TestFig6Shapes(t *testing.T) {
-	results, err := Fig6([]string{"mlp"}, []dse.Family{dse.FamilyFP, dse.FamilyAFP}, 0.02, nil, tinyOptions())
+	results, err := Fig6(context.Background(), []string{"mlp"}, []dse.Family{dse.FamilyFP, dse.FamilyAFP}, 0.02, nil, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFig6Shapes(t *testing.T) {
 func TestFig7Shapes(t *testing.T) {
 	o := tinyOptions()
 	o.Injections = 40
-	rows, err := Fig7([]string{"mlp"}, nil, o)
+	rows, err := Fig7(context.Background(), []string{"mlp"}, nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestFig7Shapes(t *testing.T) {
 func TestFig9Shapes(t *testing.T) {
 	o := tinyOptions()
 	o.Injections = 15
-	rows, err := Fig9("mlp", 0.05, nil, o)
+	rows, err := Fig9(context.Background(), "mlp", 0.05, nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestFig9Shapes(t *testing.T) {
 func TestConvergenceShapes(t *testing.T) {
 	o := tinyOptions()
 	o.Injections = 200
-	rows, err := Convergence("mlp", numfmt.BFPe5m5(), -1, nil, o)
+	rows, err := Convergence(context.Background(), "mlp", numfmt.BFPe5m5(), -1, nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestPaperNameMapping(t *testing.T) {
 func TestAblationBFPBlockShapes(t *testing.T) {
 	o := tinyOptions()
 	o.Injections = 40
-	rows, err := AblationBFPBlock("mlp", nil, o)
+	rows, err := AblationBFPBlock(context.Background(), "mlp", nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestAblationBFPBlockShapes(t *testing.T) {
 func TestErrorModelsShapes(t *testing.T) {
 	o := tinyOptions()
 	o.Injections = 60
-	rows, err := ErrorModels("mlp", numfmt.BFPe5m5(), nil, o)
+	rows, err := ErrorModels(context.Background(), "mlp", numfmt.BFPe5m5(), nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestErrorModelsShapes(t *testing.T) {
 
 func TestSecurityFGSMShapes(t *testing.T) {
 	o := tinyOptions()
-	rows, err := SecurityFGSM("mlp", []float64{0.2}, nil, o)
+	rows, err := SecurityFGSM(context.Background(), "mlp", []float64{0.2}, nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,7 +333,7 @@ func TestFGSMLeavesModelUntouched(t *testing.T) {
 
 func TestEmergingShapes(t *testing.T) {
 	o := tinyOptions()
-	rows, err := Emerging([]string{"mlp"}, nil, o)
+	rows, err := Emerging(context.Background(), []string{"mlp"}, nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestEmergingShapes(t *testing.T) {
 func TestProtectionShapes(t *testing.T) {
 	o := tinyOptions()
 	o.Injections = 120
-	rows, err := Protection("mlp", nil, o)
+	rows, err := Protection(context.Background(), "mlp", nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,11 +393,11 @@ func TestBitSensitivityShapes(t *testing.T) {
 	o := tinyOptions()
 	o.Injections = 800
 
-	fp16, err := BitSensitivity("mlp", numfmt.FP16(true), nil, o)
+	fp16, err := BitSensitivity(context.Background(), "mlp", numfmt.FP16(true), nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bfp, err := BitSensitivity("mlp", numfmt.BFPe5m5(), nil, o)
+	bfp, err := BitSensitivity(context.Background(), "mlp", numfmt.BFPe5m5(), nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,7 +434,7 @@ func TestBitSensitivityShapes(t *testing.T) {
 func TestWeightsVsNeuronsShapes(t *testing.T) {
 	o := tinyOptions()
 	o.Injections = 60
-	rows, err := WeightsVsNeurons("mlp", numfmt.FP16(true), nil, o)
+	rows, err := WeightsVsNeurons(context.Background(), "mlp", numfmt.FP16(true), nil, o)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -55,7 +56,7 @@ func fig3Configs() []struct {
 // Fig3 measures inference runtime for every format configuration and EI
 // mode, reproducing the shape of the paper's Fig 3: native fastest, FP/FxP/
 // INT near-native, BFP/AFP notably slower, EI overhead negligible.
-func Fig3(models []string, runs int, w io.Writer, o Options) ([]Fig3Row, error) {
+func Fig3(ctx context.Context, models []string, runs int, w io.Writer, o Options) ([]Fig3Row, error) {
 	if runs <= 0 {
 		runs = 5
 	}
@@ -77,6 +78,9 @@ func Fig3(models []string, runs int, w io.Writer, o Options) ([]Fig3Row, error) 
 				}
 			}
 			for _, mode := range modes {
+				if err := ctx.Err(); err != nil {
+					return rows, err
+				}
 				avg := timeInference(sim, batch, cfg.format, mode, runs)
 				if cfg.format == nil {
 					baseline = avg

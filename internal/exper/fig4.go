@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -57,7 +58,7 @@ func fig4Point(family dse.Family, bits int) dse.Point {
 
 // Fig4 sweeps accuracy versus bitwidth for each format family on the given
 // models (paper uses ResNet18 and DeiT-tiny).
-func Fig4(models []string, w io.Writer, o Options) ([]Fig4Row, error) {
+func Fig4(ctx context.Context, models []string, w io.Writer, o Options) ([]Fig4Row, error) {
 	var rows []Fig4Row
 	for _, name := range models {
 		sim, ds, err := loadSim(name, o)
@@ -74,6 +75,9 @@ func Fig4(models []string, w io.Writer, o Options) ([]Fig4Row, error) {
 
 		for _, family := range dse.Families() {
 			for _, bits := range Fig4Bitwidths {
+				if err := ctx.Err(); err != nil {
+					return rows, err
+				}
 				pt := fig4Point(family, bits)
 				format, err := dse.MakeFormat(pt)
 				if err != nil {

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -31,7 +32,7 @@ type Fig6Result struct {
 // Fig6 runs the DSE heuristic per model and family, reproducing Fig 6's
 // node traversals: ≤16 nodes each, with more than half of the visited
 // design points typically above the accuracy threshold.
-func Fig6(models []string, families []dse.Family, threshold float64, w io.Writer, o Options) ([]Fig6Result, error) {
+func Fig6(ctx context.Context, models []string, families []dse.Family, threshold float64, w io.Writer, o Options) ([]Fig6Result, error) {
 	if threshold == 0 {
 		threshold = 0.01 // the paper's example: 1% accuracy loss
 	}
@@ -44,6 +45,9 @@ func Fig6(models []string, families []dse.Family, threshold float64, w io.Writer
 		x, y := valPool(ds, o)
 		baseline := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{})
 		for _, family := range families {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
 			res := sim.RunDSE(x, y, o.batchSize(), goldeneye.DSEConfig{
 				Family:    family,
 				Baseline:  baseline,

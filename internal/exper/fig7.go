@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,7 +27,7 @@ type Fig7Row struct {
 // and DeiT-base) and each of BFP e5m5 and AFP e5m2, inject N unique
 // single-bit flips per layer into data values and into metadata, measuring
 // mean ΔLoss per layer (paper §IV-C).
-func Fig7(models []string, w io.Writer, o Options) ([]Fig7Row, error) {
+func Fig7(ctx context.Context, models []string, w io.Writer, o Options) ([]Fig7Row, error) {
 	formats := []numfmt.Format{numfmt.BFPe5m5(), numfmt.AFPe5m2()}
 	var rows []Fig7Row
 	for _, name := range models {
@@ -42,7 +43,8 @@ func Fig7(models []string, w io.Writer, o Options) ([]Fig7Row, error) {
 		for _, format := range formats {
 			for _, layer := range sim.InjectableLayers() {
 				for _, site := range []inject.Site{inject.SiteValue, inject.SiteMetadata} {
-					report, err := sim.RunCampaign(goldeneye.CampaignConfig{
+					key := fmt.Sprintf("fig7/%s/%s/L%02d/%s", name, format.Name(), layer, site)
+					report, err := runCell(ctx, sim, key, goldeneye.CampaignConfig{
 						Format:         format,
 						Site:           site,
 						Target:         inject.TargetNeuron,
@@ -53,9 +55,9 @@ func Fig7(models []string, w io.Writer, o Options) ([]Fig7Row, error) {
 						Y:              y,
 						UseRanger:      true,
 						EmulateNetwork: true,
-					})
+					}, o)
 					if err != nil {
-						return nil, err
+						return rows, err
 					}
 					row := Fig7Row{
 						Model:        paperName(name),

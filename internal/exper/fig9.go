@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,7 +26,7 @@ type Fig9Row struct {
 // Fig 9): for each accepted BFP/AFP design point of the heuristic, measure
 // accuracy and average ΔLoss, exposing the accuracy/resilience/bitwidth
 // trade-off frontier.
-func Fig9(model string, threshold float64, w io.Writer, o Options) ([]Fig9Row, error) {
+func Fig9(ctx context.Context, model string, threshold float64, w io.Writer, o Options) ([]Fig9Row, error) {
 	if threshold == 0 {
 		threshold = 0.02
 	}
@@ -58,7 +59,8 @@ func Fig9(model string, threshold float64, w io.Writer, o Options) ([]Fig9Row, e
 			var count int
 			for _, layer := range sim.InjectableLayers() {
 				for _, site := range []inject.Site{inject.SiteValue, inject.SiteMetadata} {
-					report, err := sim.RunCampaign(goldeneye.CampaignConfig{
+					key := fmt.Sprintf("fig9/%s/%s/%s/L%02d/%s", model, family, format.Name(), layer, site)
+					report, err := runCell(ctx, sim, key, goldeneye.CampaignConfig{
 						Format:         format,
 						Site:           site,
 						Target:         inject.TargetNeuron,
@@ -69,9 +71,9 @@ func Fig9(model string, threshold float64, w io.Writer, o Options) ([]Fig9Row, e
 						Y:              py,
 						UseRanger:      true,
 						EmulateNetwork: true,
-					})
+					}, o)
 					if err != nil {
-						return nil, err
+						return rows, err
 					}
 					sum += report.MeanDeltaLoss()
 					count++

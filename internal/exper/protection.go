@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,7 +28,7 @@ type ProtectionRow struct {
 // The classic result reproduces mechanistically: DMR detects transient
 // (neuron) faults but is blind to persistent (weight) corruption, while the
 // ranger bounds damage for both but detects nothing.
-func Protection(model string, w io.Writer, o Options) ([]ProtectionRow, error) {
+func Protection(ctx context.Context, model string, w io.Writer, o Options) ([]ProtectionRow, error) {
 	sim, ds, err := loadSim(model, o)
 	if err != nil {
 		return nil, err
@@ -66,9 +67,10 @@ func Protection(model string, w io.Writer, o Options) ([]ProtectionRow, error) {
 		for _, pc := range configs {
 			cfg := base
 			pc.mut(&cfg)
-			rep, err := sim.RunCampaign(cfg)
+			key := fmt.Sprintf("protection/%s/%s/%s", model, target, pc.name)
+			rep, err := runCell(ctx, sim, key, cfg, o)
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
 			row := ProtectionRow{
 				Model:        paperName(model),

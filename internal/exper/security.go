@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -66,7 +67,7 @@ func FGSM(model nn.Module, x *tensor.Tensor, y []int, eps float64) *tensor.Tenso
 // SecurityFGSM crafts FGSM examples once (against native FP32) and then
 // measures how well the attack transfers to the same model running under
 // each emulated number format.
-func SecurityFGSM(model string, epsilons []float64, w io.Writer, o Options) ([]SecurityRow, error) {
+func SecurityFGSM(ctx context.Context, model string, epsilons []float64, w io.Writer, o Options) ([]SecurityRow, error) {
 	if len(epsilons) == 0 {
 		epsilons = []float64{0.05, 0.15}
 	}
@@ -90,6 +91,9 @@ func SecurityFGSM(model string, epsilons []float64, w io.Writer, o Options) ([]S
 	for _, eps := range epsilons {
 		adv := FGSM(sim.Model(), x, y, eps)
 		for _, format := range formats {
+			if err := ctx.Err(); err != nil {
+				return rows, err
+			}
 			cfg := goldeneye.EmulationConfig{}
 			name := "native_fp32"
 			if format != nil {

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,7 +26,7 @@ type WvsNRow struct {
 // WeightsVsNeurons runs matched campaigns against weights and neurons for
 // every weighted layer. Weight faults corrupt a parameter once and the
 // whole inference sees it; neuron faults corrupt one activation in flight.
-func WeightsVsNeurons(model string, format numfmt.Format, w io.Writer, o Options) ([]WvsNRow, error) {
+func WeightsVsNeurons(ctx context.Context, model string, format numfmt.Format, w io.Writer, o Options) ([]WvsNRow, error) {
 	sim, ds, err := loadSim(model, o)
 	if err != nil {
 		return nil, err
@@ -36,7 +37,8 @@ func WeightsVsNeurons(model string, format numfmt.Format, w io.Writer, o Options
 	var rows []WvsNRow
 	for _, layer := range sim.WeightedLayers() {
 		for _, target := range []inject.Target{inject.TargetWeight, inject.TargetNeuron} {
-			rep, err := sim.RunCampaign(goldeneye.CampaignConfig{
+			key := fmt.Sprintf("wvn/%s/%s/L%02d/%s", model, format.Name(), layer, target)
+			rep, err := runCell(ctx, sim, key, goldeneye.CampaignConfig{
 				Format:         format,
 				Site:           inject.SiteValue,
 				Target:         target,
@@ -47,9 +49,9 @@ func WeightsVsNeurons(model string, format numfmt.Format, w io.Writer, o Options
 				Y:              y,
 				UseRanger:      true,
 				EmulateNetwork: true,
-			})
+			}, o)
 			if err != nil {
-				return nil, err
+				return rows, err
 			}
 			row := WvsNRow{
 				Model:        paperName(model),

@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -289,7 +290,7 @@ func TestRangeProfileClamps(t *testing.T) {
 	r := rng.New(7)
 	net := nn.NewSequential("net", nn.NewLinear("fc", 4, 4, r))
 	x := tensor.Randn(r, 1, 8, 4)
-	profile := ProfileRanges(net, x, 4, nil)
+	profile := ProfileRanges(context.Background(), net, x, 4, nil)
 	lo, hi, ok := profile.Bounds(0)
 	if !ok || lo >= hi {
 		t.Fatalf("implausible bounds %v, %v", lo, hi)

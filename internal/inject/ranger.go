@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"math"
 
 	"goldeneye/internal/nn"
@@ -19,8 +20,10 @@ type RangeProfile struct {
 // ProfileRanges runs clean forward passes over x (batched by batch) and
 // records the min/max output of every layer. When extra is non-nil, its
 // hooks (e.g. format emulation) run before the recorder, so the profiled
-// bounds reflect the emulated network.
-func ProfileRanges(m nn.Module, x *tensor.Tensor, batch int, extra *nn.HookSet) *RangeProfile {
+// bounds reflect the emulated network. ctx is checked between batches;
+// cancellation returns the (partial) profile early — callers that care
+// must check ctx themselves after the call.
+func ProfileRanges(ctx context.Context, m nn.Module, x *tensor.Tensor, batch int, extra *nn.HookSet) *RangeProfile {
 	p := &RangeProfile{
 		lo: make(map[int]float32),
 		hi: make(map[int]float32),
@@ -37,14 +40,17 @@ func ProfileRanges(m nn.Module, x *tensor.Tensor, batch int, extra *nn.HookSet) 
 		}
 		return t
 	})
-	ctx := nn.NewContext(hooks)
+	fctx := nn.NewContext(hooks)
 	n := x.Dim(0)
 	for lo := 0; lo < n; lo += batch {
+		if ctx.Err() != nil {
+			return p
+		}
 		hi := lo + batch
 		if hi > n {
 			hi = n
 		}
-		nn.Forward(ctx, m, x.Slice(lo, hi))
+		nn.Forward(fctx, m, x.Slice(lo, hi))
 	}
 	return p
 }

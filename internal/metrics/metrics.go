@@ -6,7 +6,10 @@
 // metric's convergence behaviour.
 package metrics
 
-import "math"
+import (
+	"encoding/json"
+	"math"
+)
 
 // MaxDeltaLoss caps a single injection's ΔLoss contribution. A fault that
 // drives the network to NaN/Inf has unbounded cross-entropy; capping keeps
@@ -60,6 +63,31 @@ func (s *RunningStat) Merge(o RunningStat) {
 	s.mean += delta * float64(o.n) / float64(n)
 	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
 	s.n = n
+}
+
+// runningStatJSON is the serialized shape of a RunningStat. The moments are
+// encoded as float64; Go's encoding/json emits the shortest representation
+// that round-trips bit-exactly, so a persisted statistic resumes with the
+// identical accumulator state (the basis for checkpoint/resume determinism).
+type runningStatJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// MarshalJSON serializes the accumulator state.
+func (s RunningStat) MarshalJSON() ([]byte, error) {
+	return json.Marshal(runningStatJSON{N: s.n, Mean: s.mean, M2: s.m2})
+}
+
+// UnmarshalJSON restores the accumulator state.
+func (s *RunningStat) UnmarshalJSON(data []byte) error {
+	var j runningStatJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	s.n, s.mean, s.m2 = j.N, j.Mean, j.M2
+	return nil
 }
 
 // N returns the number of observations.

@@ -25,6 +25,7 @@ const (
 	MetricCampaignLatency    = "goldeneye_campaign_injection_seconds"
 	MetricCampaignShardTime  = "goldeneye_campaign_shard_seconds" // labeled worker="N"
 	MetricCampaignShardWork  = "goldeneye_campaign_shard_injections_total"
+	MetricCampaignAborted    = "goldeneye_campaign_aborted_total"
 )
 
 // RegisterRuntimeCollectors attaches snapshot-time bridges for the
@@ -79,6 +80,7 @@ type campaignTelemetry struct {
 	mismatches *telemetry.Counter
 	nonFinite  *telemetry.Counter
 	detected   *telemetry.Counter
+	aborted    *telemetry.Counter
 	latency    *telemetry.Histogram
 }
 
@@ -95,6 +97,7 @@ func newCampaignTelemetry(reg *telemetry.Registry, planned int) *campaignTelemet
 		mismatches: reg.Counter(MetricCampaignMismatches),
 		nonFinite:  reg.Counter(MetricCampaignNonFinite),
 		detected:   reg.Counter(MetricCampaignDetected),
+		aborted:    reg.Counter(MetricCampaignAborted),
 		latency:    reg.Histogram(MetricCampaignLatency, telemetry.DurationBuckets),
 	}
 }
@@ -115,4 +118,13 @@ func (ct *campaignTelemetry) record(mismatch, nonFinite, detected bool, d time.D
 		ct.detected.Inc()
 	}
 	ct.latency.Observe(d.Seconds())
+}
+
+// recordAborted counts an injection whose inference panicked and was
+// recovered (degraded mode).
+func (ct *campaignTelemetry) recordAborted() {
+	if ct == nil {
+		return
+	}
+	ct.aborted.Inc()
 }

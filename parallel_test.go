@@ -1,6 +1,7 @@
 package goldeneye_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -35,11 +36,11 @@ func TestParallelCampaignMatchesSerial(t *testing.T) {
 		EmulateNetwork: true,
 		KeepTrace:      true,
 	}
-	serial, err := sim.RunCampaign(cfg)
+	serial, err := sim.RunCampaign(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := goldeneye.RunCampaignParallel(cfg, 4, mlpBuilder(t))
+	parallel, err := goldeneye.RunCampaignParallel(context.Background(), cfg, 4, mlpBuilder(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestParallelCampaignSingleWorkerFallsBack(t *testing.T) {
 		Seed:       5,
 		X:          x, Y: y,
 	}
-	rep, err := goldeneye.RunCampaignParallel(cfg, 1, mlpBuilder(t))
+	rep, err := goldeneye.RunCampaignParallel(context.Background(), cfg, 1, mlpBuilder(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestParallelCampaignPropagatesBuildError(t *testing.T) {
 		Format:     numfmt.FP16(true),
 		Injections: 10,
 	}
-	_, err := goldeneye.RunCampaignParallel(cfg, 4, func() (*goldeneye.Simulator, error) {
+	_, err := goldeneye.RunCampaignParallel(context.Background(), cfg, 4, func() (*goldeneye.Simulator, error) {
 		return nil, errBoom
 	})
 	if err == nil {
@@ -123,11 +124,11 @@ func TestParallelWeightCampaign(t *testing.T) {
 		Seed:       3,
 		X:          x, Y: y,
 	}
-	serial, err := sim.RunCampaign(cfg)
+	serial, err := sim.RunCampaign(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := goldeneye.RunCampaignParallel(cfg, 3, mlpBuilder(t))
+	parallel, err := goldeneye.RunCampaignParallel(context.Background(), cfg, 3, mlpBuilder(t))
 	if err != nil {
 		t.Fatal(err)
 	}
