@@ -9,8 +9,8 @@ test:
 # across goroutines (telemetry registry, tensor/numfmt/dse stats counters,
 # nn timing hooks, parallel campaigns in the root package).
 RACE_PKGS = ./internal/telemetry ./internal/tensor ./internal/nn \
-            ./internal/numfmt ./internal/dse ./internal/checkpoint \
-            ./internal/exper .
+            ./internal/numfmt ./internal/inject ./internal/dse \
+            ./internal/checkpoint ./internal/exper .
 
 .PHONY: check
 check:
@@ -26,6 +26,15 @@ check:
 stress-cancel:
 	go test -race -run Cancel -count=5 .
 
+# Campaign batching: benchstat-comparable sub-benchmarks (pipe two runs
+# into `benchstat old.txt new.txt`) plus a machine-readable speedup report
+# in BENCH_campaign.json (serial vs batched at paper scale, bit-identity
+# re-checked). `make bench-all` runs the full figure-by-figure sweep.
 .PHONY: bench
 bench:
+	go test -run NONE -bench 'BenchmarkCampaignBatched' -benchmem -count 3 .
+	GOLDENEYE_BENCH_CAMPAIGN=BENCH_campaign.json go test -run TestCampaignBenchReport -v -timeout 30m .
+
+.PHONY: bench-all
+bench-all:
 	go test -bench=. -benchmem ./...

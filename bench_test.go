@@ -241,6 +241,45 @@ func BenchmarkParallelCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignBatched measures campaign throughput as the pack batch
+// grows: batch_1 is the serial baseline, larger batches amortize per-pass
+// overhead and let the batched matmul use multiple cores. Reports are
+// bit-identical at every batch size (TestBatchedCampaignBitIdenticalAllFamilies),
+// so injections/sec is the only thing that moves. Compare sub-benchmarks
+// with benchstat; `make bench` also writes BENCH_campaign.json.
+func BenchmarkCampaignBatched(b *testing.B) {
+	sim, x, y := benchSim(b, "resnet_s")
+	pool, err := goldeneye.NewEvalPool(x.Slice(0, 64), y[:64], 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := sim.InjectableLayers()[2]
+	for _, batch := range []int{1, 8, 32} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch_%d", batch), func(b *testing.B) {
+			const injections = 128
+			for i := 0; i < b.N; i++ {
+				_, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
+					Format:         numfmt.BFPe5m5(),
+					Site:           goldeneye.SiteValue,
+					Target:         goldeneye.TargetNeuron,
+					Layer:          layer,
+					Injections:     injections,
+					Seed:           uint64(i),
+					Pool:           pool,
+					BatchSize:      batch,
+					UseRanger:      true,
+					EmulateNetwork: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(injections*b.N)/b.Elapsed().Seconds(), "inj/s")
+		})
+	}
+}
+
 // BenchmarkMetricConvergence measures a KeepTrace campaign plus running-CI
 // computation (the §IV-C convergence experiment).
 func BenchmarkMetricConvergence(b *testing.B) {

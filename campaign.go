@@ -52,11 +52,28 @@ type CampaignConfig struct {
 	// Seed determines the fault sequence.
 	Seed uint64
 
-	// X and Y are the evaluation pool; injection i uses sample i mod N so
-	// faults spread evenly over inputs. Inference runs at batch size 1
-	// because per-tensor metadata (INT scale, AFP bias) is batch-dependent.
+	// Pool is the evaluation pool; injection i uses sample i mod Pool.Len()
+	// so faults spread evenly over inputs. Its Batch geometry is the
+	// campaign's default injection batch size when BatchSize is unset.
+	Pool *EvalPool
+
+	// X and Y are the raw evaluation pool.
+	//
+	// Deprecated: set Pool instead; X/Y remain supported for one release
+	// and are equivalent to Pool = &EvalPool{X: X, Y: Y}. Setting both Pool
+	// and X/Y is an error.
 	X *tensor.Tensor
 	Y []int
+
+	// BatchSize is the number of distinct faults packed into one batched
+	// forward pass (the paper's batching lever, §IV-B). Each batch row
+	// carries its own fault against its own pool sample, and — because
+	// format metadata is computed per row (numfmt.AxisBatch) — the report
+	// is bit-identical to the batch-1 path under the same seed. 0 or 1
+	// selects the serial path; weight-target campaigns always run serially
+	// (weights are shared by every row of a batch). When 0, Pool.Batch is
+	// used if set.
+	BatchSize int
 
 	// UseRanger enables the range detector (on by default in the paper;
 	// here explicit).
@@ -202,11 +219,46 @@ func (r *CampaignReport) DetectionCoverage() float64 {
 	return float64(r.Detected) / float64(r.Injections)
 }
 
+// evalPool resolves the configured evaluation pool, honoring the
+// deprecated X/Y pair.
+func (cfg *CampaignConfig) evalPool() (*EvalPool, error) {
+	if cfg.Pool != nil {
+		if cfg.X != nil || cfg.Y != nil {
+			return nil, fmt.Errorf("goldeneye: set CampaignConfig.Pool or the deprecated X/Y pair, not both")
+		}
+		if err := cfg.Pool.validate(); err != nil {
+			return nil, err
+		}
+		return cfg.Pool, nil
+	}
+	if cfg.X == nil || cfg.X.Dim(0) == 0 || cfg.X.Dim(0) != len(cfg.Y) {
+		return nil, fmt.Errorf("goldeneye: campaign pool mismatch")
+	}
+	return &EvalPool{X: cfg.X, Y: cfg.Y}, nil
+}
+
+// packBatch resolves the campaign's injection batch size: BatchSize if set,
+// else the pool's Batch geometry, else 1 (serial). Weight-target campaigns
+// always pack 1 — a weight fault corrupts state shared by every row of a
+// batch, so distinct weight faults cannot share a forward pass.
+func (cfg *CampaignConfig) packBatch() int {
+	b := cfg.BatchSize
+	if b <= 0 && cfg.Pool != nil {
+		b = cfg.Pool.Batch
+	}
+	if b < 1 || cfg.Target == inject.TargetWeight {
+		b = 1
+	}
+	return b
+}
+
 // campaignRunner holds one worker's prepared campaign state: quantized
 // weights, range profile, and fault-free references.
 type campaignRunner struct {
 	sim       *Simulator
 	cfg       CampaignConfig
+	pool      *EvalPool
+	batch     int
 	backup    *inject.WeightBackup
 	ranger    *inject.RangeProfile
 	cleanPred []int
@@ -221,37 +273,38 @@ type campaignRunner struct {
 }
 
 // campaignGeometry validates cfg against the simulator and returns the
-// fault-drawing geometry (target element count and flips per injection).
-func (s *Simulator) campaignGeometry(cfg CampaignConfig) (elems, flips int, err error) {
+// resolved evaluation pool plus the fault-drawing geometry (target element
+// count and flips per injection).
+func (s *Simulator) campaignGeometry(cfg CampaignConfig) (pool *EvalPool, elems, flips int, err error) {
 	if cfg.Format == nil {
-		return 0, 0, fmt.Errorf("goldeneye: campaign requires a format")
+		return nil, 0, 0, fmt.Errorf("goldeneye: campaign requires a format")
 	}
 	if cfg.Injections <= 0 {
-		return 0, 0, fmt.Errorf("goldeneye: campaign requires a positive injection count")
+		return nil, 0, 0, fmt.Errorf("goldeneye: campaign requires a positive injection count")
 	}
-	if cfg.X == nil || cfg.X.Dim(0) != len(cfg.Y) {
-		return 0, 0, fmt.Errorf("goldeneye: campaign pool mismatch")
+	if pool, err = cfg.evalPool(); err != nil {
+		return nil, 0, 0, err
 	}
 	if cfg.Site == inject.SiteMetadata && inject.MetaBitWidth(cfg.Format) == 0 {
-		return 0, 0, fmt.Errorf("goldeneye: format %s has no metadata to inject into", cfg.Format.Name())
+		return nil, 0, 0, fmt.Errorf("goldeneye: format %s has no metadata to inject into", cfg.Format.Name())
 	}
 	if cfg.Resume != nil {
 		if cfg.KeepTrace {
-			return 0, 0, fmt.Errorf("goldeneye: resume does not support KeepTrace campaigns")
+			return nil, 0, 0, fmt.Errorf("goldeneye: resume does not support KeepTrace campaigns")
 		}
 		if cfg.Resume.Completed < 0 || cfg.Resume.Completed > cfg.Injections {
-			return 0, 0, fmt.Errorf("goldeneye: resume point %d outside campaign of %d injections",
+			return nil, 0, 0, fmt.Errorf("goldeneye: resume point %d outside campaign of %d injections",
 				cfg.Resume.Completed, cfg.Injections)
 		}
 	}
 	elems = s.sizes[cfg.Layer]
 	if cfg.Target == inject.TargetNeuron && elems == 0 {
-		return 0, 0, fmt.Errorf("goldeneye: unknown layer index %d", cfg.Layer)
+		return nil, 0, 0, fmt.Errorf("goldeneye: unknown layer index %d", cfg.Layer)
 	}
 	if cfg.Target == inject.TargetWeight {
 		p, err := s.widx.ParamOfLayer(cfg.Layer)
 		if err != nil {
-			return 0, 0, err
+			return nil, 0, 0, err
 		}
 		elems = p.Value.Len()
 	}
@@ -259,7 +312,7 @@ func (s *Simulator) campaignGeometry(cfg CampaignConfig) (elems, flips int, err 
 	if flips <= 0 {
 		flips = 1
 	}
-	return elems, flips, nil
+	return pool, elems, flips, nil
 }
 
 // newRunner validates cfg against the simulator and computes the
@@ -267,11 +320,11 @@ func (s *Simulator) campaignGeometry(cfg CampaignConfig) (elems, flips int, err 
 // during setup (range profiling, clean references) aborts promptly.
 // Callers must invoke close() to restore weights.
 func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaignRunner, error) {
-	elems, flips, err := s.campaignGeometry(cfg)
+	pool, elems, flips, err := s.campaignGeometry(cfg)
 	if err != nil {
 		return nil, err
 	}
-	r := &campaignRunner{sim: s, cfg: cfg, elems: elems, flips: flips}
+	r := &campaignRunner{sim: s, cfg: cfg, pool: pool, batch: cfg.packBatch(), elems: elems, flips: flips}
 	if cfg.Metrics != nil {
 		r.timing = layerTimingHooks(cfg.Metrics)
 	}
@@ -285,25 +338,35 @@ func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaig
 		inject.QuantizeWeights(s.model, cfg.Format)
 	}
 	if cfg.UseRanger {
-		r.ranger = inject.ProfileRanges(ctx, s.model, cfg.X, 16, r.baseHooks())
+		r.ranger = inject.ProfileRanges(ctx, s.model, pool.X, 16, r.baseHooks())
 		if err := ctx.Err(); err != nil {
 			return fail(err)
 		}
 	}
 
-	// Fault-free reference per pool sample, at batch 1 (per-tensor metadata
-	// such as the INT scale depends on batch composition).
-	n := cfg.X.Dim(0)
+	// Fault-free reference per pool sample. Serial campaigns compute them
+	// at batch 1; batched campaigns batch the sweep under per-row emulation
+	// (numfmt.AxisBatch), which is bit-identical per sample to the batch-1
+	// references.
+	refHooks := r.baseHooks()
+	if r.batch > 1 {
+		refHooks = r.batchHooks()
+	}
+	n := pool.Len()
 	r.cleanPred = make([]int, n)
 	r.cleanLoss = make([]float64, n)
-	cleanCtx := nn.NewContext(r.withTiming(r.baseHooks()))
-	for i := 0; i < n; i++ {
+	cleanCtx := nn.NewContext(r.withTiming(refHooks))
+	for lo := 0; lo < n; lo += r.batch {
 		if err := ctx.Err(); err != nil {
 			return fail(err)
 		}
-		logits := nn.Forward(cleanCtx, s.model, cfg.X.Slice(i, i+1))
-		r.cleanPred[i] = logits.ArgMaxRows()[0]
-		r.cleanLoss[i] = train.CrossEntropyPerSample(logits, cfg.Y[i:i+1])[0]
+		hi := lo + r.batch
+		if hi > n {
+			hi = n
+		}
+		logits := nn.Forward(cleanCtx, s.model, pool.X.Slice(lo, hi))
+		copy(r.cleanPred[lo:hi], logits.ArgMaxRows())
+		copy(r.cleanLoss[lo:hi], train.CrossEntropyPerSample(logits, pool.Y[lo:hi]))
 	}
 	return r, nil
 }
@@ -316,6 +379,21 @@ func (r *campaignRunner) baseHooks() *nn.HookSet {
 		format := r.cfg.Format
 		h.PostForward(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
 			return format.Emulate(t)
+		})
+	}
+	return h
+}
+
+// batchHooks is baseHooks for batched passes: network emulation runs
+// per batch row (numfmt.AxisBatch), so each row's metadata — INT scale,
+// AFP bias, BFP shared exponents — is computed from that row alone and the
+// row stays bit-identical to its batch-1 inference.
+func (r *campaignRunner) batchHooks() *nn.HookSet {
+	h := nn.NewHookSet()
+	if r.cfg.EmulateNetwork {
+		format := r.cfg.Format
+		h.PostForward(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+			return numfmt.EmulateBatched(format, t)
 		})
 	}
 	return h
@@ -397,7 +475,7 @@ func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out Injectio
 		hooks.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 	}
 
-	logits := nn.Forward(nn.NewContext(r.withTiming(hooks)), r.sim.model, cfg.X.Slice(sample, sample+1))
+	logits := nn.Forward(nn.NewContext(r.withTiming(hooks)), r.sim.model, r.pool.X.Slice(sample, sample+1))
 	if cfg.MeasureDMR {
 		// Re-execute without the transient fault; weight corruption is
 		// still in place, so it escapes detection (as real DMR would).
@@ -405,11 +483,11 @@ func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out Injectio
 		if r.ranger != nil {
 			redo.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 		}
-		again := nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, cfg.X.Slice(sample, sample+1))
+		again := nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, r.pool.X.Slice(sample, sample+1))
 		out.Detected = !again.AllClose(logits, 0)
 	}
 
-	faultyLoss := train.CrossEntropyPerSample(logits, cfg.Y[sample:sample+1])[0]
+	faultyLoss := train.CrossEntropyPerSample(logits, r.pool.Y[sample:sample+1])[0]
 	out.Fault = faults[0]
 	out.Sample = sample
 	out.Mismatch = logits.ArgMaxRows()[0] != r.cleanPred[sample]
@@ -435,18 +513,103 @@ func (r *campaignRunner) runIsolated(shard, injection int, faults []inject.Fault
 	return r.runOne(faults, sample)
 }
 
+// runBatch executes a group of injections — injection idx[k] applies
+// faultsets[k] to pool sample samples[k] — in one batched forward pass,
+// returning per-injection outcomes and errors positionally. Each batch row
+// carries its own fault under per-row format metadata, so every outcome is
+// bit-identical to the serial batch-1 path. If anything inside the batched
+// pass panics, the whole group falls back to per-injection serial
+// execution, which reproduces the non-aborting rows bit-identically and
+// confines the abort to the offending injection(s).
+func (r *campaignRunner) runBatch(shard int, idx []int, faultsets [][]inject.Fault, samples []int) ([]InjectionOutcome, []error) {
+	outs := make([]InjectionOutcome, len(idx))
+	errs := make([]error, len(idx))
+	serially := func() {
+		for k := range idx {
+			outs[k], errs[k] = r.runIsolated(shard, idx[k], faultsets[k], samples[k])
+		}
+	}
+	if len(idx) == 1 || r.cfg.Target != inject.TargetNeuron {
+		serially()
+		return outs, errs
+	}
+	if !r.tryRunBatch(faultsets, samples, outs) {
+		serially()
+	}
+	return outs, errs
+}
+
+// tryRunBatch attempts the batched pass proper; false means a panic was
+// recovered and the caller must re-run the group serially.
+func (r *campaignRunner) tryRunBatch(faultsets [][]inject.Fault, samples []int, outs []InjectionOutcome) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			ok = false
+		}
+	}()
+	cfg := r.cfg
+	xb := tensor.Gather0(r.pool.X, samples)
+	yb := make([]int, len(samples))
+	for k, s := range samples {
+		yb[k] = r.pool.Y[s]
+	}
+	// Same hook registration order as the serial path: emulation, then
+	// injection at the target layer, then the range detector's clamp.
+	hooks := r.batchHooks()
+	hooks.PostForward(nn.ByIndex(cfg.Layer), inject.NeuronHookBatched(cfg.Format, faultsets))
+	if r.ranger != nil {
+		hooks.PostForward(nn.AllLayers(), r.ranger.ClampHook())
+	}
+	logits := nn.Forward(nn.NewContext(r.withTiming(hooks)), r.sim.model, xb)
+	var again *tensor.Tensor
+	if cfg.MeasureDMR {
+		redo := r.batchHooks()
+		if r.ranger != nil {
+			redo.PostForward(nn.AllLayers(), r.ranger.ClampHook())
+		}
+		again = nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, xb)
+	}
+	preds := logits.ArgMaxRows()
+	losses := train.CrossEntropyPerSample(logits, yb)
+	nonFinite := logits.NonFiniteRows()
+	for k := range outs {
+		out := InjectionOutcome{
+			Fault:     faultsets[k][0],
+			Sample:    samples[k],
+			Mismatch:  preds[k] != r.cleanPred[samples[k]],
+			DeltaLoss: metrics.DeltaLoss(r.cleanLoss[samples[k]], losses[k]),
+			NonFinite: nonFinite[k] > 0,
+		}
+		if len(faultsets[k]) > 1 {
+			out.Extra = faultsets[k][1:]
+		}
+		if again != nil {
+			out.Detected = !again.Slice(k, k+1).AllClose(logits.Slice(k, k+1), 0)
+		}
+		outs[k] = out
+	}
+	return true
+}
+
 // RunCampaign executes the configured campaign and returns its report. The
 // model's weights are restored to their pre-campaign values before
 // returning.
 //
 // Lifecycle semantics:
-//   - Cancellation: ctx is checked cooperatively before every injection;
-//     on cancellation the partial report (aggregating exactly the
-//     completed-injection prefix, Interrupted set) is returned together
-//     with ctx.Err().
+//   - Batching: with cfg.BatchSize > 1 (or a Pool.Batch geometry), up to
+//     BatchSize distinct neuron faults share one batched forward pass,
+//     each against its own pool sample under per-row format metadata. The
+//     report — aggregates, Detected/Aborted counts, and trace — is
+//     bit-identical to the serial batch-1 path under the same seed.
+//   - Cancellation: ctx is checked cooperatively before every injection
+//     group (every injection when serial); on cancellation the partial
+//     report (aggregating exactly the completed prefix, Interrupted set)
+//     is returned together with ctx.Err().
 //   - Panic isolation: an injection whose inference panics is recovered,
 //     counted in the report's Aborted field, and the campaign continues in
-//     degraded mode until more than cfg.MaxAborts injections abort.
+//     degraded mode until more than cfg.MaxAborts injections abort. A
+//     panic inside a batched pass re-runs that group serially, so the
+//     abort lands on the offending injection only.
 //   - Resume: with cfg.Resume, the already-executed fault prefix is drawn
 //     but not re-run and the Welford accumulators continue from the
 //     persisted state, so the final report is bit-identical to an
@@ -471,43 +634,66 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 	}
 	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections)
 	drawer := newFaultDrawer(&cfg, runner.elems, runner.flips)
-	n := cfg.X.Dim(0)
-	for i := 0; i < cfg.Injections; i++ {
-		// Always draw: a resumed campaign replays the prefix of the
-		// deterministic sequence without executing it.
-		faults := drawer.next()
-		if i < skip {
-			continue
-		}
+	n := runner.pool.Len()
+	batch := runner.batch
+	// A resumed campaign replays the prefix of the deterministic sequence
+	// without executing it.
+	for i := 0; i < skip; i++ {
+		drawer.next()
+	}
+	for base := skip; base < cfg.Injections; base += batch {
 		if err := ctx.Err(); err != nil {
 			report.Interrupted = true
 			return report, err
 		}
+		hi := base + batch
+		if hi > cfg.Injections {
+			hi = cfg.Injections
+		}
+		rows := hi - base
+		idx := make([]int, rows)
+		faultsets := make([][]inject.Fault, rows)
+		samples := make([]int, rows)
+		for k := 0; k < rows; k++ {
+			idx[k] = base + k
+			faultsets[k] = drawer.next()
+			samples[k] = (base + k) % n
+		}
 		start := time.Now()
-		out, err := runner.runIsolated(0, i, faults, i%n)
-		if err != nil {
-			var ie *InjectionError
-			if !errors.As(err, &ie) {
-				return nil, err
+		outs, errs := runner.runBatch(0, idx, faultsets, samples)
+		// Latency accounting stays per injection so the histogram's count
+		// matches the injection counters in both modes; a batched pass
+		// amortizes its wall time evenly over its rows.
+		per := time.Since(start) / time.Duration(rows)
+		if batch > 1 {
+			ct.recordBatch(rows, batch)
+		}
+		for k := 0; k < rows; k++ {
+			if errs[k] != nil {
+				var ie *InjectionError
+				if !errors.As(errs[k], &ie) {
+					return nil, errs[k]
+				}
+				report.Aborted++
+				ct.recordAborted()
+				if cfg.KeepTrace {
+					report.Trace = append(report.Trace, outs[k])
+				}
+				if cfg.MaxAborts > 0 && report.Aborted > cfg.MaxAborts {
+					return report, fmt.Errorf("goldeneye: %d aborted injections exceed MaxAborts=%d: %w",
+						report.Aborted, cfg.MaxAborts, ie)
+				}
+				continue
 			}
-			report.Aborted++
-			ct.recordAborted()
+			out := outs[k]
+			ct.record(out.Mismatch, out.NonFinite, out.Detected, per)
+			report.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
+			if out.Detected {
+				report.Detected++
+			}
 			if cfg.KeepTrace {
 				report.Trace = append(report.Trace, out)
 			}
-			if cfg.MaxAborts > 0 && report.Aborted > cfg.MaxAborts {
-				return report, fmt.Errorf("goldeneye: %d aborted injections exceed MaxAborts=%d: %w",
-					report.Aborted, cfg.MaxAborts, ie)
-			}
-			continue
-		}
-		ct.record(out.Mismatch, out.NonFinite, out.Detected, time.Since(start))
-		report.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
-		if out.Detected {
-			report.Detected++
-		}
-		if cfg.KeepTrace {
-			report.Trace = append(report.Trace, out)
 		}
 	}
 	return report, nil
@@ -518,6 +704,11 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 // a fresh zoo load). The fault sequence is drawn up front from cfg.Seed, so
 // the injected faults are exactly those of the serial RunCampaign; only
 // floating-point aggregation order differs (Welford merge).
+//
+// Batching composes with sharding: each worker packs its stride-assigned
+// injection indices into cfg.BatchSize-row passes, so total throughput
+// scales with both levers while the merged report stays bit-identical to
+// the serial campaign's (modulo the documented Welford merge order).
 //
 // The lifecycle semantics of RunCampaign apply per worker: cancellation
 // stops every worker at its next injection boundary and returns the merged
@@ -547,7 +738,7 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 	if err != nil {
 		return nil, err
 	}
-	elems, flips, err := scout.campaignGeometry(cfg)
+	pool, elems, flips, err := scout.campaignGeometry(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -572,7 +763,7 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		err         error
 		interrupted bool
 	}
-	n := cfg.X.Dim(0)
+	n := pool.Len()
 	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections)
 	shards := make([]shard, workers)
 	var aborted atomic.Int64
@@ -627,48 +818,75 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 				shardWork = cfg.Metrics.Counter(telemetry.Label(MetricCampaignShardWork, "worker", strconv.Itoa(w)))
 			}
 			rep := &CampaignReport{}
+			// The worker's stride-assigned injection indices, batched into
+			// groups of the campaign's pack size. Grouping non-contiguous
+			// indices is fine: each row is an independent (fault, sample)
+			// pair, and trace order within the shard stays the stride order
+			// the merge below expects.
+			var mine []int
 			for i := w; i < cfg.Injections; i += workers {
-				if i < skip {
-					continue
+				if i >= skip {
+					mine = append(mine, i)
 				}
+			}
+			batch := runner.batch
+			for base := 0; base < len(mine); base += batch {
 				if wctx.Err() != nil {
 					shards[w].interrupted = true
 					break
 				}
+				hi := base + batch
+				if hi > len(mine) {
+					hi = len(mine)
+				}
+				idx := mine[base:hi]
+				faultsets := make([][]inject.Fault, len(idx))
+				samples := make([]int, len(idx))
+				for k, i := range idx {
+					faultsets[k] = allFaults[i]
+					samples[k] = i % n
+				}
 				start := time.Now()
-				out, oerr := runner.runIsolated(w, i, allFaults[i], i%n)
-				if oerr != nil {
-					var ie *InjectionError
-					if !errors.As(oerr, &ie) {
-						shards[w].err = oerr
-						stopWorkers()
-						return
+				outs, errsB := runner.runBatch(w, idx, faultsets, samples)
+				per := time.Since(start) / time.Duration(len(idx))
+				if batch > 1 {
+					ct.recordBatch(len(idx), batch)
+				}
+				for k := range idx {
+					if errsB[k] != nil {
+						var ie *InjectionError
+						if !errors.As(errsB[k], &ie) {
+							shards[w].err = errsB[k]
+							stopWorkers()
+							return
+						}
+						total := aborted.Add(1)
+						ct.recordAborted()
+						rep.Aborted++
+						if cfg.KeepTrace {
+							rep.Trace = append(rep.Trace, outs[k])
+						}
+						if cfg.MaxAborts > 0 && total > int64(cfg.MaxAborts) {
+							shards[w].report = rep
+							shards[w].err = fmt.Errorf("%d aborted injections exceed MaxAborts=%d: %w",
+								total, cfg.MaxAborts, ie)
+							stopWorkers()
+							return
+						}
+						continue
 					}
-					total := aborted.Add(1)
-					ct.recordAborted()
-					rep.Aborted++
+					out := outs[k]
+					ct.record(out.Mismatch, out.NonFinite, out.Detected, per)
+					if shardWork != nil {
+						shardWork.Inc()
+					}
+					rep.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
+					if out.Detected {
+						rep.Detected++
+					}
 					if cfg.KeepTrace {
 						rep.Trace = append(rep.Trace, out)
 					}
-					if cfg.MaxAborts > 0 && total > int64(cfg.MaxAborts) {
-						shards[w].report = rep
-						shards[w].err = fmt.Errorf("%d aborted injections exceed MaxAborts=%d: %w",
-							total, cfg.MaxAborts, ie)
-						stopWorkers()
-						return
-					}
-					continue
-				}
-				ct.record(out.Mismatch, out.NonFinite, out.Detected, time.Since(start))
-				if shardWork != nil {
-					shardWork.Inc()
-				}
-				rep.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
-				if out.Detected {
-					rep.Detected++
-				}
-				if cfg.KeepTrace {
-					rep.Trace = append(rep.Trace, out)
 				}
 			}
 			shards[w].report = rep

@@ -1,0 +1,133 @@
+package goldeneye_test
+
+// Campaign batching benchmark report: serial vs batched throughput of a
+// paper-scale (1000-injection) campaign on resnet_s, with the bit-identity
+// guarantee re-checked at full scale. Gated behind an environment variable
+// because it runs minutes of inference:
+//
+//	GOLDENEYE_BENCH_CAMPAIGN=BENCH_campaign.json go test -run TestCampaignBenchReport -v .
+//
+// `make bench` invokes exactly that. The JSON report records the host's
+// parallelism alongside the throughput numbers: the batched speedup comes
+// from the row-sharded matmul (internal/tensor) spreading a batch's rows
+// across cores plus amortized per-pass overhead, so a single-core host
+// measures ~1x while multi-core hosts scale with GOMAXPROCS.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"goldeneye"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/zoo"
+)
+
+// benchCampaignRow is one batch size's measurement in BENCH_campaign.json.
+type benchCampaignRow struct {
+	BatchSize    int     `json:"batch_size"`
+	Seconds      float64 `json:"seconds"`
+	InjPerSecond float64 `json:"injections_per_second"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+type benchCampaignReport struct {
+	Model      string             `json:"model"`
+	Format     string             `json:"format"`
+	Layer      int                `json:"layer"`
+	Injections int                `json:"injections"`
+	PoolSize   int                `json:"pool_size"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Rows       []benchCampaignRow `json:"rows"`
+}
+
+func TestCampaignBenchReport(t *testing.T) {
+	out := os.Getenv("GOLDENEYE_BENCH_CAMPAIGN")
+	if out == "" {
+		t.Skip("set GOLDENEYE_BENCH_CAMPAIGN=<path> to run the campaign batching benchmark")
+	}
+	model, ds, err := zoo.Pretrained("resnet_s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := goldeneye.Wrap(model, ds.ValX)
+	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, 64), ds.ValY[:64], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := benchCampaignReport{
+		Model:      "resnet_s",
+		Format:     numfmt.BFPe5m5().Name(),
+		Layer:      sim.InjectableLayers()[2],
+		Injections: 1000,
+		PoolSize:   pool.Len(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	cfgFor := func(batch int) goldeneye.CampaignConfig {
+		return goldeneye.CampaignConfig{
+			Format:         numfmt.BFPe5m5(),
+			Site:           goldeneye.SiteValue,
+			Target:         goldeneye.TargetNeuron,
+			Layer:          report.Layer,
+			Injections:     report.Injections,
+			Seed:           97,
+			Pool:           pool,
+			BatchSize:      batch,
+			UseRanger:      true,
+			EmulateNetwork: true,
+		}
+	}
+
+	run := func(batch int) (*goldeneye.CampaignReport, float64) {
+		start := time.Now()
+		rep, err := sim.RunCampaign(t.Context(), cfgFor(batch))
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		return rep, time.Since(start).Seconds()
+	}
+
+	serial, serialSec := run(1)
+	report.Rows = append(report.Rows, benchCampaignRow{
+		BatchSize:    1,
+		Seconds:      serialSec,
+		InjPerSecond: float64(report.Injections) / serialSec,
+		Speedup:      1,
+		BitIdentical: true,
+	})
+	for _, batch := range []int{8, 32} {
+		rep, sec := run(batch)
+		reportsIdentical(t, fmt.Sprintf("bench batch %d", batch), rep, serial)
+		row := benchCampaignRow{
+			BatchSize:    batch,
+			Seconds:      sec,
+			InjPerSecond: float64(report.Injections) / sec,
+			Speedup:      serialSec / sec,
+			BitIdentical: !t.Failed(),
+		}
+		report.Rows = append(report.Rows, row)
+		t.Logf("batch %2d: %6.1f inj/s (%.2fx serial)", batch, row.InjPerSecond, row.Speedup)
+	}
+
+	final := report.Rows[len(report.Rows)-1]
+	if final.Speedup < 3 {
+		t.Logf("warning: batch-32 speedup %.2fx below the 3x multicore target "+
+			"(GOMAXPROCS=%d); the row-sharded matmul needs real cores to fan a batch out",
+			final.Speedup, report.GoMaxProcs)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

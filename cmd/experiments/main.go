@@ -77,6 +77,7 @@ func run(ctx context.Context, args []string) error {
 		modelFlag  = fs.String("model", "resnet_m", "model name (single-model experiments)")
 		runsFlag   = fs.Int("runs", 10, "timing repetitions (fig3)")
 		injFlag    = fs.Int("inj", 0, "injections per campaign (0 = experiment default)")
+		packBatch  = fs.Int("campaign-batch", 0, "faults packed per forward pass in campaigns (0 = serial; results are bit-identical at any value)")
 		samples    = fs.Int("samples", 0, "validation samples for accuracy (0 = default)")
 		threshold  = fs.Float64("threshold", 0.01, "DSE accuracy-loss threshold")
 		layerFlag  = fs.Int("layer", -1, "layer visit index for convergence (-1 = middle)")
@@ -107,7 +108,7 @@ func run(ctx context.Context, args []string) error {
 			}()
 		}
 	}
-	opts := exper.Options{ValSamples: *samples, Injections: *injFlag}
+	opts := exper.Options{ValSamples: *samples, Injections: *injFlag, CampaignBatch: *packBatch}
 	if *ckptDir != "" {
 		st, cerr := checkpoint.Open(*ckptDir)
 		if cerr != nil {

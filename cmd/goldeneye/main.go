@@ -6,6 +6,7 @@
 //	goldeneye layers  -model resnet_s                # enumerate hookable layers
 //	goldeneye eval    -model resnet_s -format fp8_e4m3
 //	goldeneye inject  -model resnet_s -format bfp_e5m5 -layer 6 -site metadata -n 1000
+//	goldeneye inject  -model resnet_s -format int8 -n 1000 -campaign-batch 32
 //	goldeneye dse     -model vit_tiny -family afp -threshold 0.01
 //
 // Format specifications accept presets (fp16, bfloat16, int8, …) and
@@ -78,6 +79,7 @@ func run(ctx context.Context, args []string) error {
 		ranger    = fs.Bool("ranger", true, "enable the range detector")
 		samples   = fs.Int("samples", 300, "validation samples")
 		batch     = fs.Int("batch", 30, "evaluation batch size")
+		packBatch = fs.Int("campaign-batch", 1, "faults packed per forward pass (inject); reports are bit-identical at any value")
 		workers   = fs.Int("workers", 1, "parallel campaign workers (inject)")
 		maxAborts = fs.Int("max-aborts", 0, "fail the campaign after this many aborted injections (0 = unlimited degraded mode)")
 		progress  = fs.Bool("progress", false, "render a live progress line (campaigns) and imply -metrics")
@@ -128,12 +130,15 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	sim := goldeneye.Wrap(m, ds.ValX.Slice(0, 1))
+	sim := goldeneye.Wrap(m, ds.ValX)
 	nVal := *samples
 	if nVal > ds.ValLen() {
 		nVal = ds.ValLen()
 	}
-	x, y := ds.ValX.Slice(0, nVal), ds.ValY[:nVal]
+	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, nVal), ds.ValY[:nVal], *batch)
+	if err != nil {
+		return err
+	}
 
 	switch cmd {
 	case "layers":
@@ -147,8 +152,8 @@ func run(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		native := sim.Evaluate(x, y, *batch, goldeneye.EmulationConfig{})
-		emulated := sim.Evaluate(x, y, *batch, goldeneye.EmulationConfig{
+		native := sim.EvaluatePool(pool, goldeneye.EmulationConfig{})
+		emulated := sim.EvaluatePool(pool, goldeneye.EmulationConfig{
 			Format: f, Weights: true, Neurons: true,
 		})
 		fmt.Printf("model=%s samples=%d\n", *model, nVal)
@@ -165,8 +170,8 @@ func run(ctx context.Context, args []string) error {
 			Format:         f,
 			Injections:     *n,
 			Seed:           *seed,
-			X:              x,
-			Y:              y,
+			Pool:           pool,
+			BatchSize:      *packBatch,
 			UseRanger:      *ranger,
 			EmulateNetwork: true,
 			MaxAborts:      *maxAborts,
@@ -208,7 +213,7 @@ func run(ctx context.Context, args []string) error {
 				if werr != nil {
 					return nil, werr
 				}
-				return goldeneye.Wrap(wm, wds.ValX.Slice(0, 1)), nil
+				return goldeneye.Wrap(wm, wds.ValX), nil
 			})
 		} else {
 			rep, err = sim.RunCampaign(ctx, cfg)
@@ -235,7 +240,7 @@ func run(ctx context.Context, args []string) error {
 		return nil
 
 	case "dse":
-		res := sim.RunDSE(x, y, *batch, goldeneye.DSEConfig{
+		res := sim.RunDSE(pool.X, pool.Y, *batch, goldeneye.DSEConfig{
 			Family:    dse.Family(*family),
 			Threshold: *threshold,
 		})

@@ -1,0 +1,83 @@
+package goldeneye
+
+import (
+	"fmt"
+
+	"goldeneye/internal/tensor"
+)
+
+// DefaultEvalBatch is the batch size accuracy evaluation uses when an
+// EvalPool leaves Batch unset.
+const DefaultEvalBatch = 32
+
+// EvalPool bundles a campaign's evaluation set: the pooled inputs, their
+// labels, and the batch geometry consumers use when sweeping it. It is the
+// one value threaded through CampaignConfig, accuracy evaluation, and the
+// experiment drivers, replacing the raw X/Y field pair.
+type EvalPool struct {
+	// X holds the pooled inputs, batch on axis 0.
+	X *tensor.Tensor
+
+	// Y holds the matching labels, one per row of X.
+	Y []int
+
+	// Batch is the pool's batch geometry. Accuracy evaluation sweeps the
+	// pool at this size (0 = DefaultEvalBatch); injection campaigns pack
+	// this many distinct faults per forward pass when
+	// CampaignConfig.BatchSize is unset (0 = the serial batch-1 path).
+	Batch int
+}
+
+// NewEvalPool validates and builds an evaluation pool.
+func NewEvalPool(x *tensor.Tensor, y []int, batch int) (*EvalPool, error) {
+	p := &EvalPool{X: x, Y: y, Batch: batch}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *EvalPool) validate() error {
+	if p.X == nil || p.X.Dim(0) == 0 {
+		return fmt.Errorf("goldeneye: evaluation pool needs at least one sample")
+	}
+	if p.X.Dim(0) != len(p.Y) {
+		return fmt.Errorf("goldeneye: evaluation pool has %d inputs but %d labels", p.X.Dim(0), len(p.Y))
+	}
+	if p.Batch < 0 {
+		return fmt.Errorf("goldeneye: evaluation pool batch %d is negative", p.Batch)
+	}
+	return nil
+}
+
+// Len returns the number of pooled samples.
+func (p *EvalPool) Len() int {
+	if p == nil || p.X == nil {
+		return 0
+	}
+	return p.X.Dim(0)
+}
+
+// Subset returns a pool over the first n samples (capped at Len), keeping
+// the batch geometry. The experiment drivers use it to honor sample budgets.
+func (p *EvalPool) Subset(n int) *EvalPool {
+	if n > p.Len() {
+		n = p.Len()
+	}
+	return &EvalPool{X: p.X.Slice(0, n), Y: p.Y[:n], Batch: p.Batch}
+}
+
+// evalBatch resolves the accuracy-evaluation batch size.
+func (p *EvalPool) evalBatch() int {
+	if p.Batch > 0 {
+		return p.Batch
+	}
+	return DefaultEvalBatch
+}
+
+// EvaluatePool returns the model's top-1 accuracy over the pool at its
+// batch geometry, restoring native weights afterwards. It is the
+// EvalPool-flavored Evaluate.
+func (s *Simulator) EvaluatePool(p *EvalPool, cfg EmulationConfig) float64 {
+	return s.Evaluate(p.X, p.Y, p.evalBatch(), cfg)
+}

@@ -23,12 +23,24 @@
 //
 // # Quick start
 //
-//	model, ds, _ := zoo.Pretrained("resnet_s")          // or bring your own nn.Module
-//	sim := goldeneye.Wrap(model, ds.ValX.Slice(0, 1))
-//	acc := sim.Evaluate(ds.ValX, ds.ValY, 32, goldeneye.EmulationConfig{
+//	model, ds, _ := zoo.Pretrained("resnet_s")     // or bring your own nn.Module
+//	sim := goldeneye.Wrap(model, ds.ValX)          // any batch; traced on a row-0 view
+//	pool, _ := goldeneye.NewEvalPool(ds.ValX, ds.ValY, 32)
+//	acc := sim.EvaluatePool(pool, goldeneye.EmulationConfig{
 //		Format:  numfmt.FP16(true),
 //		Weights: true,
 //		Neurons: true,
+//	})
+//
+// Fault-injection campaigns take the same pool; BatchSize packs that many
+// independent faults per forward pass (per-sample format metadata keeps the
+// report bit-identical to the serial path):
+//
+//	rep, _ := sim.RunCampaign(ctx, goldeneye.CampaignConfig{
+//		Format: numfmt.BFPe5m5(), Site: goldeneye.SiteValue,
+//		Target: goldeneye.TargetNeuron, Layer: sim.InjectableLayers()[0],
+//		Injections: 1000, Pool: pool, BatchSize: 32,
+//		UseRanger: true, EmulateNetwork: true,
 //	})
 //
 // See examples/ for runnable programs and EXPERIMENTS.md for the paper
@@ -91,12 +103,16 @@ type Simulator struct {
 	widx   inject.ModuleIndex
 }
 
-// Wrap prepares model for simulation. sample must be a single-element batch
-// with the model's input geometry; it is used to trace layer structure and
-// per-layer output sizes.
+// Wrap prepares model for simulation. sample provides the model's input
+// geometry: any batch size is accepted, and layer structure plus per-layer
+// output sizes are traced on a row-0 view (so a full validation tensor can
+// be passed directly).
 func Wrap(model nn.Module, sample *tensor.Tensor) *Simulator {
-	if sample.Dim(0) != 1 {
-		panic(fmt.Sprintf("goldeneye: Wrap sample must have batch size 1, got %v", sample.Shape()))
+	if sample.Dim(0) < 1 {
+		panic(fmt.Sprintf("goldeneye: Wrap sample needs at least one row, got %v", sample.Shape()))
+	}
+	if sample.Dim(0) > 1 {
+		sample = sample.Slice(0, 1)
 	}
 	s := &Simulator{
 		model: model,

@@ -32,9 +32,8 @@ func AblationBFPBlock(ctx context.Context, model string, w io.Writer, o Options)
 	if err != nil {
 		return nil, err
 	}
-	x, y := valPool(ds, o)
-	pool := min(32, ds.ValLen())
-	px, py := ds.ValX.Slice(0, pool), ds.ValY[:pool]
+	vp := valPool(ds, o)
+	pool := injPool(ds, 32, o)
 	layer := sim.InjectableLayers()[len(sim.InjectableLayers())/2]
 
 	var rows []AblationRow
@@ -43,7 +42,7 @@ func AblationBFPBlock(ctx context.Context, model string, w io.Writer, o Options)
 			return rows, err
 		}
 		format := numfmt.NewBFP(5, 3, block)
-		acc := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{
+		acc := sim.EvaluatePool(vp, goldeneye.EmulationConfig{
 			Format: format, Weights: true, Neurons: true,
 		})
 		rep, err := runCell(ctx, sim, fmt.Sprintf("ablation/%s/block%04d", model, block), goldeneye.CampaignConfig{
@@ -53,8 +52,8 @@ func AblationBFPBlock(ctx context.Context, model string, w io.Writer, o Options)
 			Layer:          layer,
 			Injections:     orDefault(o.Injections, 300),
 			Seed:           uint64(block + 1),
-			X:              px,
-			Y:              py,
+			Pool:           pool,
+			BatchSize:      o.campaignBatch(),
 			UseRanger:      true,
 			EmulateNetwork: true,
 		}, o)

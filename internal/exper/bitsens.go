@@ -75,7 +75,7 @@ func BitSensitivity(ctx context.Context, model string, format numfmt.Format, w i
 	if err != nil {
 		return nil, err
 	}
-	pool := min(48, ds.ValLen())
+	pool := injPool(ds, 48, o)
 	layer := sim.InjectableLayers()[len(sim.InjectableLayers())/2]
 	report, err := sim.RunCampaign(ctx, goldeneye.CampaignConfig{
 		Format:         format,
@@ -84,8 +84,8 @@ func BitSensitivity(ctx context.Context, model string, format numfmt.Format, w i
 		Layer:          layer,
 		Injections:     orDefault(o.Injections, 2000),
 		Seed:           31,
-		X:              ds.ValX.Slice(0, pool),
-		Y:              ds.ValY[:pool],
+		Pool:           pool,
+		BatchSize:      o.campaignBatch(),
 		UseRanger:      false,
 		EmulateNetwork: true,
 		KeepTrace:      true,

@@ -33,7 +33,7 @@ func Convergence(ctx context.Context, model string, format numfmt.Format, layer 
 		inj := sim.InjectableLayers()
 		layer = inj[len(inj)/2]
 	}
-	pool := min(64, ds.ValLen())
+	pool := injPool(ds, 64, o)
 	report, err := sim.RunCampaign(ctx, goldeneye.CampaignConfig{
 		Format:         format,
 		Site:           inject.SiteValue,
@@ -41,8 +41,8 @@ func Convergence(ctx context.Context, model string, format numfmt.Format, layer 
 		Layer:          layer,
 		Injections:     o.injections(),
 		Seed:           42,
-		X:              ds.ValX.Slice(0, pool),
-		Y:              ds.ValY[:pool],
+		Pool:           pool,
+		BatchSize:      o.campaignBatch(),
 		UseRanger:      true,
 		EmulateNetwork: true,
 		KeepTrace:      true,

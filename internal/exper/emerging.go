@@ -58,13 +58,13 @@ func Emerging(ctx context.Context, models []string, w io.Writer, o Options) ([]E
 		if err != nil {
 			return nil, err
 		}
-		x, y := valPool(ds, o)
+		vp := valPool(ds, o)
 		for _, class := range classes {
 			for _, format := range class.formats {
 				if err := ctx.Err(); err != nil {
 					return rows, err
 				}
-				acc := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{
+				acc := sim.EvaluatePool(vp, goldeneye.EmulationConfig{
 					Format: format, Weights: true, Neurons: true,
 				})
 				row := EmergingRow{

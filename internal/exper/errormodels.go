@@ -32,8 +32,7 @@ func ErrorModels(ctx context.Context, model string, format numfmt.Format, w io.W
 	if err != nil {
 		return nil, err
 	}
-	pool := min(48, ds.ValLen())
-	x, y := ds.ValX.Slice(0, pool), ds.ValY[:pool]
+	pool := injPool(ds, 48, o)
 	layer := sim.InjectableLayers()[len(sim.InjectableLayers())/2]
 
 	kinds := []inject.FaultKind{
@@ -56,8 +55,8 @@ func ErrorModels(ctx context.Context, model string, format numfmt.Format, w io.W
 				Layer:          layer,
 				Injections:     orDefault(o.Injections, 500),
 				Seed:           uint64(kind)<<8 | uint64(site),
-				X:              x,
-				Y:              y,
+				Pool:           pool,
+				BatchSize:      o.campaignBatch(),
 				UseRanger:      true,
 				EmulateNetwork: true,
 			}, o)

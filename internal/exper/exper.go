@@ -32,6 +32,13 @@ type Options struct {
 	// BatchSize for accuracy evaluations (0 = 30).
 	BatchSize int
 
+	// CampaignBatch packs this many distinct faults per forward pass in
+	// injection campaigns (0 = the serial batch-1 path). Batched campaign
+	// reports are bit-identical to serial under the same seed, so this is
+	// purely a throughput knob — results and checkpoint hashes don't
+	// change with it.
+	CampaignBatch int
+
 	// ZooDir overrides the pre-trained model cache location ("" = default).
 	ZooDir string
 
@@ -45,6 +52,10 @@ type Options struct {
 func (o Options) valSamples() int { return orDefault(o.ValSamples, 300) }
 func (o Options) injections() int { return orDefault(o.Injections, 1000) }
 func (o Options) batchSize() int  { return orDefault(o.BatchSize, 30) }
+
+// campaignBatch resolves the campaign pack size; the explicit 1 keeps
+// campaigns on the serial path regardless of a pool's eval-batch geometry.
+func (o Options) campaignBatch() int { return orDefault(o.CampaignBatch, 1) }
 
 func orDefault(v, d int) int {
 	if v == 0 {
@@ -68,17 +79,27 @@ func loadSim(name string, o Options) (*goldeneye.Simulator, *dataset.Dataset, er
 	if err != nil {
 		return nil, nil, fmt.Errorf("load %s: %w", name, err)
 	}
-	sim := goldeneye.Wrap(model, ds.ValX.Slice(0, 1))
+	sim := goldeneye.Wrap(model, ds.ValX)
 	return sim, ds, nil
 }
 
-// valPool returns the experiment's validation subset.
-func valPool(ds *dataset.Dataset, o Options) (x *goldeneye.Tensor, y []int) {
+// valPool returns the experiment's validation subset as an evaluation pool
+// at the accuracy-evaluation batch geometry.
+func valPool(ds *dataset.Dataset, o Options) *goldeneye.EvalPool {
 	n := o.valSamples()
 	if n > ds.ValLen() {
 		n = ds.ValLen()
 	}
-	return ds.ValX.Slice(0, n), ds.ValY[:n]
+	return &goldeneye.EvalPool{X: ds.ValX.Slice(0, n), Y: ds.ValY[:n], Batch: o.batchSize()}
+}
+
+// injPool returns a capped evaluation pool for injection campaigns. A
+// modest cap keeps 1000-injection campaigns tractable; Options.CampaignBatch
+// (not the pool's eval-batch geometry) decides how many faults share a
+// forward pass.
+func injPool(ds *dataset.Dataset, cap int, o Options) *goldeneye.EvalPool {
+	n := min(cap, ds.ValLen())
+	return &goldeneye.EvalPool{X: ds.ValX.Slice(0, n), Y: ds.ValY[:n], Batch: o.batchSize()}
 }
 
 // paperName maps this repository's model names to the paper models they
@@ -102,9 +123,19 @@ func paperName(model string) string {
 // deterministic result; a persisted cell whose hash differs (sweep re-run
 // with different flags) is discarded instead of resumed.
 func cellHash(cfg goldeneye.CampaignConfig) uint64 {
+	// Pool length (== the deprecated X.Dim(0)) keeps hashes identical across
+	// the X/Y→Pool migration. BatchSize stays out of the hash on purpose:
+	// batched campaigns are bit-identical to serial, so a cell computed at
+	// one batch size resumes correctly at any other.
+	n := 0
+	if cfg.Pool != nil {
+		n = cfg.Pool.Len()
+	} else if cfg.X != nil {
+		n = cfg.X.Dim(0)
+	}
 	return checkpoint.HashConfig(
 		cfg.Format.Name(), cfg.Site, cfg.Target, cfg.FaultKind, cfg.Layer,
-		cfg.Injections, cfg.FlipsPerInjection, cfg.Seed, cfg.X.Dim(0),
+		cfg.Injections, cfg.FlipsPerInjection, cfg.Seed, n,
 		cfg.UseRanger, cfg.EmulateNetwork, cfg.QuantizeWeights, cfg.MeasureDMR,
 	)
 }

@@ -65,9 +65,9 @@ func Fig4(ctx context.Context, models []string, w io.Writer, o Options) ([]Fig4R
 		if err != nil {
 			return nil, err
 		}
-		x, y := valPool(ds, o)
+		vp := valPool(ds, o)
 
-		native := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{})
+		native := sim.EvaluatePool(vp, goldeneye.EmulationConfig{})
 		rows = append(rows, Fig4Row{Model: paperName(name), Family: "native", Bits: 32, Format: "fp32", Accuracy: native})
 		if w != nil {
 			fmt.Fprintf(w, "%-12s %-6s bits=%-2d %-14s acc=%.3f (baseline)\n", paperName(name), "native", 32, "fp32", native)
@@ -83,7 +83,7 @@ func Fig4(ctx context.Context, models []string, w io.Writer, o Options) ([]Fig4R
 				if err != nil {
 					continue // geometry not expressible at this width
 				}
-				acc := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{
+				acc := sim.EvaluatePool(vp, goldeneye.EmulationConfig{
 					Format: format, Weights: true, Neurons: true,
 				})
 				rows = append(rows, Fig4Row{

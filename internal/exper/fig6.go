@@ -42,13 +42,13 @@ func Fig6(ctx context.Context, models []string, families []dse.Family, threshold
 		if err != nil {
 			return nil, err
 		}
-		x, y := valPool(ds, o)
-		baseline := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{})
+		vp := valPool(ds, o)
+		baseline := sim.EvaluatePool(vp, goldeneye.EmulationConfig{})
 		for _, family := range families {
 			if err := ctx.Err(); err != nil {
 				return results, err
 			}
-			res := sim.RunDSE(x, y, o.batchSize(), goldeneye.DSEConfig{
+			res := sim.RunDSE(vp.X, vp.Y, o.batchSize(), goldeneye.DSEConfig{
 				Family:    family,
 				Baseline:  baseline,
 				Threshold: threshold,

@@ -35,10 +35,9 @@ func Fig7(ctx context.Context, models []string, w io.Writer, o Options) ([]Fig7R
 		if err != nil {
 			return nil, err
 		}
-		// A modest pool keeps 1000-injection campaigns tractable; each
-		// injection is one batch-1 inference.
-		pool := min(64, ds.ValLen())
-		x, y := ds.ValX.Slice(0, pool), ds.ValY[:pool]
+		// Options.CampaignBatch decides how many of the 1000 injections
+		// share a forward pass; results are identical either way.
+		pool := injPool(ds, 64, o)
 
 		for _, format := range formats {
 			for _, layer := range sim.InjectableLayers() {
@@ -51,8 +50,8 @@ func Fig7(ctx context.Context, models []string, w io.Writer, o Options) ([]Fig7R
 						Layer:          layer,
 						Injections:     o.injections(),
 						Seed:           uint64(layer)*1000 + uint64(site),
-						X:              x,
-						Y:              y,
+						Pool:           pool,
+						BatchSize:      o.campaignBatch(),
 						UseRanger:      true,
 						EmulateNetwork: true,
 					}, o)

@@ -34,15 +34,14 @@ func Fig9(ctx context.Context, model string, threshold float64, w io.Writer, o O
 	if err != nil {
 		return nil, err
 	}
-	x, y := valPool(ds, o)
-	baseline := sim.Evaluate(x, y, o.batchSize(), goldeneye.EmulationConfig{})
+	vp := valPool(ds, o)
+	baseline := sim.EvaluatePool(vp, goldeneye.EmulationConfig{})
 
-	pool := min(48, ds.ValLen())
-	px, py := ds.ValX.Slice(0, pool), ds.ValY[:pool]
+	pool := injPool(ds, 48, o)
 
 	var rows []Fig9Row
 	for _, family := range []dse.Family{dse.FamilyBFP, dse.FamilyAFP} {
-		res := sim.RunDSE(x, y, o.batchSize(), goldeneye.DSEConfig{
+		res := sim.RunDSE(vp.X, vp.Y, o.batchSize(), goldeneye.DSEConfig{
 			Family:    family,
 			Baseline:  baseline,
 			Threshold: threshold,
@@ -67,8 +66,8 @@ func Fig9(ctx context.Context, model string, threshold float64, w io.Writer, o O
 						Layer:          layer,
 						Injections:     orDefault(o.Injections, 200),
 						Seed:           uint64(node.Order)<<16 | uint64(layer)<<1 | uint64(site&1),
-						X:              px,
-						Y:              py,
+						Pool:           pool,
+						BatchSize:      o.campaignBatch(),
 						UseRanger:      true,
 						EmulateNetwork: true,
 					}, o)

@@ -33,8 +33,7 @@ func Protection(ctx context.Context, model string, w io.Writer, o Options) ([]Pr
 	if err != nil {
 		return nil, err
 	}
-	pool := min(48, ds.ValLen())
-	x, y := ds.ValX.Slice(0, pool), ds.ValY[:pool]
+	pool := injPool(ds, 48, o)
 	format := numfmt.FP16(true)
 
 	var rows []ProtectionRow
@@ -51,8 +50,8 @@ func Protection(ctx context.Context, model string, w io.Writer, o Options) ([]Pr
 			Layer:          layer,
 			Injections:     orDefault(o.Injections, 500),
 			Seed:           uint64(target) * 77,
-			X:              x,
-			Y:              y,
+			Pool:           pool,
+			BatchSize:      o.campaignBatch(),
 			EmulateNetwork: true,
 		}
 		configs := []struct {

@@ -75,7 +75,8 @@ func SecurityFGSM(ctx context.Context, model string, epsilons []float64, w io.Wr
 	if err != nil {
 		return nil, err
 	}
-	x, y := valPool(ds, o)
+	vp := valPool(ds, o)
+	x, y := vp.X, vp.Y
 
 	formats := []numfmt.Format{
 		nil, // native
@@ -100,7 +101,7 @@ func SecurityFGSM(ctx context.Context, model string, epsilons []float64, w io.Wr
 				cfg = goldeneye.EmulationConfig{Format: format, Weights: true, Neurons: true}
 				name = format.Name()
 			}
-			clean := sim.Evaluate(x, y, o.batchSize(), cfg)
+			clean := sim.EvaluatePool(vp, cfg)
 			advAcc := sim.Evaluate(adv, y, o.batchSize(), cfg)
 			row := SecurityRow{
 				Model:      paperName(model),

@@ -31,8 +31,7 @@ func WeightsVsNeurons(ctx context.Context, model string, format numfmt.Format, w
 	if err != nil {
 		return nil, err
 	}
-	pool := min(48, ds.ValLen())
-	x, y := ds.ValX.Slice(0, pool), ds.ValY[:pool]
+	pool := injPool(ds, 48, o)
 
 	var rows []WvsNRow
 	for _, layer := range sim.WeightedLayers() {
@@ -45,8 +44,8 @@ func WeightsVsNeurons(ctx context.Context, model string, format numfmt.Format, w
 				Layer:          layer,
 				Injections:     orDefault(o.Injections, 500),
 				Seed:           uint64(layer)<<4 | uint64(target),
-				X:              x,
-				Y:              y,
+				Pool:           pool,
+				BatchSize:      o.campaignBatch(),
 				UseRanger:      true,
 				EmulateNetwork: true,
 			}, o)

@@ -109,6 +109,14 @@ type Fault struct {
 	// MetaIndex selects the metadata register for SiteMetadata faults
 	// (the block index for BFP; 0 for INT scale and AFP bias).
 	MetaIndex int
+
+	// Row is the batch row the fault lands in when injected into a batched
+	// (numfmt.AxisBatch) encoding; Element and MetaIndex then address that
+	// row's codes and registers. Faults are drawn row-agnostic (Row 0) and
+	// the batched scheduler assigns rows at execution time, so the drawn
+	// fault sequence is identical to the serial campaign's. Ignored for
+	// per-tensor encodings.
+	Row int
 }
 
 // String renders a compact human-readable description.
@@ -121,8 +129,13 @@ func (f Fault) String() string {
 
 // FlipInEncoding applies the fault to enc in place under its error model.
 // It is the lowest-level injection primitive, shared by neuron and weight
-// paths.
+// paths. Batched (numfmt.AxisBatch) encodings are addressed by (f.Row,
+// f.Element/f.MetaIndex), confining the fault — burst models included — to
+// one batch row, since each row models an independent inference.
 func FlipInEncoding(enc *numfmt.Encoding, f Fault) error {
+	if enc.MetadataAxis == numfmt.AxisBatch {
+		return flipInBatched(enc, f)
+	}
 	switch f.Site {
 	case SiteValue:
 		if f.Kind == KindBurst {
@@ -138,6 +151,40 @@ func FlipInEncoding(enc *numfmt.Encoding, f Fault) error {
 		return nil
 	case SiteMetadata:
 		return faultMetadata(&enc.Meta, f)
+	default:
+		return fmt.Errorf("inject: unknown site %v", f.Site)
+	}
+}
+
+// flipInBatched applies a fault to one row of an AxisBatch encoding. Row
+// r's codes occupy the r-th contiguous slice of enc.Codes and its metadata
+// lives in enc.RowMeta[r], so the injected row is bit-identical to a
+// batch-1 injection of the same fault while its batchmates stay clean.
+func flipInBatched(enc *numfmt.Encoding, f Fault) error {
+	rows := len(enc.RowMeta)
+	if rows == 0 || len(enc.Codes)%rows != 0 {
+		return fmt.Errorf("inject: malformed batched encoding (%d rows, %d codes)", rows, len(enc.Codes))
+	}
+	if f.Row < 0 || f.Row >= rows {
+		return fmt.Errorf("inject: row %d out of range (%d rows)", f.Row, rows)
+	}
+	rowLen := len(enc.Codes) / rows
+	switch f.Site {
+	case SiteValue:
+		codes := enc.Codes[f.Row*rowLen : (f.Row+1)*rowLen]
+		if f.Kind == KindBurst {
+			for i := range codes {
+				codes[i] = codes[i].Flip(f.Bit)
+			}
+			return nil
+		}
+		if f.Element < 0 || f.Element >= rowLen {
+			return fmt.Errorf("inject: element %d out of range (%d elements)", f.Element, rowLen)
+		}
+		codes[f.Element] = applyBitOp(codes[f.Element], f.Kind, f.Bit)
+		return nil
+	case SiteMetadata:
+		return faultMetadata(&enc.RowMeta[f.Row], f)
 	default:
 		return fmt.Errorf("inject: unknown site %v", f.Site)
 	}
@@ -251,6 +298,29 @@ func NeuronHookMulti(format numfmt.Format, faults []Fault) nn.HookFunc {
 			}
 		}
 		return format.Dequantize(enc)
+	}
+}
+
+// NeuronHookBatched returns a post-forward hook that injects a *different*
+// fault set into every batch row of the matching layer's output: row r of
+// the activation tensor is quantized with its own metadata (per-sample
+// path), receives rows[r]'s flips, and is dequantized under the possibly
+// corrupted registers. Rows beyond len(rows) pass through clean. This is
+// the batched campaign's execution primitive: one forward pass carries
+// len(rows) independent injections, each bit-identical to its batch-1
+// counterpart.
+func NeuronHookBatched(format numfmt.Format, rows [][]Fault) nn.HookFunc {
+	return func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		enc := numfmt.QuantizeBatched(format, t)
+		for r, faults := range rows {
+			for _, f := range faults {
+				f.Row = r
+				if err := FlipInEncoding(enc, f); err != nil {
+					panic(err) // faults were validated at campaign construction
+				}
+			}
+		}
+		return numfmt.DequantizeBatched(format, enc)
 	}
 }
 

@@ -5,7 +5,10 @@ import "goldeneye/internal/tensor"
 // HookFunc observes or transforms a tensor flowing into (pre) or out of
 // (post) a module. Returning the input unchanged is allowed; returning a new
 // tensor replaces the activation, which is how format emulation and neuron
-// fault injection are realized.
+// fault injection are realized. A hook fires once per forward pass
+// regardless of the batch size — a batched campaign pass hands the hook
+// the whole multi-row activation (see inject.NeuronHookBatched), not one
+// call per row.
 type HookFunc func(layer LayerInfo, t *tensor.Tensor) *tensor.Tensor
 
 // Filter selects which layer visits a hook fires on. The zero value matches

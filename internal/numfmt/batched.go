@@ -1,0 +1,112 @@
+package numfmt
+
+import (
+	"sync"
+
+	"goldeneye/internal/tensor"
+)
+
+// This file is the per-sample quantization path that makes batched fault
+// injection bit-identical to batch-1 execution (the paper's batching lever,
+// §IV-B). Formats whose metadata is computed from tensor-wide statistics
+// (the INT/LUT scale from AbsMax, the AFP exponent bias, BFP's shared
+// exponents blocked over the flattened tensor) would otherwise couple a
+// sample's codes to its batchmates; here every batch row is quantized from
+// a row-sliced view, so its codes and registers match a batch-1 encoding of
+// the same sample exactly.
+
+// batchInvariant reports whether f quantizes each element independently of
+// the rest of the tensor, making whole-batch calls bit-identical to per-row
+// calls. Only the formats audited for element independence qualify; unknown
+// Format implementations conservatively take the per-row path.
+func batchInvariant(f Format) bool {
+	switch f.(type) {
+	case *FP, *FxP, *LNS, *Posit:
+		return true
+	}
+	return false
+}
+
+// emulateRowParallelMin is the element count above which EmulateBatched
+// fans per-row emulation out across goroutines (mirrors the tensor
+// package's matmul parallel threshold).
+const emulateRowParallelMin = 16 * 1024
+
+// QuantizeBatched converts t (batch on axis 0) into format space with
+// per-row metadata: row r's codes and registers are exactly those of
+// f.Quantize applied to the single-sample slice t[r:r+1]. The returned
+// encoding uses AxisBatch and leaves Meta zero.
+func QuantizeBatched(f Format, t *tensor.Tensor) *Encoding {
+	n := t.Dim(0)
+	rowLen := t.Len() / n
+	enc := &Encoding{
+		Codes:        make([]Bits, t.Len()),
+		Shape:        append([]int(nil), t.Shape()...),
+		MetadataAxis: AxisBatch,
+		RowMeta:      make([]Metadata, n),
+	}
+	for r := 0; r < n; r++ {
+		re := f.Quantize(t.Slice(r, r+1))
+		copy(enc.Codes[r*rowLen:(r+1)*rowLen], re.Codes)
+		enc.RowMeta[r] = re.Meta
+	}
+	return enc
+}
+
+// DequantizeBatched reconstructs real values from an AxisBatch encoding,
+// decoding each row under its own metadata. It is the inverse of
+// QuantizeBatched and bit-identical per row to f.Dequantize on a batch-1
+// encoding.
+func DequantizeBatched(f Format, enc *Encoding) *tensor.Tensor {
+	if enc.MetadataAxis != AxisBatch {
+		return f.Dequantize(enc)
+	}
+	n := len(enc.RowMeta)
+	rowLen := len(enc.Codes) / n
+	rowShape := append([]int{1}, enc.Shape[1:]...)
+	out := tensor.New(enc.Shape...)
+	dst := out.Data()
+	for r := 0; r < n; r++ {
+		row := &Encoding{
+			Codes: enc.Codes[r*rowLen : (r+1)*rowLen],
+			Shape: rowShape,
+			Meta:  enc.RowMeta[r],
+		}
+		copy(dst[r*rowLen:(r+1)*rowLen], f.Dequantize(row).Data())
+	}
+	return out
+}
+
+// EmulateBatched is the batched inference-emulation hot path: a
+// quantize/dequantize round trip in which every batch row's metadata is
+// derived from that row alone. Batch-invariant formats keep their
+// whole-tensor fast path (already bit-identical per row); metadata-bearing
+// formats emulate row-sliced views, in parallel for large activations.
+func EmulateBatched(f Format, t *tensor.Tensor) *tensor.Tensor {
+	n := t.Dim(0)
+	if n <= 1 || batchInvariant(f) {
+		return f.Emulate(t)
+	}
+	rowLen := t.Len() / n
+	out := tensor.New(t.Shape()...)
+	dst := out.Data()
+	emulateRow := func(r int) {
+		copy(dst[r*rowLen:(r+1)*rowLen], f.Emulate(t.Slice(r, r+1)).Data())
+	}
+	if t.Len() >= emulateRowParallelMin {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for r := 0; r < n; r++ {
+			go func(r int) {
+				defer wg.Done()
+				emulateRow(r)
+			}(r)
+		}
+		wg.Wait()
+	} else {
+		for r := 0; r < n; r++ {
+			emulateRow(r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package numfmt
+
+import (
+	"testing"
+
+	"goldeneye/internal/rng"
+	"goldeneye/internal/tensor"
+)
+
+// batchedFormats covers every family: metadata-free (FP, FxP, LNS, posit)
+// and metadata-bearing (INT scale, BFP shared exponents, AFP bias, LUT
+// scale).
+func batchedFormats() []Format {
+	return []Format{
+		FP8E4M3(true), FxP16(), LNS8(), Posit8(),
+		INT8(), BFPe5m5(), AFPe5m2(), NewLUT(4),
+	}
+}
+
+// batchedInput builds a batch whose rows have deliberately different
+// magnitudes, so per-tensor metadata (scale, bias, shared exponents) would
+// differ from per-row metadata if the batched path leaked across rows.
+func batchedInput(rows, cols int) *tensor.Tensor {
+	r := rng.New(7)
+	t := tensor.Randn(r, 1, rows, cols)
+	data := t.Data()
+	for i := 0; i < rows; i++ {
+		scale := float32(int32(1) << uint(2*i)) // 1, 4, 16, …
+		for j := 0; j < cols; j++ {
+			data[i*cols+j] *= scale
+		}
+	}
+	return t
+}
+
+func TestQuantizeBatchedMatchesPerRow(t *testing.T) {
+	in := batchedInput(4, 17)
+	rows, rowLen := 4, 17
+	for _, f := range batchedFormats() {
+		enc := QuantizeBatched(f, in)
+		if enc.MetadataAxis != AxisBatch || enc.Rows() != rows {
+			t.Fatalf("%s: batched encoding has axis %v, %d rows", f.Name(), enc.MetadataAxis, enc.Rows())
+		}
+		for r := 0; r < rows; r++ {
+			ref := f.Quantize(in.Slice(r, r+1))
+			for j := 0; j < rowLen; j++ {
+				if enc.Codes[r*rowLen+j] != ref.Codes[j] {
+					t.Fatalf("%s: row %d code %d = %#x, batch-1 %#x",
+						f.Name(), r, j, enc.Codes[r*rowLen+j], ref.Codes[j])
+				}
+			}
+			got, want := enc.RowMeta[r], ref.Meta
+			if got.Kind != want.Kind || got.Scale != want.Scale ||
+				got.BlockSize != want.BlockSize || got.ExpBias != want.ExpBias ||
+				len(got.SharedExp) != len(want.SharedExp) {
+				t.Fatalf("%s: row %d metadata %+v, batch-1 %+v", f.Name(), r, got, want)
+			}
+			for b := range want.SharedExp {
+				if got.SharedExp[b] != want.SharedExp[b] {
+					t.Fatalf("%s: row %d shared exp %d differs", f.Name(), r, b)
+				}
+			}
+		}
+	}
+}
+
+func TestDequantizeBatchedRoundTrip(t *testing.T) {
+	in := batchedInput(3, 11)
+	for _, f := range batchedFormats() {
+		got := DequantizeBatched(f, QuantizeBatched(f, in)).Data()
+		for r := 0; r < 3; r++ {
+			want := f.Dequantize(f.Quantize(in.Slice(r, r+1))).Data()
+			for j, w := range want {
+				if got[r*11+j] != w {
+					t.Fatalf("%s: row %d elem %d = %v, batch-1 %v", f.Name(), r, j, got[r*11+j], w)
+				}
+			}
+		}
+	}
+}
+
+func TestEmulateBatchedMatchesPerRow(t *testing.T) {
+	in := batchedInput(5, 13)
+	for _, f := range batchedFormats() {
+		got := EmulateBatched(f, in).Data()
+		for r := 0; r < 5; r++ {
+			want := f.Emulate(in.Slice(r, r+1)).Data()
+			for j, w := range want {
+				if got[r*13+j] != w {
+					t.Fatalf("%s: row %d elem %d = %v, batch-1 %v", f.Name(), r, j, got[r*13+j], w)
+				}
+			}
+		}
+	}
+}
+
+// EmulateBatched must take the same parallel path for large tensors that
+// real campaign activations hit.
+func TestEmulateBatchedParallelPath(t *testing.T) {
+	in := batchedInput(8, emulateRowParallelMin/8+3)
+	f := INT8()
+	got := EmulateBatched(f, in).Data()
+	cols := in.Len() / 8
+	for r := 0; r < 8; r++ {
+		want := f.Emulate(in.Slice(r, r+1)).Data()
+		for j, w := range want {
+			if got[r*cols+j] != w {
+				t.Fatalf("row %d elem %d = %v, batch-1 %v", r, j, got[r*cols+j], w)
+			}
+		}
+	}
+}
+
+func TestEncodingCloneCopiesRowMeta(t *testing.T) {
+	enc := QuantizeBatched(BFPe5m5(), batchedInput(2, 9))
+	c := enc.Clone()
+	if c.MetadataAxis != AxisBatch || len(c.RowMeta) != 2 {
+		t.Fatalf("clone lost batch metadata: %+v", c)
+	}
+	c.RowMeta[0].SharedExp[0] ^= 0xff
+	if enc.RowMeta[0].SharedExp[0] == c.RowMeta[0].SharedExp[0] {
+		t.Fatal("clone shares SharedExp storage with the original")
+	}
+}

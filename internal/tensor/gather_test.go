@@ -1,0 +1,47 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGather0(t *testing.T) {
+	src := FromSlice([]float32{0, 1, 2, 3, 4, 5}, 3, 2)
+	got := Gather0(src, []int{2, 0, 2})
+	want := []float32{4, 5, 0, 1, 4, 5}
+	if got.Dim(0) != 3 || got.Dim(1) != 2 {
+		t.Fatalf("shape = %v", got.Shape())
+	}
+	for i, w := range want {
+		if got.Data()[i] != w {
+			t.Fatalf("elem %d = %v, want %v", i, got.Data()[i], w)
+		}
+	}
+	// Gathered rows are copies, not aliases.
+	got.Data()[0] = 99
+	if src.Data()[4] == 99 {
+		t.Fatal("Gather0 aliases the source")
+	}
+}
+
+func TestGather0OutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic")
+		}
+	}()
+	Gather0(FromSlice([]float32{1, 2}, 2, 1), []int{2})
+}
+
+func TestNonFiniteRows(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	tt := FromSlice([]float32{1, 2, nan, inf, 3, nan}, 3, 2)
+	got := tt.NonFiniteRows()
+	want := []int{0, 2, 1}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("row %d = %d, want %d (all %v)", i, got[i], w, got)
+		}
+	}
+}

@@ -134,6 +134,26 @@ func (t *Tensor) CountNonFinite() int {
 	return n
 }
 
+// NonFiniteRows returns the number of NaN or Inf elements in each row of a
+// rank-2 tensor — the per-injection corruption signal of batched campaigns,
+// where each batch row carries an independent fault.
+func (t *Tensor) NonFiniteRows() []int {
+	if len(t.shape) != 2 {
+		panic("tensor: NonFiniteRows requires a rank-2 tensor")
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		for _, v := range t.data[i*n : (i+1)*n] {
+			f := float64(v)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
 // Slice returns a copy of rows [lo, hi) along axis 0.
 func (t *Tensor) Slice(lo, hi int) *Tensor {
 	if lo < 0 || hi > t.shape[0] || lo >= hi {
@@ -143,6 +163,25 @@ func (t *Tensor) Slice(lo, hi int) *Tensor {
 	shape := append([]int{hi - lo}, t.shape[1:]...)
 	out := New(shape...)
 	copy(out.data, t.data[lo*inner:hi*inner])
+	return out
+}
+
+// Gather0 returns a new tensor whose rows are t's rows at idx, in order —
+// the batch-packing primitive of the batched injection scheduler (one pool
+// sample per in-flight fault, duplicates allowed).
+func Gather0(t *Tensor, idx []int) *Tensor {
+	if len(idx) == 0 {
+		panic("tensor: Gather0 of nothing")
+	}
+	inner := len(t.data) / t.shape[0]
+	shape := append([]int{len(idx)}, t.shape[1:]...)
+	out := New(shape...)
+	for k, i := range idx {
+		if i < 0 || i >= t.shape[0] {
+			panic(fmt.Sprintf("tensor: Gather0 index %d out of range for axis 0 of %v", i, t.shape))
+		}
+		copy(out.data[k*inner:(k+1)*inner], t.data[i*inner:(i+1)*inner])
+	}
 	return out
 }
 

@@ -26,7 +26,15 @@ const (
 	MetricCampaignShardTime  = "goldeneye_campaign_shard_seconds" // labeled worker="N"
 	MetricCampaignShardWork  = "goldeneye_campaign_shard_injections_total"
 	MetricCampaignAborted    = "goldeneye_campaign_aborted_total"
+	MetricCampaignBatches    = "goldeneye_campaign_batches_total"
+	MetricCampaignOccupancy  = "goldeneye_campaign_batch_occupancy"
+	MetricCampaignRate       = "goldeneye_campaign_injections_per_second"
 )
+
+// occupancyBuckets bound the batch-occupancy histogram: the filled fraction
+// of each batched pass (1.0 = every row carried a fault; lower values mean
+// ragged tail groups or small shards wasting batch capacity).
+var occupancyBuckets = []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
 
 // RegisterRuntimeCollectors attaches snapshot-time bridges for the
 // package-level counters maintained by the internal substrates (tensor
@@ -81,7 +89,11 @@ type campaignTelemetry struct {
 	nonFinite  *telemetry.Counter
 	detected   *telemetry.Counter
 	aborted    *telemetry.Counter
+	batches    *telemetry.Counter
 	latency    *telemetry.Histogram
+	occupancy  *telemetry.Histogram
+	rate       *telemetry.Gauge
+	start      time.Time
 }
 
 // newCampaignTelemetry fetches the campaign instruments from reg (nil reg
@@ -98,7 +110,11 @@ func newCampaignTelemetry(reg *telemetry.Registry, planned int) *campaignTelemet
 		nonFinite:  reg.Counter(MetricCampaignNonFinite),
 		detected:   reg.Counter(MetricCampaignDetected),
 		aborted:    reg.Counter(MetricCampaignAborted),
+		batches:    reg.Counter(MetricCampaignBatches),
 		latency:    reg.Histogram(MetricCampaignLatency, telemetry.DurationBuckets),
+		occupancy:  reg.Histogram(MetricCampaignOccupancy, occupancyBuckets),
+		rate:       reg.Gauge(MetricCampaignRate),
+		start:      time.Now(),
 	}
 }
 
@@ -118,6 +134,22 @@ func (ct *campaignTelemetry) record(mismatch, nonFinite, detected bool, d time.D
 		ct.detected.Inc()
 	}
 	ct.latency.Observe(d.Seconds())
+	if elapsed := time.Since(ct.start).Seconds(); elapsed > 0 {
+		// Campaign-level throughput: executed injections over campaign wall
+		// time. A gauge (not a counter rate) so a single metrics dump at
+		// campaign end already carries the paper's headline number.
+		ct.rate.Set(float64(ct.injections.Value()) / elapsed)
+	}
+}
+
+// recordBatch counts one batched forward pass carrying `rows` injections
+// out of a `capacity`-row batch.
+func (ct *campaignTelemetry) recordBatch(rows, capacity int) {
+	if ct == nil {
+		return
+	}
+	ct.batches.Inc()
+	ct.occupancy.Observe(float64(rows) / float64(capacity))
 }
 
 // recordAborted counts an injection whose inference panicked and was
