@@ -10,13 +10,17 @@ test:
 # nn timing hooks, parallel campaigns in the root package).
 RACE_PKGS = ./internal/telemetry ./internal/tensor ./internal/nn \
             ./internal/numfmt ./internal/inject ./internal/dse \
-            ./internal/checkpoint ./internal/exper .
+            ./internal/checkpoint ./internal/detect ./internal/exper .
 
 .PHONY: check
 check:
 	go vet ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go vet still ran)"; fi
 	go test -race $(RACE_PKGS)
 
 # Cancellation paths are the raciest part of the lifecycle: a cancel can
@@ -25,6 +29,15 @@ check:
 .PHONY: stress-cancel
 stress-cancel:
 	go test -race -run Cancel -count=5 .
+
+# Detection subsystem gate: the fault-free false-positive invariant (every
+# calibrated detector rides a campaign without flagging a clean inference)
+# plus serial/batched/parallel detection bit-identity, repeated under the
+# race detector to shake out shared calibration state between shards.
+.PHONY: stress-detect
+stress-detect:
+	go test -race -run 'TestCampaignFaultFreeZeroFalsePositives|TestDetect' -count=3 .
+	go test -race -count=2 ./internal/detect
 
 # Campaign batching: benchstat-comparable sub-benchmarks (pipe two runs
 # into `benchstat old.txt new.txt`) plus a machine-readable speedup report

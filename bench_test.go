@@ -97,8 +97,7 @@ func BenchmarkFig3ErrorInjection(b *testing.B) {
 					Layer:          layer,
 					Injections:     1,
 					Seed:           uint64(i),
-					X:              x.Slice(0, 1),
-					Y:              y[:1],
+					Pool:           &goldeneye.EvalPool{X: x.Slice(0, 1), Y: y[:1]},
 					EmulateNetwork: true,
 				})
 				if err != nil {
@@ -160,8 +159,7 @@ func BenchmarkFig7Resiliency(b *testing.B) {
 					Layer:          sim.InjectableLayers()[2],
 					Injections:     50,
 					Seed:           uint64(i),
-					X:              xs,
-					Y:              ys,
+					Pool:           &goldeneye.EvalPool{X: xs, Y: ys},
 					UseRanger:      true,
 					EmulateNetwork: true,
 				})
@@ -190,8 +188,7 @@ func BenchmarkFig9Tradeoff(b *testing.B) {
 			Layer:          sim.InjectableLayers()[1],
 			Injections:     20,
 			Seed:           uint64(i),
-			X:              xs,
-			Y:              ys,
+			Pool:           &goldeneye.EvalPool{X: xs, Y: ys},
 			UseRanger:      true,
 			EmulateNetwork: true,
 		})
@@ -229,8 +226,7 @@ func BenchmarkParallelCampaign(b *testing.B) {
 					Layer:          layer,
 					Injections:     512,
 					Seed:           uint64(i),
-					X:              x.Slice(0, 16),
-					Y:              y[:16],
+					Pool:           &goldeneye.EvalPool{X: x.Slice(0, 16), Y: y[:16]},
 					EmulateNetwork: true,
 				}
 				if _, err := goldeneye.RunCampaignParallel(context.Background(), cfg, workers, build); err != nil {

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"goldeneye/internal/detect"
 	"goldeneye/internal/inject"
 	"goldeneye/internal/metrics"
 	"goldeneye/internal/nn"
@@ -57,14 +58,6 @@ type CampaignConfig struct {
 	// campaign's default injection batch size when BatchSize is unset.
 	Pool *EvalPool
 
-	// X and Y are the raw evaluation pool.
-	//
-	// Deprecated: set Pool instead; X/Y remain supported for one release
-	// and are equivalent to Pool = &EvalPool{X: X, Y: Y}. Setting both Pool
-	// and X/Y is an error.
-	X *tensor.Tensor
-	Y []int
-
 	// BatchSize is the number of distinct faults packed into one batched
 	// forward pass (the paper's batching lever, §IV-B). Each batch row
 	// carries its own fault against its own pool sample, and — because
@@ -112,8 +105,26 @@ type CampaignConfig struct {
 	// and counted as aborted rather than crashing the campaign, but once
 	// more than MaxAborts injections have aborted the campaign fails with
 	// the last *InjectionError. Zero or negative means unlimited — the
-	// campaign always completes in degraded mode.
+	// campaign always completes in degraded mode. Injections discarded by
+	// RecoverAbort detections count in the report's Aborted field but not
+	// toward this threshold (they are expected behaviour, not failures).
 	MaxAborts int
+
+	// Detectors declares the campaign's fault-detection pipeline (see
+	// internal/detect): calibrated range guards, NaN/Inf sentinels, DMR
+	// duplicate-and-compare, ABFT checksums. Detectors calibrate on the
+	// fault-free reference pass, measure their false-positive rate on one
+	// more fault-free pool sweep, and then monitor every injected
+	// inference. Empty means no detection pipeline — campaign reports are
+	// bit-identical to pre-detector behaviour.
+	Detectors []detect.Spec
+
+	// Recovery pairs the armed detectors with a recovery policy: clamp or
+	// zero flagged activations in place, re-execute the inference without
+	// the transient fault, or abort (discard) the flagged inference.
+	// RecoverNone records detections without intervening. Requires
+	// Detectors.
+	Recovery detect.Policy
 
 	// Resume continues a previously interrupted campaign from persisted
 	// state (see internal/checkpoint). The already-executed prefix of the
@@ -139,6 +150,13 @@ type CampaignResume struct {
 	// metrics.CampaignResult.
 	Detected int
 	Aborted  int
+
+	// Recovered and PerDetector restore the detection-pipeline aggregates.
+	// Only the Detections/Recovered counts of PerDetector are carried
+	// forward; false-positive statistics are re-measured by the resuming
+	// run's calibration (deterministic, so the values are identical).
+	Recovered   int
+	PerDetector map[string]metrics.DetectorStats
 }
 
 // InjectionError is one injection that aborted: a panic during the injected
@@ -179,15 +197,34 @@ type InjectionOutcome struct {
 	Mismatch  bool
 	DeltaLoss float64
 
-	// NonFinite reports whether the faulty output contained NaN/Inf.
+	// NonFinite reports whether the delivered output contained NaN/Inf —
+	// or, when a sentinel detector is armed, whether any intermediate
+	// activation of the injected pass went non-finite (catching faults
+	// that saturate back to finite values before the logits).
 	NonFinite bool
 
-	// Detected reports whether DMR re-execution flagged the fault (only
-	// meaningful with MeasureDMR).
+	// FirstNonFiniteLayer is the layer visit index whose output first went
+	// non-finite during the injected pass, or -1 when none was observed.
+	// Populated only when a sentinel detector is armed; the legacy
+	// logits-only NonFinite check cannot attribute a layer.
+	FirstNonFiniteLayer int
+
+	// Detected reports whether any detector flagged the injection: the
+	// detection pipeline (DetectedBy non-empty) or the legacy MeasureDMR
+	// re-execution.
 	Detected bool
 
+	// DetectedBy lists the pipeline detectors that flagged the injection,
+	// in firing order (empty without CampaignConfig.Detectors).
+	DetectedBy []string
+
+	// Recovered reports whether the recovery policy restored the
+	// fault-free prediction for a detected injection.
+	Recovered bool
+
 	// Aborted marks an injection whose inference panicked and was
-	// recovered; its metric fields are zero.
+	// recovered, or was discarded by a RecoverAbort detection; its metric
+	// fields are zero.
 	Aborted bool
 }
 
@@ -198,12 +235,23 @@ type CampaignReport struct {
 	Config CampaignConfig
 	Trace  []InjectionOutcome
 
-	// Detected counts injections flagged by DMR re-execution (only
-	// populated with MeasureDMR).
+	// Detected counts injections flagged by any detector: the detection
+	// pipeline (CampaignConfig.Detectors) or the legacy MeasureDMR
+	// re-execution.
 	Detected int
 
-	// Aborted counts injections whose inference panicked and was recovered
-	// (degraded mode); they are excluded from the metric aggregates.
+	// Recovered counts detected injections whose recovery policy restored
+	// the fault-free prediction (graceful degradation).
+	Recovered int
+
+	// PerDetector breaks detection down by pipeline detector: detections,
+	// recoveries, and the false-positive statistics measured on the
+	// fault-free pool sweep. Nil without CampaignConfig.Detectors.
+	PerDetector map[string]metrics.DetectorStats
+
+	// Aborted counts injections excluded from the metric aggregates:
+	// panicked inferences recovered in degraded mode, plus inferences
+	// discarded by a RecoverAbort detection.
 	Aborted int
 
 	// Interrupted marks a report cut short by context cancellation; the
@@ -211,7 +259,8 @@ type CampaignReport struct {
 	Interrupted bool
 }
 
-// DetectionCoverage returns the fraction of injections DMR detected.
+// DetectionCoverage returns the fraction of injections any detector
+// flagged.
 func (r *CampaignReport) DetectionCoverage() float64 {
 	if r.Injections == 0 {
 		return 0
@@ -219,22 +268,70 @@ func (r *CampaignReport) DetectionCoverage() float64 {
 	return float64(r.Detected) / float64(r.Injections)
 }
 
-// evalPool resolves the configured evaluation pool, honoring the
-// deprecated X/Y pair.
+// DetectorCoverage returns the fraction of executed injections (recorded
+// plus aborted — RecoverAbort discards every flagged inference) the named
+// pipeline detector flagged.
+func (r *CampaignReport) DetectorCoverage(name string) float64 {
+	return r.PerDetector[name].Coverage(r.Injections + r.Aborted)
+}
+
+// RecoveryRate returns the fraction of detected injections the recovery
+// policy restored.
+func (r *CampaignReport) RecoveryRate() float64 {
+	if r.Detected == 0 {
+		return 0
+	}
+	return float64(r.Recovered) / float64(r.Detected)
+}
+
+// recordDetections folds one outcome's per-detector flags into the
+// report's breakdown.
+func (r *CampaignReport) recordDetections(out InjectionOutcome) {
+	if len(out.DetectedBy) == 0 {
+		return
+	}
+	if r.PerDetector == nil {
+		r.PerDetector = make(map[string]metrics.DetectorStats)
+	}
+	for _, name := range out.DetectedBy {
+		d := r.PerDetector[name]
+		d.Detections++
+		if out.Recovered {
+			d.Recovered++
+		}
+		r.PerDetector[name] = d
+	}
+}
+
+// mergeResumeDetectors folds a resumed campaign's carried-forward
+// per-detector counts into dst (this run's baseline: zero detections plus
+// re-measured false positives). Only Detections/Recovered are carried —
+// false-positive statistics belong to the measuring run.
+func mergeResumeDetectors(dst, prev map[string]metrics.DetectorStats) map[string]metrics.DetectorStats {
+	if len(prev) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]metrics.DetectorStats, len(prev))
+	}
+	for name, p := range prev {
+		d := dst[name]
+		d.Detections += p.Detections
+		d.Recovered += p.Recovered
+		dst[name] = d
+	}
+	return dst
+}
+
+// evalPool resolves and validates the configured evaluation pool.
 func (cfg *CampaignConfig) evalPool() (*EvalPool, error) {
-	if cfg.Pool != nil {
-		if cfg.X != nil || cfg.Y != nil {
-			return nil, fmt.Errorf("goldeneye: set CampaignConfig.Pool or the deprecated X/Y pair, not both")
-		}
-		if err := cfg.Pool.validate(); err != nil {
-			return nil, err
-		}
-		return cfg.Pool, nil
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("goldeneye: campaign requires an evaluation pool")
 	}
-	if cfg.X == nil || cfg.X.Dim(0) == 0 || cfg.X.Dim(0) != len(cfg.Y) {
-		return nil, fmt.Errorf("goldeneye: campaign pool mismatch")
+	if err := cfg.Pool.validate(); err != nil {
+		return nil, err
 	}
-	return &EvalPool{X: cfg.X, Y: cfg.Y}, nil
+	return cfg.Pool, nil
 }
 
 // packBatch resolves the campaign's injection batch size: BatchSize if set,
@@ -266,6 +363,15 @@ type campaignRunner struct {
 	elems     int
 	flips     int
 
+	// pipeline is this runner's detection pipeline (nil without
+	// cfg.Detectors). One per runner — detectors carry calibration state,
+	// so parallel workers never share instances. fpStats holds the
+	// false-positive counts measured on the runner's fault-free pool
+	// sweep; every worker measures the identical (deterministic) values,
+	// and the merge takes them from one shard only.
+	pipeline *detect.Pipeline
+	fpStats  map[string]metrics.DetectorStats
+
 	// timing is this runner's per-layer forward timer (nil without
 	// cfg.Metrics). One per runner because the hook closure carries
 	// per-pass state; the histograms it feeds are shared and atomic.
@@ -287,6 +393,9 @@ func (s *Simulator) campaignGeometry(cfg CampaignConfig) (pool *EvalPool, elems,
 	}
 	if cfg.Site == inject.SiteMetadata && inject.MetaBitWidth(cfg.Format) == 0 {
 		return nil, 0, 0, fmt.Errorf("goldeneye: format %s has no metadata to inject into", cfg.Format.Name())
+	}
+	if cfg.Recovery != detect.PolicyNone && len(cfg.Detectors) == 0 {
+		return nil, 0, 0, fmt.Errorf("goldeneye: recovery policy %s requires Detectors", cfg.Recovery)
 	}
 	if cfg.Resume != nil {
 		if cfg.KeepTrace {
@@ -337,6 +446,20 @@ func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaig
 	if cfg.QuantizeWeights {
 		inject.QuantizeWeights(s.model, cfg.Format)
 	}
+	// The detection pipeline builds after weight quantization, so
+	// structural checksums (ABFT) describe the weights the campaign
+	// actually runs with.
+	if len(cfg.Detectors) > 0 {
+		pipe, perr := detect.Build(cfg.Detectors, cfg.Recovery, s.detectTarget())
+		if perr != nil {
+			return fail(perr)
+		}
+		r.pipeline = pipe
+	}
+	var calSpan telemetry.Span
+	if cfg.Metrics != nil && r.pipeline != nil {
+		calSpan = telemetry.StartSpan(cfg.Metrics.Histogram(MetricCampaignCalibration, telemetry.DurationBuckets))
+	}
 	if cfg.UseRanger {
 		r.ranger = inject.ProfileRanges(ctx, s.model, pool.X, 16, r.baseHooks())
 		if err := ctx.Err(); err != nil {
@@ -347,10 +470,16 @@ func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaig
 	// Fault-free reference per pool sample. Serial campaigns compute them
 	// at batch 1; batched campaigns batch the sweep under per-row emulation
 	// (numfmt.AxisBatch), which is bit-identical per sample to the batch-1
-	// references.
+	// references. The detectors' calibration hooks ride the same pass:
+	// the ranger learns its bounds and ABFT its residual envelope from the
+	// very activations the clean references are computed on, at zero extra
+	// inference cost.
 	refHooks := r.baseHooks()
 	if r.batch > 1 {
 		refHooks = r.batchHooks()
+	}
+	if r.pipeline != nil {
+		refHooks.Merge(r.pipeline.CalibrationHooks())
 	}
 	n := pool.Len()
 	r.cleanPred = make([]int, n)
@@ -368,7 +497,92 @@ func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaig
 		copy(r.cleanPred[lo:hi], logits.ArgMaxRows())
 		copy(r.cleanLoss[lo:hi], train.CrossEntropyPerSample(logits, pool.Y[lo:hi]))
 	}
+	if r.pipeline != nil {
+		if err := r.pipeline.FinishCalibration(); err != nil {
+			return fail(err)
+		}
+		// One more fault-free sweep with the pipeline armed: anything it
+		// flags is a false positive (calibrated detectors are constructed
+		// not to flag their own calibration pool; this measures it).
+		if err := r.measureFalsePositives(ctx); err != nil {
+			return fail(err)
+		}
+		calSpan.End()
+	}
 	return r, nil
+}
+
+// measureFalsePositives runs the armed pipeline over the fault-free pool
+// and records per-detector false-positive counts. The sweep is
+// deterministic, so every parallel worker measures identical values.
+func (r *campaignRunner) measureFalsePositives(ctx context.Context) error {
+	n := r.pool.Len()
+	stats := make(map[string]metrics.DetectorStats, len(r.cfg.Detectors))
+	for _, name := range r.pipeline.Names() {
+		stats[name] = metrics.DetectorStats{FaultFreeRuns: n}
+	}
+	needRerun := r.pipeline.NeedsRerun()
+	for lo := 0; lo < n; lo += r.batch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + r.batch
+		if hi > n {
+			hi = n
+		}
+		rec := detect.NewRecorder(hi - lo)
+		hooks := r.armedCleanHooks(rec)
+		x := r.pool.X.Slice(lo, hi)
+		logits := nn.Forward(nn.NewContext(r.withTiming(hooks)), r.sim.model, x)
+		if needRerun {
+			redo := r.armedCleanHooks(detect.NewRecorder(hi - lo))
+			again := nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, x)
+			r.pipeline.CompareOutputs(rec, logits, again)
+		}
+		// The recorder dedupes per (detector, row), so each event is one
+		// flagged fault-free inference.
+		for _, e := range rec.Events() {
+			d := stats[e.Detector]
+			d.FalsePositives++
+			stats[e.Detector] = d
+		}
+	}
+	r.fpStats = stats
+	return nil
+}
+
+// armedCleanHooks assembles a fault-free pass's hooks with the pipeline
+// armed: emulation (per-row when batched), the legacy ranger clamp if
+// enabled, then the detectors — the same composition an injected pass uses,
+// minus the injection.
+func (r *campaignRunner) armedCleanHooks(rec *detect.Recorder) *nn.HookSet {
+	var hooks *nn.HookSet
+	if r.batch > 1 {
+		hooks = r.batchHooks()
+	} else {
+		hooks = r.baseHooks()
+	}
+	if r.ranger != nil {
+		hooks.PostForward(nn.AllLayers(), r.ranger.ClampHook())
+	}
+	if r.pipeline != nil {
+		hooks.Merge(r.pipeline.Arm(rec))
+	}
+	return hooks
+}
+
+// detectorBaseline returns a report's starting per-detector stats: zero
+// detections plus the runner's measured false-positive counts (nil without
+// a pipeline).
+func (r *campaignRunner) detectorBaseline() map[string]metrics.DetectorStats {
+	if r.pipeline == nil {
+		return nil
+	}
+	m := make(map[string]metrics.DetectorStats, len(r.fpStats))
+	for k, v := range r.fpStats {
+		m[k] = v
+	}
+	return m
 }
 
 func (r *campaignRunner) close() { r.backup.Restore() }
@@ -438,7 +652,7 @@ func (d *faultDrawer) next() []inject.Fault {
 // abortedOutcome is the trace placeholder for an injection whose inference
 // panicked: the faults and sample are known, the metrics are not.
 func abortedOutcome(faults []inject.Fault, sample int) InjectionOutcome {
-	out := InjectionOutcome{Fault: faults[0], Sample: sample, Aborted: true}
+	out := InjectionOutcome{Fault: faults[0], Sample: sample, Aborted: true, FirstNonFiniteLayer: -1}
 	if len(faults) > 1 {
 		out.Extra = faults[1:]
 	}
@@ -451,6 +665,7 @@ func abortedOutcome(faults []inject.Fault, sample int) InjectionOutcome {
 // injection.
 func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out InjectionOutcome, err error) {
 	cfg := r.cfg
+	out.FirstNonFiniteLayer = -1
 	hooks := r.baseHooks()
 	if cfg.Target == inject.TargetNeuron {
 		hooks.PostForward(nn.ByIndex(cfg.Layer), inject.NeuronHookMulti(cfg.Format, faults))
@@ -474,27 +689,78 @@ func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out Injectio
 	if r.ranger != nil {
 		hooks.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 	}
+	var rec *detect.Recorder
+	if r.pipeline != nil {
+		// Armed after the injection hook, so faults are detected rather
+		// than prevented (same registration rule as the ranger clamp).
+		rec = detect.NewRecorder(1)
+		hooks.Merge(r.pipeline.Arm(rec))
+	}
 
-	logits := nn.Forward(nn.NewContext(r.withTiming(hooks)), r.sim.model, r.pool.X.Slice(sample, sample+1))
-	if cfg.MeasureDMR {
-		// Re-execute without the transient fault; weight corruption is
-		// still in place, so it escapes detection (as real DMR would).
+	x := r.pool.X.Slice(sample, sample+1)
+	logits := nn.Forward(nn.NewContext(r.withTiming(hooks)), r.sim.model, x)
+
+	// Re-execution without the transient fault, shared by legacy
+	// MeasureDMR, the pipeline's DMR comparator, and RecoverReexecute.
+	// Weight corruption is still in place, so it escapes DMR detection and
+	// survives re-execution (as the real techniques would).
+	var again *tensor.Tensor
+	runRedo := func() *tensor.Tensor {
 		redo := r.baseHooks()
 		if r.ranger != nil {
 			redo.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 		}
-		again := nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, r.pool.X.Slice(sample, sample+1))
-		out.Detected = !again.AllClose(logits, 0)
+		if r.pipeline != nil {
+			// Mirror the faulty pass's protection context; detections on
+			// the clean duplicate are discarded.
+			redo.Merge(r.pipeline.Arm(detect.NewRecorder(1)))
+		}
+		return nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, x)
+	}
+	if cfg.MeasureDMR || (r.pipeline != nil && r.pipeline.NeedsRerun()) {
+		again = runRedo()
+		if cfg.MeasureDMR {
+			out.Detected = !again.AllClose(logits, 0)
+		}
+		if r.pipeline != nil {
+			r.pipeline.CompareOutputs(rec, logits, again)
+		}
 	}
 
-	faultyLoss := train.CrossEntropyPerSample(logits, r.pool.Y[sample:sample+1])[0]
 	out.Fault = faults[0]
 	out.Sample = sample
-	out.Mismatch = logits.ArgMaxRows()[0] != r.cleanPred[sample]
-	out.DeltaLoss = metrics.DeltaLoss(r.cleanLoss[sample], faultyLoss)
-	out.NonFinite = logits.CountNonFinite() > 0
 	if len(faults) > 1 {
 		out.Extra = faults[1:]
+	}
+	detected := false
+	if rec != nil {
+		out.DetectedBy = rec.DetectedBy(0)
+		out.FirstNonFiniteLayer = rec.FirstNonFiniteLayer(0)
+		detected = len(out.DetectedBy) > 0
+		if detected {
+			out.Detected = true
+		}
+	}
+	final := logits
+	if detected {
+		switch r.pipeline.Policy() {
+		case detect.PolicyAbort:
+			out.Aborted = true
+			return out, nil
+		case detect.PolicyReexecute:
+			if again == nil {
+				again = runRedo()
+			}
+			final = again
+		}
+	}
+
+	faultyLoss := train.CrossEntropyPerSample(final, r.pool.Y[sample:sample+1])[0]
+	out.Mismatch = final.ArgMaxRows()[0] != r.cleanPred[sample]
+	out.DeltaLoss = metrics.DeltaLoss(r.cleanLoss[sample], faultyLoss)
+	out.NonFinite = final.CountNonFinite() > 0 || out.FirstNonFiniteLayer >= 0
+	if detected && r.pipeline.Policy() != detect.PolicyNone {
+		out.Recovered = !out.Mismatch
 	}
 	return out, nil
 }
@@ -548,43 +814,97 @@ func (r *campaignRunner) tryRunBatch(faultsets [][]inject.Fault, samples []int, 
 		}
 	}()
 	cfg := r.cfg
+	rows := len(samples)
 	xb := tensor.Gather0(r.pool.X, samples)
 	yb := make([]int, len(samples))
 	for k, s := range samples {
 		yb[k] = r.pool.Y[s]
 	}
 	// Same hook registration order as the serial path: emulation, then
-	// injection at the target layer, then the range detector's clamp.
+	// injection at the target layer, then the range detector's clamp, then
+	// the detection pipeline. Detection and recovery are row-confined, so
+	// every row stays bit-identical to its serial batch-1 inference.
 	hooks := r.batchHooks()
 	hooks.PostForward(nn.ByIndex(cfg.Layer), inject.NeuronHookBatched(cfg.Format, faultsets))
 	if r.ranger != nil {
 		hooks.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 	}
+	var rec *detect.Recorder
+	if r.pipeline != nil {
+		rec = detect.NewRecorder(rows)
+		hooks.Merge(r.pipeline.Arm(rec))
+	}
 	logits := nn.Forward(nn.NewContext(r.withTiming(hooks)), r.sim.model, xb)
 	var again *tensor.Tensor
-	if cfg.MeasureDMR {
+	runRedo := func() *tensor.Tensor {
 		redo := r.batchHooks()
 		if r.ranger != nil {
 			redo.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 		}
-		again = nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, xb)
+		if r.pipeline != nil {
+			redo.Merge(r.pipeline.Arm(detect.NewRecorder(rows)))
+		}
+		return nn.Forward(nn.NewContext(r.withTiming(redo)), r.sim.model, xb)
+	}
+	if cfg.MeasureDMR || (r.pipeline != nil && r.pipeline.NeedsRerun()) {
+		again = runRedo()
+		if r.pipeline != nil {
+			r.pipeline.CompareOutputs(rec, logits, again)
+		}
+	}
+	// RecoverReexecute delivers the clean duplicate's rows for flagged
+	// injections; reuse the DMR rerun when one already exists.
+	if rec != nil && r.pipeline.Policy() == detect.PolicyReexecute && again == nil && rec.AnyFlagged() {
+		again = runRedo()
 	}
 	preds := logits.ArgMaxRows()
 	losses := train.CrossEntropyPerSample(logits, yb)
 	nonFinite := logits.NonFiniteRows()
+	var redoPreds []int
+	var redoLosses []float64
+	var redoNonFinite []int
+	if again != nil {
+		redoPreds = again.ArgMaxRows()
+		redoLosses = train.CrossEntropyPerSample(again, yb)
+		redoNonFinite = again.NonFiniteRows()
+	}
 	for k := range outs {
 		out := InjectionOutcome{
-			Fault:     faultsets[k][0],
-			Sample:    samples[k],
-			Mismatch:  preds[k] != r.cleanPred[samples[k]],
-			DeltaLoss: metrics.DeltaLoss(r.cleanLoss[samples[k]], losses[k]),
-			NonFinite: nonFinite[k] > 0,
+			Fault:               faultsets[k][0],
+			Sample:              samples[k],
+			FirstNonFiniteLayer: -1,
 		}
 		if len(faultsets[k]) > 1 {
 			out.Extra = faultsets[k][1:]
 		}
-		if again != nil {
+		if cfg.MeasureDMR && again != nil {
 			out.Detected = !again.Slice(k, k+1).AllClose(logits.Slice(k, k+1), 0)
+		}
+		detected := false
+		if rec != nil {
+			out.DetectedBy = rec.DetectedBy(k)
+			out.FirstNonFiniteLayer = rec.FirstNonFiniteLayer(k)
+			detected = len(out.DetectedBy) > 0
+			if detected {
+				out.Detected = true
+			}
+		}
+		pred, loss, nf := preds[k], losses[k], nonFinite[k] > 0
+		if detected {
+			switch r.pipeline.Policy() {
+			case detect.PolicyAbort:
+				out.Aborted = true
+				outs[k] = out
+				continue
+			case detect.PolicyReexecute:
+				pred, loss, nf = redoPreds[k], redoLosses[k], redoNonFinite[k] > 0
+			}
+		}
+		out.Mismatch = pred != r.cleanPred[samples[k]]
+		out.DeltaLoss = metrics.DeltaLoss(r.cleanLoss[samples[k]], loss)
+		out.NonFinite = nf || out.FirstNonFiniteLayer >= 0
+		if detected && r.pipeline.Policy() != detect.PolicyNone {
+			out.Recovered = !out.Mismatch
 		}
 		outs[k] = out
 	}
@@ -624,15 +944,17 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 	}
 	defer runner.close()
 
-	report := &CampaignReport{Config: cfg}
+	report := &CampaignReport{Config: cfg, PerDetector: runner.detectorBaseline()}
 	skip := 0
 	if cfg.Resume != nil {
 		skip = cfg.Resume.Completed
 		report.CampaignResult = cfg.Resume.Result
 		report.Detected = cfg.Resume.Detected
 		report.Aborted = cfg.Resume.Aborted
+		report.Recovered = cfg.Resume.Recovered
+		report.PerDetector = mergeResumeDetectors(report.PerDetector, cfg.Resume.PerDetector)
 	}
-	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections)
+	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections, detect.Names(cfg.Detectors))
 	drawer := newFaultDrawer(&cfg, runner.elems, runner.flips)
 	n := runner.pool.Len()
 	batch := runner.batch
@@ -686,16 +1008,36 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 				continue
 			}
 			out := outs[k]
+			if out.Aborted {
+				// A RecoverAbort detection discarded this inference: counted
+				// in Aborted (and the detector breakdown) but excluded from
+				// the metric aggregates and the MaxAborts threshold.
+				report.Aborted++
+				report.Detected++
+				ct.recordAborted()
+				ct.recordDetections(out.DetectedBy, false)
+				report.recordDetections(out)
+				if cfg.KeepTrace {
+					report.Trace = append(report.Trace, out)
+				}
+				continue
+			}
 			ct.record(out.Mismatch, out.NonFinite, out.Detected, per)
+			ct.recordDetections(out.DetectedBy, out.Recovered)
 			report.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
 			if out.Detected {
 				report.Detected++
 			}
+			if out.Recovered {
+				report.Recovered++
+			}
+			report.recordDetections(out)
 			if cfg.KeepTrace {
 				report.Trace = append(report.Trace, out)
 			}
 		}
 	}
+	ct.publishCoverage(report)
 	return report, nil
 }
 
@@ -762,9 +1104,14 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		report      *CampaignReport
 		err         error
 		interrupted bool
+
+		// fp is the worker's fault-free false-positive baseline. Every
+		// worker measures the identical (deterministic) sweep, so the merge
+		// takes it from one shard only.
+		fp map[string]metrics.DetectorStats
 	}
 	n := pool.Len()
-	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections)
+	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections, detect.Names(cfg.Detectors))
 	shards := make([]shard, workers)
 	var aborted atomic.Int64
 	if cfg.Resume != nil {
@@ -813,6 +1160,7 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 				return
 			}
 			defer runner.close()
+			shards[w].fp = runner.detectorBaseline()
 			var shardWork *telemetry.Counter
 			if cfg.Metrics != nil {
 				shardWork = cfg.Metrics.Counter(telemetry.Label(MetricCampaignShardWork, "worker", strconv.Itoa(w)))
@@ -876,7 +1224,22 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 						continue
 					}
 					out := outs[k]
+					if out.Aborted {
+						// RecoverAbort discard: counted in Aborted and the
+						// detector breakdown, excluded from aggregates and
+						// the shared MaxAborts threshold.
+						rep.Aborted++
+						rep.Detected++
+						ct.recordAborted()
+						ct.recordDetections(out.DetectedBy, false)
+						rep.recordDetections(out)
+						if cfg.KeepTrace {
+							rep.Trace = append(rep.Trace, out)
+						}
+						continue
+					}
 					ct.record(out.Mismatch, out.NonFinite, out.Detected, per)
+					ct.recordDetections(out.DetectedBy, out.Recovered)
 					if shardWork != nil {
 						shardWork.Inc()
 					}
@@ -884,6 +1247,10 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 					if out.Detected {
 						rep.Detected++
 					}
+					if out.Recovered {
+						rep.Recovered++
+					}
+					rep.recordDetections(out)
 					if cfg.KeepTrace {
 						rep.Trace = append(rep.Trace, out)
 					}
@@ -904,10 +1271,21 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		}
 	}
 	merged := &CampaignReport{Config: cfg}
+	// The false-positive baseline is deterministic and identical across
+	// workers, so it merges from one shard only; per-shard detections and
+	// recoveries sum on top of it.
+	for _, sh := range shards {
+		if sh.fp != nil {
+			merged.PerDetector = sh.fp
+			break
+		}
+	}
 	if cfg.Resume != nil {
 		merged.CampaignResult = cfg.Resume.Result
 		merged.Detected = cfg.Resume.Detected
 		merged.Aborted = cfg.Resume.Aborted
+		merged.Recovered = cfg.Resume.Recovered
+		merged.PerDetector = mergeResumeDetectors(merged.PerDetector, cfg.Resume.PerDetector)
 	}
 	if cfg.KeepTrace {
 		merged.Trace = make([]InjectionOutcome, cfg.Injections)
@@ -917,12 +1295,15 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		merged.CampaignResult.Merge(sh.report.CampaignResult)
 		merged.Detected += sh.report.Detected
 		merged.Aborted += sh.report.Aborted
+		merged.Recovered += sh.report.Recovered
+		merged.PerDetector = mergeResumeDetectors(merged.PerDetector, sh.report.PerDetector)
 		if cfg.KeepTrace {
 			for k, out := range sh.report.Trace {
 				merged.Trace[w+k*workers] = out
 			}
 		}
 	}
+	ct.publishCoverage(merged)
 	if merged.Interrupted {
 		return merged, ctx.Err()
 	}

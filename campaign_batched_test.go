@@ -70,8 +70,7 @@ func TestBatchedCampaignBitIdenticalAllFamilies(t *testing.T) {
 				Layer:          layer,
 				Injections:     23, // not a multiple of the batch: exercises the ragged tail
 				Seed:           11,
-				X:              x,
-				Y:              y,
+				Pool:           &goldeneye.EvalPool{X: x, Y: y},
 				UseRanger:      true,
 				EmulateNetwork: true,
 				KeepTrace:      true,
@@ -82,8 +81,6 @@ func TestBatchedCampaignBitIdenticalAllFamilies(t *testing.T) {
 				t.Fatalf("%s/%s serial: %v", f.Name(), site, err)
 			}
 			bcfg := cfg
-			bcfg.X, bcfg.Y = nil, nil
-			bcfg.Pool = &goldeneye.EvalPool{X: x, Y: y}
 			bcfg.BatchSize = 5
 			batched, err := sim.RunCampaign(context.Background(), bcfg)
 			if err != nil {
@@ -107,8 +104,7 @@ func TestBatchedCampaignParallelCompose(t *testing.T) {
 		Layer:          sim.InjectableLayers()[0],
 		Injections:     42,
 		Seed:           5,
-		X:              x,
-		Y:              y,
+		Pool:           &goldeneye.EvalPool{X: x, Y: y},
 		EmulateNetwork: true,
 		KeepTrace:      true,
 	}
@@ -147,8 +143,7 @@ func TestBatchedCampaignResume(t *testing.T) {
 		Layer:          sim.InjectableLayers()[0],
 		Injections:     18,
 		Seed:           3,
-		X:              x,
-		Y:              y,
+		Pool:           &goldeneye.EvalPool{X: x, Y: y},
 		EmulateNetwork: true,
 		BatchSize:      4,
 	}
@@ -190,8 +185,7 @@ func TestBatchedCampaignWeightTargetFallsBack(t *testing.T) {
 		Layer:      sim.WeightedLayers()[0],
 		Injections: 12,
 		Seed:       2,
-		X:          x,
-		Y:          y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 		KeepTrace:  true,
 	}
 	serial, err := sim.RunCampaign(context.Background(), cfg)
@@ -208,7 +202,7 @@ func TestBatchedCampaignWeightTargetFallsBack(t *testing.T) {
 }
 
 // Pool.Batch is the campaign's default batch geometry when BatchSize is
-// unset, and setting both Pool and the deprecated X/Y pair is rejected.
+// unset, and a campaign without a pool is rejected outright.
 func TestEvalPoolCampaignGeometry(t *testing.T) {
 	sim, pool := loadSim(t, "mlp")
 	x, y := pool.subset(6)
@@ -235,11 +229,11 @@ func TestEvalPoolCampaignGeometry(t *testing.T) {
 	}
 	reportsIdentical(t, "pool-batch", batched, serial)
 
-	both := cfg
-	both.X, both.Y = x, y
-	if _, err := sim.RunCampaign(context.Background(), both); err == nil ||
-		!strings.Contains(err.Error(), "not both") {
-		t.Fatalf("expected a Pool/X-Y conflict error, got %v", err)
+	noPool := cfg
+	noPool.Pool = nil
+	if _, err := sim.RunCampaign(context.Background(), noPool); err == nil ||
+		!strings.Contains(err.Error(), "requires an evaluation pool") {
+		t.Fatalf("expected a missing-pool error, got %v", err)
 	}
 }
 
@@ -257,8 +251,7 @@ func TestBatchedCampaignPanicIsolation(t *testing.T) {
 		Layer:      sim.InjectableLayers()[1],
 		Injections: 40,
 		Seed:       23,
-		X:          x,
-		Y:          y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 		BatchSize:  5,
 		KeepTrace:  true,
 	}
@@ -295,8 +288,7 @@ func TestBatchedCampaignTelemetry(t *testing.T) {
 		Layer:          sim.InjectableLayers()[0],
 		Injections:     22,
 		Seed:           4,
-		X:              x,
-		Y:              y,
+		Pool:           &goldeneye.EvalPool{X: x, Y: y},
 		EmulateNetwork: true,
 		BatchSize:      8,
 		Metrics:        reg,

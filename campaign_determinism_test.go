@@ -27,8 +27,7 @@ func TestCampaignDeterminismAcrossWorkerCounts(t *testing.T) {
 		Layer:          sim.InjectableLayers()[1],
 		Injections:     96,
 		Seed:           42,
-		X:              x,
-		Y:              y,
+		Pool:           &goldeneye.EvalPool{X: x, Y: y},
 		UseRanger:      true,
 		EmulateNetwork: true,
 		KeepTrace:      true,
@@ -83,8 +82,7 @@ func TestCampaignTelemetry(t *testing.T) {
 		Layer:          sim.InjectableLayers()[0],
 		Injections:     30,
 		Seed:           7,
-		X:              x,
-		Y:              y,
+		Pool:           &goldeneye.EvalPool{X: x, Y: y},
 		EmulateNetwork: true,
 		Metrics:        reg,
 	}
@@ -129,8 +127,7 @@ func TestParallelCampaignTelemetryShards(t *testing.T) {
 		Layer:      sim.InjectableLayers()[0],
 		Injections: 40,
 		Seed:       9,
-		X:          x,
-		Y:          y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 		Metrics:    reg,
 	}
 	if _, err := goldeneye.RunCampaignParallel(context.Background(), cfg, 4, mlpBuilder(t)); err != nil {
@@ -167,8 +164,7 @@ func TestParallelCampaignWrapsWorkerError(t *testing.T) {
 		Layer:      sim.InjectableLayers()[0],
 		Injections: 8,
 		Seed:       1,
-		X:          x,
-		Y:          y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 	}
 	var calls atomic.Int32
 	_, err := goldeneye.RunCampaignParallel(context.Background(), cfg, 4, func() (*goldeneye.Simulator, error) {

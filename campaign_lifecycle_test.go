@@ -62,7 +62,7 @@ func lifecycleConfig(sim *goldeneye.Simulator, x *goldeneye.Tensor, y []int, inj
 		Layer:      sim.InjectableLayers()[1],
 		Injections: injections,
 		Seed:       23,
-		X:          x, Y: y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 	}
 }
 

@@ -86,6 +86,8 @@ func run(ctx context.Context, args []string) error {
 		debugAddr  = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 		ckptDir    = fs.String("checkpoint-dir", "", "persist per-campaign checkpoints in this directory (makes sweeps resumable)")
 		resume     = fs.Bool("resume", false, "resume from the checkpoints in -checkpoint-dir instead of clearing them")
+		detectors  = fs.String("detectors", "", "comma-separated detection pipeline armed in every campaign: ranger,sentinel,dmr,abft")
+		recovery   = fs.String("recovery", "none", "recovery policy paired with -detectors: none|clamp|zero|reexecute|abort")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -108,7 +110,17 @@ func run(ctx context.Context, args []string) error {
 			}()
 		}
 	}
-	opts := exper.Options{ValSamples: *samples, Injections: *injFlag, CampaignBatch: *packBatch}
+	opts := exper.Options{ValSamples: *samples, Injections: *injFlag, CampaignBatch: *packBatch, Recovery: *recovery}
+	if *detectors != "" {
+		// Validate up front so a typo fails before any campaign runs.
+		if _, derr := goldeneye.ParseDetectors(*detectors); derr != nil {
+			return derr
+		}
+		if _, derr := goldeneye.ParseRecovery(*recovery); derr != nil {
+			return derr
+		}
+		opts.Detectors = strings.Split(*detectors, ",")
+	}
 	if *ckptDir != "" {
 		st, cerr := checkpoint.Open(*ckptDir)
 		if cerr != nil {

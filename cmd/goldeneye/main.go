@@ -82,6 +82,8 @@ func run(ctx context.Context, args []string) error {
 		packBatch = fs.Int("campaign-batch", 1, "faults packed per forward pass (inject); reports are bit-identical at any value")
 		workers   = fs.Int("workers", 1, "parallel campaign workers (inject)")
 		maxAborts = fs.Int("max-aborts", 0, "fail the campaign after this many aborted injections (0 = unlimited degraded mode)")
+		detectors = fs.String("detectors", "", "comma-separated detection pipeline (inject): ranger,sentinel,dmr,abft")
+		recovery  = fs.String("recovery", "none", "recovery policy for detected faults (inject): none|clamp|zero|reexecute|abort")
 		progress  = fs.Bool("progress", false, "render a live progress line (campaigns) and imply -metrics")
 		metricsFl = fs.Bool("metrics", false, "print a final metrics dump (Prometheus text) to stdout")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
@@ -176,6 +178,14 @@ func run(ctx context.Context, args []string) error {
 			EmulateNetwork: true,
 			MaxAborts:      *maxAborts,
 		}
+		if *detectors != "" {
+			if cfg.Detectors, err = goldeneye.ParseDetectors(*detectors); err != nil {
+				return err
+			}
+			if cfg.Recovery, err = goldeneye.ParseRecovery(*recovery); err != nil {
+				return err
+			}
+		}
 		switch *site {
 		case "value":
 			cfg.Site = inject.SiteValue
@@ -233,6 +243,15 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("non-finite:    %d\n", rep.NonFinite)
 		if rep.Aborted > 0 {
 			fmt.Printf("aborted:       %d (degraded mode)\n", rep.Aborted)
+		}
+		if len(cfg.Detectors) > 0 {
+			fmt.Printf("detected:      %d (coverage %.3f, recovery %s, recovered %.3f)\n",
+				rep.Detected, rep.DetectionCoverage(), cfg.Recovery, rep.RecoveryRate())
+			for _, spec := range cfg.Detectors {
+				st := rep.PerDetector[spec.Kind]
+				fmt.Printf("  %-9s detections=%d recovered=%d false-positives=%d/%d\n",
+					spec.Kind, st.Detections, st.Recovered, st.FalsePositives, st.FaultFreeRuns)
+			}
 		}
 		if rep.Interrupted {
 			fmt.Fprintln(os.Stderr, "goldeneye: campaign interrupted; the report covers the completed injections")

@@ -100,8 +100,7 @@ func run() error {
 			Layer:          sim.InjectableLayers()[1],
 			Injections:     600,
 			Seed:           42,
-			X:              ds.ValX.Slice(0, 48),
-			Y:              ds.ValY[:48],
+			Pool:           &goldeneye.EvalPool{X: ds.ValX.Slice(0, 48), Y: ds.ValY[:48]},
 			UseRanger:      false, // expose the raw fault response
 			EmulateNetwork: true,
 		})

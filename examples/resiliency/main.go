@@ -55,8 +55,7 @@ func run(name string, injections int) error {
 					Layer:          layer,
 					Injections:     injections,
 					Seed:           uint64(layer + 1),
-					X:              x,
-					Y:              y,
+					Pool:           &goldeneye.EvalPool{X: x, Y: y},
 					UseRanger:      true,
 					EmulateNetwork: true,
 				})

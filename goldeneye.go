@@ -50,6 +50,7 @@ package goldeneye
 import (
 	"fmt"
 
+	"goldeneye/internal/detect"
 	"goldeneye/internal/inject"
 	"goldeneye/internal/metrics"
 	"goldeneye/internal/nn"
@@ -78,6 +79,15 @@ type (
 	RangeRow = numfmt.RangeRow
 	// HookSet holds layer hooks (format emulation, injection, clamping).
 	HookSet = nn.HookSet
+	// DetectorSpec declares one detector of a campaign's detection
+	// pipeline (see internal/detect).
+	DetectorSpec = detect.Spec
+	// RecoveryPolicy selects what a campaign does with detector-flagged
+	// inferences.
+	RecoveryPolicy = detect.Policy
+	// DetectorStats aggregates one detector's campaign-level coverage,
+	// recovery, and false-positive counts.
+	DetectorStats = metrics.DetectorStats
 )
 
 // Injection site and target re-exports.
@@ -88,6 +98,23 @@ const (
 	TargetWeight = inject.TargetWeight
 )
 
+// Recovery policy re-exports.
+const (
+	RecoverNone      = detect.PolicyNone
+	RecoverClamp     = detect.PolicyClamp
+	RecoverZero      = detect.PolicyZero
+	RecoverReexecute = detect.PolicyReexecute
+	RecoverAbort     = detect.PolicyAbort
+)
+
+// ParseDetectors parses a comma-separated detector list (the CLIs'
+// -detectors flag): any of ranger, sentinel, dmr, abft.
+func ParseDetectors(list string) ([]DetectorSpec, error) { return detect.ParseSpecs(list) }
+
+// ParseRecovery parses a recovery policy name (the CLIs' -recovery flag):
+// none, clamp, zero, reexecute, or abort.
+func ParseRecovery(s string) (RecoveryPolicy, error) { return detect.ParsePolicy(s) }
+
 // Table1Rows recomputes the paper's Table I from the format
 // implementations.
 func Table1Rows() []RangeRow { return numfmt.Table1Rows() }
@@ -97,10 +124,11 @@ func Table1Rows() []RangeRow { return numfmt.Table1Rows() }
 // enumerate its layers; a Simulator (like the underlying modules) is not
 // safe for concurrent use.
 type Simulator struct {
-	model  nn.Module
-	layers []nn.LayerInfo
-	sizes  map[int]int // layer index → output element count at batch 1
-	widx   inject.ModuleIndex
+	model   nn.Module
+	layers  []nn.LayerInfo
+	sizes   map[int]int // layer index → output element count at batch 1
+	widx    inject.ModuleIndex
+	modules map[int]nn.Module // layer index → module, for structural detectors
 }
 
 // Wrap prepares model for simulation. sample provides the model's input
@@ -115,8 +143,9 @@ func Wrap(model nn.Module, sample *tensor.Tensor) *Simulator {
 		sample = sample.Slice(0, 1)
 	}
 	s := &Simulator{
-		model: model,
-		sizes: make(map[int]int),
+		model:   model,
+		sizes:   make(map[int]int),
+		modules: make(map[int]nn.Module),
 	}
 	hooks := nn.NewHookSet()
 	hooks.PostForward(nn.AllLayers(), func(info nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
@@ -124,9 +153,16 @@ func Wrap(model nn.Module, sample *tensor.Tensor) *Simulator {
 		s.sizes[info.Index] = t.Len()
 		return t
 	})
-	nn.Forward(nn.NewContext(hooks), model, sample)
+	ctx := nn.NewContext(hooks)
+	ctx.SetVisitor(func(m nn.Module, info nn.LayerInfo) { s.modules[info.Index] = m })
+	nn.Forward(ctx, model, sample)
 	s.widx = inject.IndexModules(model, s.layers)
 	return s
+}
+
+// detectTarget is the model view handed to detector constructors.
+func (s *Simulator) detectTarget() detect.Target {
+	return detect.Target{Model: s.model, Layers: s.Layers(), Modules: s.modules}
 }
 
 // Model returns the wrapped module.

@@ -96,13 +96,13 @@ func TestCampaignDeterministicPerSeed(t *testing.T) {
 	x, y := pool.subset(16)
 	run := func(seed uint64) *goldeneye.CampaignReport {
 		rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
-			Format:     numfmt.FP16(true),
-			Site:       goldeneye.SiteValue,
-			Target:     goldeneye.TargetNeuron,
-			Layer:      sim.InjectableLayers()[1],
-			Injections: 50,
-			Seed:       seed,
-			X:          x, Y: y,
+			Format:         numfmt.FP16(true),
+			Site:           goldeneye.SiteValue,
+			Target:         goldeneye.TargetNeuron,
+			Layer:          sim.InjectableLayers()[1],
+			Injections:     50,
+			Seed:           seed,
+			Pool:           &goldeneye.EvalPool{X: x, Y: y},
 			EmulateNetwork: true,
 			KeepTrace:      true,
 		})
@@ -142,7 +142,7 @@ func TestCampaignMetadataOnPlainFormatFails(t *testing.T) {
 		Target:     goldeneye.TargetNeuron,
 		Layer:      sim.InjectableLayers()[0],
 		Injections: 5,
-		X:          x, Y: y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 	})
 	if err == nil {
 		t.Fatal("metadata campaign on FP must fail")
@@ -155,7 +155,7 @@ func TestCampaignValidation(t *testing.T) {
 	base := goldeneye.CampaignConfig{
 		Format: numfmt.FP16(true), Site: goldeneye.SiteValue,
 		Target: goldeneye.TargetNeuron, Layer: sim.InjectableLayers()[0],
-		Injections: 5, X: x, Y: y,
+		Injections: 5, Pool: &goldeneye.EvalPool{X: x, Y: y},
 	}
 
 	noFormat := base
@@ -174,9 +174,14 @@ func TestCampaignValidation(t *testing.T) {
 		t.Error("bogus layer accepted")
 	}
 	badPool := base
-	badPool.Y = y[:4]
+	badPool.Pool = &goldeneye.EvalPool{X: x, Y: y[:4]}
 	if _, err := sim.RunCampaign(context.Background(), badPool); err == nil {
 		t.Error("mismatched pool accepted")
+	}
+	recoveryOnly := base
+	recoveryOnly.Recovery = goldeneye.RecoverClamp
+	if _, err := sim.RunCampaign(context.Background(), recoveryOnly); err == nil {
+		t.Error("recovery policy without detectors accepted")
 	}
 }
 
@@ -193,13 +198,13 @@ func TestBFPMetadataFaultsWorseThanValueFaults(t *testing.T) {
 			site = goldeneye.SiteMetadata
 		}
 		rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
-			Format:     numfmt.BFPe5m5(),
-			Site:       site,
-			Target:     goldeneye.TargetNeuron,
-			Layer:      layer,
-			Injections: 120,
-			Seed:       11,
-			X:          x, Y: y,
+			Format:         numfmt.BFPe5m5(),
+			Site:           site,
+			Target:         goldeneye.TargetNeuron,
+			Layer:          layer,
+			Injections:     120,
+			Seed:           11,
+			Pool:           &goldeneye.EvalPool{X: x, Y: y},
 			UseRanger:      true,
 			EmulateNetwork: true,
 		})
@@ -225,7 +230,7 @@ func TestWeightTargetCampaignRuns(t *testing.T) {
 		Layer:      sim.WeightedLayers()[0],
 		Injections: 40,
 		Seed:       3,
-		X:          x, Y: y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -246,13 +251,13 @@ func TestRangerSuppressesNonFinite(t *testing.T) {
 	x, y := pool.subset(16)
 	run := func(useRanger bool) *goldeneye.CampaignReport {
 		rep, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
-			Format:     numfmt.FP16(true),
-			Site:       goldeneye.SiteValue,
-			Target:     goldeneye.TargetNeuron,
-			Layer:      sim.InjectableLayers()[0],
-			Injections: 200,
-			Seed:       5,
-			X:          x, Y: y,
+			Format:         numfmt.FP16(true),
+			Site:           goldeneye.SiteValue,
+			Target:         goldeneye.TargetNeuron,
+			Layer:          sim.InjectableLayers()[0],
+			Injections:     200,
+			Seed:           5,
+			Pool:           &goldeneye.EvalPool{X: x, Y: y},
 			UseRanger:      useRanger,
 			EmulateNetwork: true,
 		})
@@ -283,10 +288,10 @@ func TestMultiBitCampaign(t *testing.T) {
 			Injections:        150,
 			FlipsPerInjection: flips,
 			Seed:              9,
-			X:                 x, Y: y,
-			UseRanger:      true,
-			EmulateNetwork: true,
-			KeepTrace:      true,
+			Pool:              &goldeneye.EvalPool{X: x, Y: y},
+			UseRanger:         true,
+			EmulateNetwork:    true,
+			KeepTrace:         true,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -325,7 +330,7 @@ func TestMultiBitWeightCampaignRestores(t *testing.T) {
 		Injections:        30,
 		FlipsPerInjection: 4,
 		Seed:              13,
-		X:                 x, Y: y,
+		Pool:              &goldeneye.EvalPool{X: x, Y: y},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -51,6 +51,20 @@ type Cell struct {
 	Result   metrics.CampaignResult `json:"result"`
 	Detected int                    `json:"detected"`
 	Aborted  int                    `json:"aborted"`
+
+	// Recovered and Detectors carry the detection-pipeline aggregates of
+	// campaigns run with detectors configured; both are absent from (and
+	// ignored in) cells persisted without a pipeline, so pre-detector
+	// checkpoints load unchanged.
+	Recovered int                              `json:"recovered,omitempty"`
+	Detectors map[string]metrics.DetectorStats `json:"detectors,omitempty"`
+}
+
+// Sidecar returns a path alongside the store's cells for auxiliary
+// artifacts keyed like cells — e.g. a detector's serialized calibration
+// (ranger bounds) — with the given extension (".ranger.json").
+func (s *Store) Sidecar(key, ext string) string {
+	return strings.TrimSuffix(s.path(key), ".json") + ext
 }
 
 // Store reads and writes cell checkpoints under one directory.

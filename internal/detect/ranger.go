@@ -1,0 +1,196 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"goldeneye/internal/nn"
+	"goldeneye/internal/tensor"
+)
+
+// Ranger is the calibrated per-layer range guard (modeled on the Ranger
+// range-restriction detector the paper toggles in §V-B, promoted from
+// inject.RangeProfile's inline clamp into a first-class detector). During
+// calibration it records the min/max output of every layer on fault-free
+// pool inferences — under the campaign's format emulation, so each format
+// family calibrates its own envelope. Armed, it flags any row whose
+// activation leaves the calibrated range or goes non-finite; PolicyClamp
+// repairs with exactly the legacy clamp semantics (NaN → hi, clamp to
+// [lo, hi]), PolicyZero zeroes the offending elements.
+type Ranger struct {
+	cachePath  string
+	lo, hi     map[int]float32
+	calibrated bool
+}
+
+var _ Detector = (*Ranger)(nil)
+
+// rangerBounds is the serialized calibration artifact, written next to the
+// campaign checkpoints so a sweep calibrates once per cell.
+type rangerBounds struct {
+	Lo map[int]float32 `json:"lo"`
+	Hi map[int]float32 `json:"hi"`
+}
+
+// NewRanger returns a ranger. When cachePath names an existing file the
+// bounds are restored from it and calibration is skipped; otherwise the
+// ranger calibrates on the campaign's fault-free pass and, if cachePath is
+// non-empty, serializes the learned bounds there.
+func NewRanger(cachePath string) (*Ranger, error) {
+	r := &Ranger{
+		cachePath: cachePath,
+		lo:        make(map[int]float32),
+		hi:        make(map[int]float32),
+	}
+	if cachePath == "" {
+		return r, nil
+	}
+	data, err := os.ReadFile(cachePath)
+	if os.IsNotExist(err) {
+		return r, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("detect: ranger cache: %w", err)
+	}
+	var b rangerBounds
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("detect: ranger cache %s: %w", cachePath, err)
+	}
+	if b.Lo != nil && b.Hi != nil {
+		r.lo, r.hi = b.Lo, b.Hi
+		r.calibrated = true
+	}
+	return r, nil
+}
+
+// Name implements Detector.
+func (r *Ranger) Name() string { return "ranger" }
+
+// Bounds returns the calibrated range of layer i (false if never observed).
+func (r *Ranger) Bounds(i int) (lo, hi float32, ok bool) {
+	lo, ok1 := r.lo[i]
+	hi, ok2 := r.hi[i]
+	return lo, hi, ok1 && ok2
+}
+
+// observe widens layer idx's bounds to cover t.
+func (r *Ranger) observe(idx int, t *tensor.Tensor) {
+	lo, hi := t.MinMax()
+	if cur, ok := r.lo[idx]; !ok || lo < cur {
+		r.lo[idx] = lo
+	}
+	if cur, ok := r.hi[idx]; !ok || hi > cur {
+		r.hi[idx] = hi
+	}
+}
+
+// CalibrationHooks implements Detector. Bounds restored from a cache need
+// no calibration pass.
+func (r *Ranger) CalibrationHooks() *nn.HookSet {
+	if r.calibrated {
+		return nil
+	}
+	hooks := nn.NewHookSet()
+	hooks.PostForward(nn.AllLayers(), func(info nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		r.observe(info.Index, t)
+		return t
+	})
+	return hooks
+}
+
+// FinishCalibration implements Detector, persisting freshly learned bounds
+// to the cache path (atomically, temp + rename, like checkpoint cells).
+func (r *Ranger) FinishCalibration() error {
+	if r.calibrated || r.cachePath == "" {
+		r.calibrated = true
+		return nil
+	}
+	r.calibrated = true
+	data, err := json.MarshalIndent(rangerBounds{Lo: r.lo, Hi: r.hi}, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(r.cachePath)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".ranger-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), r.cachePath)
+}
+
+// outOfRange reports whether v violates [lo, hi] (non-finite counts).
+func outOfRange(v, lo, hi float32) bool {
+	f := float64(v)
+	return math.IsNaN(f) || v < lo || v > hi
+}
+
+// flagRow reports whether any element of seg violates [lo, hi].
+func flagRow(seg []float32, lo, hi float32) bool {
+	for _, v := range seg {
+		if outOfRange(v, lo, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// Arm implements Detector. Repair is row-confined: only flagged rows are
+// touched, and in-range values are fixed points of the clamp, so batched
+// campaign passes deliver bit-identical activations to serial ones (and to
+// the legacy inject.RangeProfile.ClampHook, which clamped every value
+// unconditionally).
+func (r *Ranger) Arm(rec *Recorder, policy Policy) *nn.HookSet {
+	hooks := nn.NewHookSet()
+	hooks.PostForward(nn.AllLayers(), func(info nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		lo, hi, ok := r.Bounds(info.Index)
+		if !ok {
+			return t
+		}
+		data := t.Data()
+		for row := 0; row < rec.Rows(); row++ {
+			s, e, ok := rowSpan(len(data), rec.Rows(), row)
+			if !ok || !flagRow(data[s:e], lo, hi) {
+				continue
+			}
+			rec.Flag(r.Name(), info.Index, row)
+			switch policy {
+			case PolicyClamp:
+				seg := data[s:e]
+				for i, v := range seg {
+					switch {
+					case math.IsNaN(float64(v)):
+						seg[i] = hi
+					case v < lo:
+						seg[i] = lo
+					case v > hi:
+						seg[i] = hi
+					}
+				}
+			case PolicyZero:
+				seg := data[s:e]
+				for i, v := range seg {
+					if outOfRange(v, lo, hi) {
+						seg[i] = 0
+					}
+				}
+			}
+		}
+		return t
+	})
+	return hooks
+}

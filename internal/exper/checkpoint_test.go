@@ -37,7 +37,7 @@ func cellConfig(sim *goldeneye.Simulator, x *goldeneye.Tensor, y []int, injectio
 		Layer:      sim.InjectableLayers()[1],
 		Injections: injections,
 		Seed:       31,
-		X:          x, Y: y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 	}
 }
 

@@ -9,10 +9,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"goldeneye"
 	"goldeneye/internal/checkpoint"
 	"goldeneye/internal/dataset"
+	"goldeneye/internal/detect"
 	"goldeneye/internal/nn"
 	"goldeneye/internal/numfmt"
 	"goldeneye/internal/zoo"
@@ -47,6 +49,43 @@ type Options struct {
 	// Because fault sequences are deterministic in the seed, a resumed
 	// sweep's output is bit-identical to an uninterrupted run's.
 	Checkpoint *checkpoint.Store
+
+	// Detectors names the fault-detection pipeline every campaign cell
+	// arms (any of ranger, sentinel, dmr, abft); empty means none. When a
+	// checkpoint store is configured, ranger calibration is cached in a
+	// sidecar file next to each cell's checkpoint.
+	Detectors []string
+
+	// Recovery is the recovery policy paired with Detectors: "" or "none",
+	// "clamp", "zero", "reexecute", "abort".
+	Recovery string
+}
+
+// applyDetectors wires the sweep-level detector options into one cell's
+// campaign config. The cell key scopes the ranger-bounds cache: bounds are
+// calibrated per model/format/pool, so cells must not share them.
+func (o Options) applyDetectors(cfg *goldeneye.CampaignConfig, key string) error {
+	if len(o.Detectors) == 0 {
+		return nil
+	}
+	specs, err := goldeneye.ParseDetectors(strings.Join(o.Detectors, ","))
+	if err != nil {
+		return err
+	}
+	if o.Checkpoint != nil {
+		for i := range specs {
+			if specs[i].Kind == "ranger" {
+				specs[i].CachePath = o.Checkpoint.Sidecar(key, ".ranger.json")
+			}
+		}
+	}
+	policy, err := goldeneye.ParseRecovery(o.Recovery)
+	if err != nil {
+		return err
+	}
+	cfg.Detectors = specs
+	cfg.Recovery = policy
+	return nil
 }
 
 func (o Options) valSamples() int { return orDefault(o.ValSamples, 300) }
@@ -123,21 +162,27 @@ func paperName(model string) string {
 // deterministic result; a persisted cell whose hash differs (sweep re-run
 // with different flags) is discarded instead of resumed.
 func cellHash(cfg goldeneye.CampaignConfig) uint64 {
-	// Pool length (== the deprecated X.Dim(0)) keeps hashes identical across
-	// the X/Y→Pool migration. BatchSize stays out of the hash on purpose:
-	// batched campaigns are bit-identical to serial, so a cell computed at
-	// one batch size resumes correctly at any other.
+	// BatchSize stays out of the hash on purpose: batched campaigns are
+	// bit-identical to serial, so a cell computed at one batch size resumes
+	// correctly at any other.
 	n := 0
 	if cfg.Pool != nil {
 		n = cfg.Pool.Len()
-	} else if cfg.X != nil {
-		n = cfg.X.Dim(0)
 	}
-	return checkpoint.HashConfig(
+	parts := []interface{}{
 		cfg.Format.Name(), cfg.Site, cfg.Target, cfg.FaultKind, cfg.Layer,
 		cfg.Injections, cfg.FlipsPerInjection, cfg.Seed, n,
 		cfg.UseRanger, cfg.EmulateNetwork, cfg.QuantizeWeights, cfg.MeasureDMR,
-	)
+	}
+	// Detector configuration joins the hash only when present, keeping every
+	// pre-detector cell hash (and persisted sweep state) valid.
+	if len(cfg.Detectors) > 0 {
+		for _, name := range detect.Names(cfg.Detectors) {
+			parts = append(parts, name)
+		}
+		parts = append(parts, cfg.Recovery.String())
+	}
+	return checkpoint.HashConfig(parts...)
 }
 
 // runCell executes one sweep cell through the checkpoint store: a completed
@@ -147,6 +192,9 @@ func cellHash(cfg goldeneye.CampaignConfig) uint64 {
 // KeepTrace campaigns, whose traces are not persisted — it falls through to
 // a plain RunCampaign.
 func runCell(ctx context.Context, sim *goldeneye.Simulator, key string, cfg goldeneye.CampaignConfig, o Options) (*goldeneye.CampaignReport, error) {
+	if err := o.applyDetectors(&cfg, key); err != nil {
+		return nil, err
+	}
 	st := o.Checkpoint
 	if st == nil || cfg.KeepTrace {
 		return sim.RunCampaign(ctx, cfg)
@@ -163,14 +211,18 @@ func runCell(ctx context.Context, sim *goldeneye.Simulator, key string, cfg gold
 				Config:         cfg,
 				Detected:       cell.Detected,
 				Aborted:        cell.Aborted,
+				Recovered:      cell.Recovered,
+				PerDetector:    cell.Detectors,
 			}, nil
 		}
 		if cell.Completed > 0 && cell.Completed < cfg.Injections {
 			cfg.Resume = &goldeneye.CampaignResume{
-				Completed: cell.Completed,
-				Result:    cell.Result,
-				Detected:  cell.Detected,
-				Aborted:   cell.Aborted,
+				Completed:   cell.Completed,
+				Result:      cell.Result,
+				Detected:    cell.Detected,
+				Aborted:     cell.Aborted,
+				Recovered:   cell.Recovered,
+				PerDetector: cell.Detectors,
 			}
 		}
 	}
@@ -189,6 +241,8 @@ func runCell(ctx context.Context, sim *goldeneye.Simulator, key string, cfg gold
 			Result:     rep.CampaignResult,
 			Detected:   rep.Detected,
 			Aborted:    rep.Aborted,
+			Recovered:  rep.Recovered,
+			Detectors:  rep.PerDetector,
 		}
 		if serr := st.Save(save); serr != nil && runErr == nil {
 			runErr = serr

@@ -369,13 +369,14 @@ func TestProtectionShapes(t *testing.T) {
 		t.Fatalf("missing %s/%s", target, protection)
 		return ProtectionRow{}
 	}
-	// The ranger must not worsen damage, for either target.
+	// The ranger's clamp must not worsen damage, for either target.
 	for _, target := range []string{"neuron", "weight"} {
-		if get(target, "ranger").MeanDelta > get(target, "none").MeanDelta {
+		if get(target, "ranger+clamp").MeanDelta > get(target, "none").MeanDelta {
 			t.Errorf("%s: ranger increased ΔLoss", target)
 		}
 	}
-	// DMR detects some transient faults and no persistent ones.
+	// DMR detects some transient faults and no persistent ones; ABFT's
+	// sealed weight checksums catch exactly the corruption DMR misses.
 	if get("neuron", "dmr").Coverage <= 0 {
 		t.Error("DMR should detect some neuron faults")
 	}
@@ -383,9 +384,21 @@ func TestProtectionShapes(t *testing.T) {
 		t.Errorf("DMR cannot detect weight faults, got coverage %.3f",
 			get("weight", "dmr").Coverage)
 	}
-	// Non-DMR rows report no coverage.
-	if get("neuron", "none").Coverage != 0 || get("neuron", "ranger").Coverage != 0 {
-		t.Error("coverage must be zero without DMR")
+	if get("weight", "abft").Coverage <= 0 {
+		t.Error("ABFT should detect weight corruption against its sealed checksums")
+	}
+	// The unprotected baseline reports no coverage; every pipeline's
+	// false-positive rate on the fault-free pool is zero (calibrated
+	// detectors never flag the pool they calibrated on).
+	for _, target := range []string{"neuron", "weight"} {
+		if get(target, "none").Coverage != 0 {
+			t.Error("coverage must be zero without a pipeline")
+		}
+		for _, prot := range []string{"ranger+clamp", "sentinel", "dmr", "abft", "dmr+reexec"} {
+			if fp := get(target, prot).FPRate; fp != 0 {
+				t.Errorf("%s/%s: false-positive rate %.4f, want 0", target, prot, fp)
+			}
+		}
 	}
 }
 

@@ -183,3 +183,43 @@ func (c *CampaignResult) Merge(o CampaignResult) {
 	c.DeltaLoss.Merge(o.DeltaLoss)
 	c.MismatchStat.Merge(o.MismatchStat)
 }
+
+// DetectorStats aggregates one detector's campaign-level performance: how
+// many injections it flagged, how many of those the paired recovery policy
+// restored, and its false-positive behaviour on the fault-free calibration
+// pool (the "measured on fault-free runs" half of the protection table).
+// The struct is shared by campaign reports, checkpoints, and resume state;
+// the JSON encoding is stable so persisted cells resume bit-identically.
+type DetectorStats struct {
+	// Detections counts injections this detector flagged.
+	Detections int `json:"detections"`
+
+	// Recovered counts flagged injections whose recovery policy restored
+	// the fault-free prediction.
+	Recovered int `json:"recovered"`
+
+	// FalsePositives counts fault-free pool inferences the armed detector
+	// flagged during the campaign's post-calibration sweep.
+	FalsePositives int `json:"false_positives"`
+
+	// FaultFreeRuns is the number of fault-free inferences the
+	// false-positive sweep observed (the FalsePositives denominator).
+	FaultFreeRuns int `json:"fault_free_runs"`
+}
+
+// Coverage returns the fraction of injections this detector flagged.
+func (d DetectorStats) Coverage(injections int) float64 {
+	if injections == 0 {
+		return 0
+	}
+	return float64(d.Detections) / float64(injections)
+}
+
+// FalsePositiveRate returns flagged fault-free inferences per fault-free
+// inference observed.
+func (d DetectorStats) FalsePositiveRate() float64 {
+	if d.FaultFreeRuns == 0 {
+		return 0
+	}
+	return float64(d.FalsePositives) / float64(d.FaultFreeRuns)
+}

@@ -48,6 +48,15 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
 // Weight returns the (OC, C, KH, KW) weight parameter.
 func (c *Conv2D) Weight() *Param { return c.w }
 
+// Bias returns the (OC) bias parameter.
+func (c *Conv2D) Bias() *Param { return c.b }
+
+// Stride returns the convolution stride.
+func (c *Conv2D) Stride() int { return c.stride }
+
+// Pad returns the zero padding applied on each spatial border.
+func (c *Conv2D) Pad() int { return c.pad }
+
 // Forward implements Module.
 func (c *Conv2D) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 {

@@ -137,3 +137,15 @@ func Trace(m Module, x *tensor.Tensor) []LayerInfo {
 	Forward(ctx, m, x)
 	return visits
 }
+
+// TraceModules runs a forward pass recording each visited module keyed by
+// its visit index — the join between the layer indices hooks see and the
+// modules (and parameters) behind them, which structural detectors such as
+// ABFT weight checksums need.
+func TraceModules(m Module, x *tensor.Tensor) map[int]Module {
+	mods := make(map[int]Module)
+	ctx := NewContext(nil)
+	ctx.SetVisitor(func(mod Module, info LayerInfo) { mods[info.Index] = mod })
+	Forward(ctx, m, x)
+	return mods
+}

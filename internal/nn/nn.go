@@ -132,8 +132,9 @@ type Context struct {
 	// statistics).
 	Training bool
 
-	hooks *HookSet
-	visit int
+	hooks   *HookSet
+	visit   int
+	visitor func(Module, LayerInfo)
 }
 
 // NewContext returns a context carrying the given hooks (may be nil).
@@ -141,17 +142,29 @@ func NewContext(hooks *HookSet) *Context {
 	return &Context{hooks: hooks}
 }
 
+// SetVisitor registers fn to observe every non-container module visit,
+// alongside whatever hooks run. Structural indexers (detect's ABFT weight
+// checksums, the module index) use it to join hook-visible layer indices
+// with the modules behind them.
+func (c *Context) SetVisitor(fn func(Module, LayerInfo)) { c.visitor = fn }
+
 // Apply runs module m on x, firing pre- and post-forward hooks around it.
 // All composite modules route children through this method; it is the
 // single interposition point of the simulator. Pure containers (Sequential,
 // Residual, blocks) are transparent: they get no hooks and no layer index,
 // so "layer" always means a computational module.
 func (c *Context) Apply(m Module, x *tensor.Tensor) *tensor.Tensor {
-	if c == nil || c.hooks == nil || m.Kind() == KindContainer {
+	if c == nil || (c.hooks == nil && c.visitor == nil) || m.Kind() == KindContainer {
 		return m.Forward(c, x)
 	}
 	info := LayerInfo{Name: m.Name(), Kind: m.Kind(), Index: c.visit}
 	c.visit++
+	if c.visitor != nil {
+		c.visitor(m, info)
+	}
+	if c.hooks == nil {
+		return m.Forward(c, x)
+	}
 	x = c.hooks.runPre(info, x)
 	y := m.Forward(c, x)
 	return c.hooks.runPost(info, y)

@@ -29,6 +29,14 @@ const (
 	MetricCampaignBatches    = "goldeneye_campaign_batches_total"
 	MetricCampaignOccupancy  = "goldeneye_campaign_batch_occupancy"
 	MetricCampaignRate       = "goldeneye_campaign_injections_per_second"
+
+	// Detection-pipeline instruments (populated when CampaignConfig.
+	// Detectors is non-empty): per-detector detection counters and coverage
+	// gauges are labeled detector="<name>".
+	MetricCampaignDetections  = "goldeneye_campaign_detections_total"
+	MetricCampaignRecoveries  = "goldeneye_campaign_recoveries_total"
+	MetricCampaignCoverage    = "goldeneye_campaign_detector_coverage"
+	MetricCampaignCalibration = "goldeneye_campaign_calibration_seconds"
 )
 
 // occupancyBuckets bound the batch-occupancy histogram: the filled fraction
@@ -94,17 +102,26 @@ type campaignTelemetry struct {
 	occupancy  *telemetry.Histogram
 	rate       *telemetry.Gauge
 	start      time.Time
+
+	// Detection-pipeline instruments. detections is keyed by detector name
+	// and pre-built from the campaign config (never mutated afterwards), so
+	// parallel workers share it without locking; the counters themselves
+	// are atomic.
+	recoveries *telemetry.Counter
+	detections map[string]*telemetry.Counter
+	reg        *telemetry.Registry
 }
 
 // newCampaignTelemetry fetches the campaign instruments from reg (nil reg
 // → nil, inert) and publishes the planned injection count for progress
-// rendering.
-func newCampaignTelemetry(reg *telemetry.Registry, planned int) *campaignTelemetry {
+// rendering. detectors lists the armed detector names, so their labeled
+// counters exist (at zero) from campaign start.
+func newCampaignTelemetry(reg *telemetry.Registry, planned int, detectors []string) *campaignTelemetry {
 	if reg == nil {
 		return nil
 	}
 	reg.Gauge(MetricCampaignPlanned).Set(float64(planned))
-	return &campaignTelemetry{
+	ct := &campaignTelemetry{
 		injections: reg.Counter(MetricCampaignInjections),
 		mismatches: reg.Counter(MetricCampaignMismatches),
 		nonFinite:  reg.Counter(MetricCampaignNonFinite),
@@ -115,7 +132,16 @@ func newCampaignTelemetry(reg *telemetry.Registry, planned int) *campaignTelemet
 		occupancy:  reg.Histogram(MetricCampaignOccupancy, occupancyBuckets),
 		rate:       reg.Gauge(MetricCampaignRate),
 		start:      time.Now(),
+		reg:        reg,
 	}
+	if len(detectors) > 0 {
+		ct.recoveries = reg.Counter(MetricCampaignRecoveries)
+		ct.detections = make(map[string]*telemetry.Counter, len(detectors))
+		for _, name := range detectors {
+			ct.detections[name] = reg.Counter(telemetry.Label(MetricCampaignDetections, "detector", name))
+		}
+	}
+	return ct
 }
 
 // record folds one injection outcome into the campaign counters.
@@ -153,10 +179,38 @@ func (ct *campaignTelemetry) recordBatch(rows, capacity int) {
 }
 
 // recordAborted counts an injection whose inference panicked and was
-// recovered (degraded mode).
+// recovered (degraded mode), or was discarded by a PolicyAbort detection.
 func (ct *campaignTelemetry) recordAborted() {
 	if ct == nil {
 		return
 	}
 	ct.aborted.Inc()
+}
+
+// recordDetections counts one outcome's per-detector flags and, when the
+// recovery policy restored the prediction, the recovery.
+func (ct *campaignTelemetry) recordDetections(detectedBy []string, recovered bool) {
+	if ct == nil || ct.detections == nil {
+		return
+	}
+	for _, name := range detectedBy {
+		if c, ok := ct.detections[name]; ok {
+			c.Inc()
+		}
+	}
+	if recovered && ct.recoveries != nil {
+		ct.recoveries.Inc()
+	}
+}
+
+// publishCoverage exposes per-detector coverage gauges (detections over
+// executed injections) at campaign end.
+func (ct *campaignTelemetry) publishCoverage(rep *CampaignReport) {
+	if ct == nil || ct.reg == nil || len(rep.PerDetector) == 0 {
+		return
+	}
+	for name, st := range rep.PerDetector {
+		ct.reg.Gauge(telemetry.Label(MetricCampaignCoverage, "detector", name)).
+			Set(st.Coverage(rep.Injections + rep.Aborted))
+	}
 }

@@ -25,13 +25,13 @@ func TestParallelCampaignMatchesSerial(t *testing.T) {
 	sim, pool := loadSim(t, "mlp")
 	x, y := pool.subset(16)
 	cfg := goldeneye.CampaignConfig{
-		Format:     numfmt.BFPe5m5(),
-		Site:       goldeneye.SiteValue,
-		Target:     goldeneye.TargetNeuron,
-		Layer:      sim.InjectableLayers()[1],
-		Injections: 120,
-		Seed:       17,
-		X:          x, Y: y,
+		Format:         numfmt.BFPe5m5(),
+		Site:           goldeneye.SiteValue,
+		Target:         goldeneye.TargetNeuron,
+		Layer:          sim.InjectableLayers()[1],
+		Injections:     120,
+		Seed:           17,
+		Pool:           &goldeneye.EvalPool{X: x, Y: y},
 		UseRanger:      true,
 		EmulateNetwork: true,
 		KeepTrace:      true,
@@ -82,7 +82,7 @@ func TestParallelCampaignSingleWorkerFallsBack(t *testing.T) {
 		Layer:      sim.InjectableLayers()[0],
 		Injections: 20,
 		Seed:       5,
-		X:          x, Y: y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 	}
 	rep, err := goldeneye.RunCampaignParallel(context.Background(), cfg, 1, mlpBuilder(t))
 	if err != nil {
@@ -122,7 +122,7 @@ func TestParallelWeightCampaign(t *testing.T) {
 		Layer:      sim.WeightedLayers()[0],
 		Injections: 40,
 		Seed:       3,
-		X:          x, Y: y,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
 	}
 	serial, err := sim.RunCampaign(context.Background(), cfg)
 	if err != nil {
