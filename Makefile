@@ -10,7 +10,8 @@ test:
 # nn timing hooks, parallel campaigns in the root package).
 RACE_PKGS = ./internal/telemetry ./internal/tensor ./internal/nn \
             ./internal/numfmt ./internal/inject ./internal/dse \
-            ./internal/checkpoint ./internal/detect ./internal/exper .
+            ./internal/checkpoint ./internal/detect ./internal/exper \
+            ./internal/server ./internal/server/client .
 
 .PHONY: check
 check:
@@ -21,6 +22,7 @@ check:
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go vet still ran)"; fi
+	go test -shuffle=on ./...
 	go test -race $(RACE_PKGS)
 
 # Cancellation paths are the raciest part of the lifecycle: a cancel can
@@ -51,3 +53,12 @@ bench:
 .PHONY: bench-all
 bench-all:
 	go test -bench=. -benchmem ./...
+
+# Campaign-service smoke gate: boots a real goldeneyed process on a random
+# port, submits a tiny campaign through the typed client, asserts the SSE
+# stream terminates with a completed report and a resubmission hits the
+# persistent cache, then SIGTERMs the daemon and checks it drains cleanly.
+.PHONY: serve-smoke
+serve-smoke:
+	go test ./cmd/goldeneyed -run TestDaemonSmoke -v
+	go test ./internal/server ./internal/server/client

@@ -132,6 +132,14 @@ type CampaignConfig struct {
 	// campaign's report is bit-identical to an uninterrupted run's.
 	// Incompatible with KeepTrace (traces are not persisted).
 	Resume *CampaignResume
+
+	// Progress, when non-nil, receives cumulative campaign progress after
+	// every injection group: done counts executed injections (recorded plus
+	// aborted, including a resumed prefix), total is Injections. Parallel
+	// campaigns invoke it concurrently from every worker, so the callback
+	// must be safe for concurrent use. It observes the campaign without
+	// altering its results; the campaign service streams it to SSE clients.
+	Progress func(done, total int)
 }
 
 // CampaignResume is the state of an interrupted campaign: how many
@@ -326,7 +334,7 @@ func mergeResumeDetectors(dst, prev map[string]metrics.DetectorStats) map[string
 // evalPool resolves and validates the configured evaluation pool.
 func (cfg *CampaignConfig) evalPool() (*EvalPool, error) {
 	if cfg.Pool == nil {
-		return nil, fmt.Errorf("goldeneye: campaign requires an evaluation pool")
+		return nil, &ConfigError{Field: "Pool", Reason: "campaign requires an evaluation pool"}
 	}
 	if err := cfg.Pool.validate(); err != nil {
 		return nil, err
@@ -383,13 +391,20 @@ type campaignRunner struct {
 // count and flips per injection).
 func (s *Simulator) campaignGeometry(cfg CampaignConfig) (pool *EvalPool, elems, flips int, err error) {
 	if cfg.Format == nil {
-		return nil, 0, 0, fmt.Errorf("goldeneye: campaign requires a format")
+		return nil, 0, 0, &ConfigError{Field: "Format", Reason: "campaign requires a format"}
 	}
 	if cfg.Injections <= 0 {
-		return nil, 0, 0, fmt.Errorf("goldeneye: campaign requires a positive injection count")
+		return nil, 0, 0, configErrf("Injections", "campaign requires a positive injection count, got %d", cfg.Injections)
 	}
 	if pool, err = cfg.evalPool(); err != nil {
 		return nil, 0, 0, err
+	}
+	// Validate the effective pack batch, not the raw field: weight-target
+	// campaigns degrade any BatchSize to the serial path (see packBatch),
+	// so an oversized request is only an error when it would actually run.
+	if b := cfg.packBatch(); b > pool.Len() {
+		return nil, 0, 0, configErrf("BatchSize",
+			"campaign batch %d exceeds the pool's %d samples", b, pool.Len())
 	}
 	if cfg.Site == inject.SiteMetadata && inject.MetaBitWidth(cfg.Format) == 0 {
 		return nil, 0, 0, fmt.Errorf("goldeneye: format %s has no metadata to inject into", cfg.Format.Name())
@@ -959,9 +974,12 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 	n := runner.pool.Len()
 	batch := runner.batch
 	// A resumed campaign replays the prefix of the deterministic sequence
-	// without executing it.
+	// without executing it; the prefix still counts as progress.
 	for i := 0; i < skip; i++ {
 		drawer.next()
+	}
+	if cfg.Progress != nil && skip > 0 {
+		cfg.Progress(skip, cfg.Injections)
 	}
 	for base := skip; base < cfg.Injections; base += batch {
 		if err := ctx.Err(); err != nil {
@@ -987,6 +1005,9 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 		// matches the injection counters in both modes; a batched pass
 		// amortizes its wall time evenly over its rows.
 		per := time.Since(start) / time.Duration(rows)
+		if cfg.Progress != nil {
+			cfg.Progress(hi, cfg.Injections)
+		}
 		if batch > 1 {
 			ct.recordBatch(rows, batch)
 		}
@@ -1094,6 +1115,20 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		skip = cfg.Resume.Completed
 	}
 
+	// Progress aggregates across workers through one shared counter; the
+	// callback sees a monotonic cumulative count, never per-shard values.
+	var progressDone atomic.Int64
+	progressDone.Store(int64(skip))
+	reportProgress := func(executed int) {
+		if cfg.Progress == nil {
+			return
+		}
+		cfg.Progress(int(progressDone.Add(int64(executed))), cfg.Injections)
+	}
+	if cfg.Progress != nil && skip > 0 {
+		cfg.Progress(skip, cfg.Injections)
+	}
+
 	// A worker hitting a fatal error (abort threshold, failed build) stops
 	// its siblings at their next injection boundary instead of letting
 	// them run the campaign to completion for a result that is discarded.
@@ -1197,6 +1232,7 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 				start := time.Now()
 				outs, errsB := runner.runBatch(w, idx, faultsets, samples)
 				per := time.Since(start) / time.Duration(len(idx))
+				reportProgress(len(idx))
 				if batch > 1 {
 					ct.recordBatch(len(idx), batch)
 				}

@@ -43,6 +43,8 @@ import (
 	"goldeneye/internal/inject"
 	"goldeneye/internal/models"
 	"goldeneye/internal/nn"
+	"goldeneye/internal/server"
+	"goldeneye/internal/server/client"
 	"goldeneye/internal/telemetry"
 	"goldeneye/internal/zoo"
 )
@@ -84,6 +86,7 @@ func run(ctx context.Context, args []string) error {
 		maxAborts = fs.Int("max-aborts", 0, "fail the campaign after this many aborted injections (0 = unlimited degraded mode)")
 		detectors = fs.String("detectors", "", "comma-separated detection pipeline (inject): ranger,sentinel,dmr,abft")
 		recovery  = fs.String("recovery", "none", "recovery policy for detected faults (inject): none|clamp|zero|reexecute|abort")
+		serverURL = fs.String("server", "", "submit the campaign to a goldeneyed daemon at this base URL instead of running locally (inject)")
 		progress  = fs.Bool("progress", false, "render a live progress line (campaigns) and imply -metrics")
 		metricsFl = fs.Bool("metrics", false, "print a final metrics dump (Prometheus text) to stdout")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
@@ -128,6 +131,61 @@ func run(ctx context.Context, args []string) error {
 		return nil
 	}
 
+	// buildCampaign assembles the campaign configuration shared by the
+	// local and remote inject paths. Layer may stay -1: the executing side
+	// (simulator or daemon) resolves the model's default injection layer.
+	buildCampaign := func() (goldeneye.CampaignConfig, error) {
+		f, err := goldeneye.ParseFormat(*format)
+		if err != nil {
+			return goldeneye.CampaignConfig{}, err
+		}
+		cfg := goldeneye.CampaignConfig{
+			Format:         f,
+			Injections:     *n,
+			Seed:           *seed,
+			Layer:          *layer,
+			BatchSize:      *packBatch,
+			UseRanger:      *ranger,
+			EmulateNetwork: true,
+			MaxAborts:      *maxAborts,
+		}
+		if *detectors != "" {
+			if cfg.Detectors, err = goldeneye.ParseDetectors(*detectors); err != nil {
+				return goldeneye.CampaignConfig{}, err
+			}
+			if cfg.Recovery, err = goldeneye.ParseRecovery(*recovery); err != nil {
+				return goldeneye.CampaignConfig{}, err
+			}
+		}
+		switch *site {
+		case "value":
+			cfg.Site = inject.SiteValue
+		case "metadata":
+			cfg.Site = inject.SiteMetadata
+		default:
+			return goldeneye.CampaignConfig{}, fmt.Errorf("unknown site %q", *site)
+		}
+		switch *target {
+		case "neuron":
+			cfg.Target = inject.TargetNeuron
+		case "weight":
+			cfg.Target = inject.TargetWeight
+		default:
+			return goldeneye.CampaignConfig{}, fmt.Errorf("unknown target %q", *target)
+		}
+		return cfg, nil
+	}
+
+	// Remote submission needs no local model: the daemon resolves the
+	// model, pool, and default layer on its side.
+	if cmd == "inject" && *serverURL != "" {
+		cfg, err := buildCampaign()
+		if err != nil {
+			return err
+		}
+		return runRemoteInject(ctx, *serverURL, *model, *samples, *batch, *workers, cfg, *progress)
+	}
+
 	m, ds, err := zoo.Pretrained(*model)
 	if err != nil {
 		return err
@@ -137,7 +195,11 @@ func run(ctx context.Context, args []string) error {
 	if nVal > ds.ValLen() {
 		nVal = ds.ValLen()
 	}
-	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, nVal), ds.ValY[:nVal], *batch)
+	evalBatch := *batch
+	if evalBatch > nVal {
+		evalBatch = nVal
+	}
+	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, nVal), ds.ValY[:nVal], evalBatch)
 	if err != nil {
 		return err
 	}
@@ -164,51 +226,16 @@ func run(ctx context.Context, args []string) error {
 		return nil
 
 	case "inject":
-		f, err := goldeneye.ParseFormat(*format)
+		cfg, err := buildCampaign()
 		if err != nil {
 			return err
 		}
-		cfg := goldeneye.CampaignConfig{
-			Format:         f,
-			Injections:     *n,
-			Seed:           *seed,
-			Pool:           pool,
-			BatchSize:      *packBatch,
-			UseRanger:      *ranger,
-			EmulateNetwork: true,
-			MaxAborts:      *maxAborts,
-		}
-		if *detectors != "" {
-			if cfg.Detectors, err = goldeneye.ParseDetectors(*detectors); err != nil {
-				return err
-			}
-			if cfg.Recovery, err = goldeneye.ParseRecovery(*recovery); err != nil {
-				return err
-			}
-		}
-		switch *site {
-		case "value":
-			cfg.Site = inject.SiteValue
-		case "metadata":
-			cfg.Site = inject.SiteMetadata
-		default:
-			return fmt.Errorf("unknown site %q", *site)
-		}
-		switch *target {
-		case "neuron":
-			cfg.Target = inject.TargetNeuron
-		case "weight":
-			cfg.Target = inject.TargetWeight
-		default:
-			return fmt.Errorf("unknown target %q", *target)
-		}
-		cfg.Layer = *layer
+		cfg.Pool = pool
 		if cfg.Layer < 0 {
-			candidates := sim.InjectableLayers()
-			if cfg.Target == inject.TargetWeight {
-				candidates = sim.WeightedLayers()
+			cfg.Layer = sim.DefaultInjectionLayer(cfg.Target)
+			if cfg.Layer < 0 {
+				return fmt.Errorf("model %s has no injectable layers for target %s", *model, cfg.Target)
 			}
-			cfg.Layer = candidates[len(candidates)/2]
 		}
 		cfg.Metrics = reg
 		if *progress {
@@ -236,26 +263,7 @@ func run(ctx context.Context, args []string) error {
 				return err
 			}
 		}
-		fmt.Printf("model=%s format=%s layer=%d site=%s target=%s injections=%d\n",
-			*model, f.Name(), cfg.Layer, cfg.Site, cfg.Target, rep.Injections)
-		fmt.Printf("mean ΔLoss:    %.5f (±%.5f at 95%%)\n", rep.MeanDeltaLoss(), rep.DeltaLoss.CI95())
-		fmt.Printf("mismatch rate: %.4f (%d/%d)\n", rep.MismatchRate(), rep.Mismatches, rep.Injections)
-		fmt.Printf("non-finite:    %d\n", rep.NonFinite)
-		if rep.Aborted > 0 {
-			fmt.Printf("aborted:       %d (degraded mode)\n", rep.Aborted)
-		}
-		if len(cfg.Detectors) > 0 {
-			fmt.Printf("detected:      %d (coverage %.3f, recovery %s, recovered %.3f)\n",
-				rep.Detected, rep.DetectionCoverage(), cfg.Recovery, rep.RecoveryRate())
-			for _, spec := range cfg.Detectors {
-				st := rep.PerDetector[spec.Kind]
-				fmt.Printf("  %-9s detections=%d recovered=%d false-positives=%d/%d\n",
-					spec.Kind, st.Detections, st.Recovered, st.FalsePositives, st.FaultFreeRuns)
-			}
-		}
-		if rep.Interrupted {
-			fmt.Fprintln(os.Stderr, "goldeneye: campaign interrupted; the report covers the completed injections")
-		}
+		printInjectReport(*model, rep)
 		return nil
 
 	case "dse":
@@ -281,4 +289,87 @@ func run(ctx context.Context, args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// printInjectReport renders a campaign report from its own resolved
+// configuration, so local and remote runs print identically.
+func printInjectReport(model string, rep *goldeneye.CampaignReport) {
+	cfg := rep.Config
+	fmt.Printf("model=%s format=%s layer=%d site=%s target=%s injections=%d\n",
+		model, cfg.Format.Name(), cfg.Layer, cfg.Site, cfg.Target, rep.Injections)
+	fmt.Printf("mean ΔLoss:    %.5f (±%.5f at 95%%)\n", rep.MeanDeltaLoss(), rep.DeltaLoss.CI95())
+	fmt.Printf("mismatch rate: %.4f (%d/%d)\n", rep.MismatchRate(), rep.Mismatches, rep.Injections)
+	fmt.Printf("non-finite:    %d\n", rep.NonFinite)
+	if rep.Aborted > 0 {
+		fmt.Printf("aborted:       %d (degraded mode)\n", rep.Aborted)
+	}
+	if len(cfg.Detectors) > 0 {
+		fmt.Printf("detected:      %d (coverage %.3f, recovery %s, recovered %.3f)\n",
+			rep.Detected, rep.DetectionCoverage(), cfg.Recovery, rep.RecoveryRate())
+		for _, spec := range cfg.Detectors {
+			st := rep.PerDetector[spec.Kind]
+			fmt.Printf("  %-9s detections=%d recovered=%d false-positives=%d/%d\n",
+				spec.Kind, st.Detections, st.Recovered, st.FalsePositives, st.FaultFreeRuns)
+		}
+	}
+	if rep.Interrupted {
+		fmt.Fprintln(os.Stderr, "goldeneye: campaign interrupted; the report covers the completed injections")
+	}
+}
+
+// runRemoteInject submits the campaign to a goldeneyed daemon, follows its
+// SSE progress stream, and prints the final report. SIGINT cancels the
+// remote job before returning, so an interrupted submission doesn't leave
+// the daemon running an orphan campaign.
+func runRemoteInject(ctx context.Context, base, model string, samples, batch, workers int, cfg goldeneye.CampaignConfig, showProgress bool) error {
+	if samples > 0 && batch > samples {
+		batch = samples // same clamp the local path applies to its pool
+	}
+	spec := &server.JobSpec{
+		Model:     model,
+		Samples:   samples,
+		EvalBatch: batch,
+		Workers:   workers,
+		Campaign:  cfg,
+	}
+	c := client.New(base)
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if st.State == server.JobDone {
+		rep, rerr := c.Report(ctx, st.ID)
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Fprintf(os.Stderr, "job %s served from %s cache\n", st.ID, base)
+		printInjectReport(model, rep)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "submitted job %s to %s\n", st.ID, base)
+
+	var onProgress func(server.JobStatus)
+	if showProgress {
+		onProgress = func(p server.JobStatus) {
+			fmt.Fprintf(os.Stderr, "\rinject %d/%d (%s) mismatches=%d detected=%d",
+				p.Done, p.Total, p.State, p.Mismatches, p.Detected)
+		}
+	}
+	rep, err := c.Stream(ctx, st.ID, onProgress)
+	if showProgress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// Local interrupt: stop the remote job too, off the dying ctx.
+			cancelCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if cerr := c.Cancel(cancelCtx, st.ID); cerr == nil {
+				fmt.Fprintf(os.Stderr, "goldeneye: interrupted; cancelled remote job %s\n", st.ID)
+			}
+		}
+		return err
+	}
+	printInjectReport(model, rep)
+	return nil
 }

@@ -1,0 +1,86 @@
+// Command goldeneyed is the GoldenEye campaign service daemon: it serves
+// the internal/server job API over HTTP, running fault-injection campaigns
+// from a bounded queue with SSE progress streaming, a persistent
+// content-addressed result cache, and Prometheus metrics.
+//
+// Usage:
+//
+//	goldeneyed -addr localhost:7726 -cache-dir /var/lib/goldeneye/cache
+//
+// On SIGINT/SIGTERM the daemon drains: running campaigns finish (bounded
+// by -drain-timeout) and their results are persisted before exit, so a
+// rolling restart never discards completed work.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"goldeneye/internal/server"
+	"goldeneye/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:7726", "listen address")
+		queue        = flag.Int("queue", 16, "job queue bound (full queue answers 429)")
+		jobs         = flag.Int("jobs", 1, "concurrent campaign jobs")
+		campWorkers  = flag.Int("campaign-workers", 1, "default per-job campaign parallelism")
+		cacheDir     = flag.String("cache-dir", "", "persist the result cache here (empty = in-memory only)")
+		zooDir       = flag.String("zoo-dir", "", "pre-trained model cache directory (empty = default)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "how long SIGTERM waits for running jobs before cancelling them")
+	)
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	svc, err := server.New(server.Options{
+		QueueSize:       *queue,
+		Jobs:            *jobs,
+		CampaignWorkers: *campWorkers,
+		CacheDir:        *cacheDir,
+		ZooDir:          *zooDir,
+		Registry:        reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldeneyed:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldeneyed:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: svc}
+	fmt.Printf("goldeneyed listening on http://%s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("goldeneyed: %s, draining (timeout %s)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "goldeneyed: drain:", err)
+		}
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		httpSrv.Shutdown(shutCtx)
+		fmt.Println("goldeneyed: drained, exiting")
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "goldeneyed:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,29 @@
+package goldeneye
+
+import "fmt"
+
+// ConfigError reports an invalid simulator or campaign configuration — an
+// empty evaluation pool, a batch size exceeding the pool, a missing format.
+// Entry points (NewSimulator, NewEvalPool, RunCampaign and friends) return
+// it instead of letting the bad value panic somewhere downstream, so callers
+// — in particular the campaign service, which accepts configurations over
+// the network — can distinguish "your request is malformed" from "the
+// campaign failed".
+type ConfigError struct {
+	// Field names the configuration field at fault ("Pool", "BatchSize",
+	// "Format", ...).
+	Field string
+
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("goldeneye: invalid %s: %s", e.Field, e.Reason)
+}
+
+// configErrf builds a ConfigError with a formatted reason.
+func configErrf(field, format string, args ...interface{}) *ConfigError {
+	return &ConfigError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}

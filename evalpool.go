@@ -1,8 +1,6 @@
 package goldeneye
 
 import (
-	"fmt"
-
 	"goldeneye/internal/tensor"
 )
 
@@ -28,24 +26,30 @@ type EvalPool struct {
 	Batch int
 }
 
-// NewEvalPool validates and builds an evaluation pool.
+// NewEvalPool validates and builds an evaluation pool. Beyond the rules
+// every pool consumer enforces (see validate), the constructor also rejects
+// a batch geometry larger than the pool itself — a sweep can never fill
+// such a batch. Validation failures are *ConfigError values.
 func NewEvalPool(x *tensor.Tensor, y []int, batch int) (*EvalPool, error) {
 	p := &EvalPool{X: x, Y: y, Batch: batch}
 	if err := p.validate(); err != nil {
 		return nil, err
+	}
+	if batch > p.Len() {
+		return nil, configErrf("Pool.Batch", "batch %d exceeds the pool's %d samples", batch, p.Len())
 	}
 	return p, nil
 }
 
 func (p *EvalPool) validate() error {
 	if p.X == nil || p.X.Dim(0) == 0 {
-		return fmt.Errorf("goldeneye: evaluation pool needs at least one sample")
+		return &ConfigError{Field: "Pool", Reason: "evaluation pool needs at least one sample"}
 	}
 	if p.X.Dim(0) != len(p.Y) {
-		return fmt.Errorf("goldeneye: evaluation pool has %d inputs but %d labels", p.X.Dim(0), len(p.Y))
+		return configErrf("Pool", "evaluation pool has %d inputs but %d labels", p.X.Dim(0), len(p.Y))
 	}
 	if p.Batch < 0 {
-		return fmt.Errorf("goldeneye: evaluation pool batch %d is negative", p.Batch)
+		return configErrf("Pool.Batch", "evaluation pool batch %d is negative", p.Batch)
 	}
 	return nil
 }

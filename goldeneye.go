@@ -48,8 +48,6 @@
 package goldeneye
 
 import (
-	"fmt"
-
 	"goldeneye/internal/detect"
 	"goldeneye/internal/inject"
 	"goldeneye/internal/metrics"
@@ -134,10 +132,28 @@ type Simulator struct {
 // Wrap prepares model for simulation. sample provides the model's input
 // geometry: any batch size is accepted, and layer structure plus per-layer
 // output sizes are traced on a row-0 view (so a full validation tensor can
-// be passed directly).
+// be passed directly). Wrap panics on an invalid sample; NewSimulator is
+// the checked variant for untrusted inputs (e.g. network-submitted jobs).
 func Wrap(model nn.Module, sample *tensor.Tensor) *Simulator {
+	s, err := NewSimulator(model, sample)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSimulator is Wrap with the validation surfaced as a *ConfigError
+// instead of a panic: the sample must be non-nil and carry at least one
+// row.
+func NewSimulator(model nn.Module, sample *tensor.Tensor) (*Simulator, error) {
+	if model == nil {
+		return nil, &ConfigError{Field: "Model", Reason: "simulator needs a model"}
+	}
+	if sample == nil {
+		return nil, &ConfigError{Field: "Sample", Reason: "Wrap sample needs at least one row, got nil"}
+	}
 	if sample.Dim(0) < 1 {
-		panic(fmt.Sprintf("goldeneye: Wrap sample needs at least one row, got %v", sample.Shape()))
+		return nil, configErrf("Sample", "Wrap sample needs at least one row, got %v", sample.Shape())
 	}
 	if sample.Dim(0) > 1 {
 		sample = sample.Slice(0, 1)
@@ -157,7 +173,7 @@ func Wrap(model nn.Module, sample *tensor.Tensor) *Simulator {
 	ctx.SetVisitor(func(m nn.Module, info nn.LayerInfo) { s.modules[info.Index] = m })
 	nn.Forward(ctx, model, sample)
 	s.widx = inject.IndexModules(model, s.layers)
-	return s
+	return s, nil
 }
 
 // detectTarget is the model view handed to detector constructors.
@@ -191,6 +207,22 @@ func (s *Simulator) InjectableLayers() []int {
 // WeightedLayers returns the visit indices of layers carrying a weight
 // parameter (candidates for weight-targeted faults).
 func (s *Simulator) WeightedLayers() []int { return s.widx.WeightedLayers() }
+
+// DefaultInjectionLayer returns the conventional default layer for a
+// campaign that did not pin one (CampaignConfig.Layer < 0): the middle
+// injectable layer for neuron targets, the middle weighted layer for weight
+// targets — the heuristic the CLI and the campaign service share. Returns
+// -1 if the model exposes no candidate layer.
+func (s *Simulator) DefaultInjectionLayer(target inject.Target) int {
+	candidates := s.InjectableLayers()
+	if target == inject.TargetWeight {
+		candidates = s.WeightedLayers()
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[len(candidates)/2]
+}
 
 // EmulationConfig selects how a number format is applied to the model.
 type EmulationConfig struct {

@@ -58,6 +58,13 @@ type Cell struct {
 	// checkpoints load unchanged.
 	Recovered int                              `json:"recovered,omitempty"`
 	Detectors map[string]metrics.DetectorStats `json:"detectors,omitempty"`
+
+	// Config optionally embeds the producing configuration in its wire
+	// encoding. The campaign service stores the fully resolved config here
+	// so a cache hit can return it verbatim (e.g. with the server-selected
+	// injection layer, not the submitted -1 sentinel); sweep cells leave it
+	// empty.
+	Config json.RawMessage `json:"config,omitempty"`
 }
 
 // Sidecar returns a path alongside the store's cells for auxiliary
@@ -124,6 +131,22 @@ func (s *Store) Load(key string) (*Cell, error) {
 		return nil, nil
 	}
 	return &c, nil
+}
+
+// LoadMatching returns the checkpoint for key only when it exists and was
+// produced by the configuration fingerprinted by hash; a missing, stale, or
+// corrupt cell comes back nil. It is the lookup both the experiment sweeps
+// and the campaign service's result cache use, so "same parameters resume /
+// hit, changed parameters re-run" behaves identically everywhere.
+func (s *Store) LoadMatching(key string, hash uint64) (*Cell, error) {
+	cell, err := s.Load(key)
+	if err != nil || cell == nil {
+		return nil, err
+	}
+	if cell.ConfigHash != hash {
+		return nil, nil
+	}
+	return cell, nil
 }
 
 // Save atomically writes the checkpoint for c.Key: the JSON is written to a

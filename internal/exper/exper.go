@@ -158,10 +158,12 @@ func paperName(model string) string {
 	}
 }
 
-// cellHash fingerprints the campaign parameters that determine a cell's
+// CellHash fingerprints the campaign parameters that determine a cell's
 // deterministic result; a persisted cell whose hash differs (sweep re-run
-// with different flags) is discarded instead of resumed.
-func cellHash(cfg goldeneye.CampaignConfig) uint64 {
+// with different flags) is discarded instead of resumed. The campaign
+// service keys its content-addressed result cache with the same hash, so
+// identical jobs are served from cache instead of re-running.
+func CellHash(cfg goldeneye.CampaignConfig) uint64 {
 	// BatchSize stays out of the hash on purpose: batched campaigns are
 	// bit-identical to serial, so a cell computed at one batch size resumes
 	// correctly at any other.
@@ -199,12 +201,12 @@ func runCell(ctx context.Context, sim *goldeneye.Simulator, key string, cfg gold
 	if st == nil || cfg.KeepTrace {
 		return sim.RunCampaign(ctx, cfg)
 	}
-	hash := cellHash(cfg)
-	cell, err := st.Load(key)
+	hash := CellHash(cfg)
+	cell, err := st.LoadMatching(key, hash)
 	if err != nil {
 		return nil, err
 	}
-	if cell != nil && cell.ConfigHash == hash {
+	if cell != nil {
 		if cell.Done {
 			return &goldeneye.CampaignReport{
 				CampaignResult: cell.Result,

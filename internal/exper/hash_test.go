@@ -49,7 +49,7 @@ func TestCellHashPinned(t *testing.T) {
 		},
 	}
 	for _, tc := range cases {
-		if got := cellHash(tc.cfg); got != tc.want {
+		if got := CellHash(tc.cfg); got != tc.want {
 			t.Errorf("%s: cellHash = %#x, pinned %#x", tc.name, got, tc.want)
 		}
 	}
@@ -73,7 +73,7 @@ func TestCellHashDetectorsDistinguish(t *testing.T) {
 	withRanger.Detectors = specs
 	withAbort := withRanger
 	withAbort.Recovery = goldeneye.RecoverAbort
-	h0, h1, h2 := cellHash(base), cellHash(withRanger), cellHash(withAbort)
+	h0, h1, h2 := CellHash(base), CellHash(withRanger), CellHash(withAbort)
 	if h0 == h1 || h1 == h2 || h0 == h2 {
 		t.Fatalf("detector configs must produce distinct hashes: %#x %#x %#x", h0, h1, h2)
 	}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"goldeneye"
+	"goldeneye/internal/checkpoint"
+)
+
+// resultCache is the service's content-addressed result store. Keys are
+// derived from everything that determines a job's bit-exact report (model,
+// pool geometry, worker count, and the campaign cell fingerprint), so a hit
+// is by construction the same report the job would recompute. A hot
+// in-memory map fronts an optional checkpoint.Store, which also makes
+// results survive daemon restarts; the disk layer reuses the sweep cell
+// format, so `cmd/experiments`-style tooling can read service results too.
+type resultCache struct {
+	mem   map[string]*goldeneye.CampaignReport
+	store *checkpoint.Store // nil = memory-only
+}
+
+func newResultCache(dir string) (*resultCache, error) {
+	c := &resultCache{mem: make(map[string]*goldeneye.CampaignReport)}
+	if dir != "" {
+		st, err := checkpoint.Open(dir)
+		if err != nil {
+			return nil, err
+		}
+		c.store = st
+	}
+	return c, nil
+}
+
+// get returns the cached report for key, or nil. Callers serialize access
+// (the server holds its mutex); reports are treated as immutable once
+// cached, so returning the shared pointer is safe.
+func (c *resultCache) get(key string, hash uint64) *goldeneye.CampaignReport {
+	if rep, ok := c.mem[key]; ok {
+		return rep
+	}
+	if c.store == nil {
+		return nil
+	}
+	cell, err := c.store.LoadMatching(key, hash)
+	if err != nil || cell == nil || !cell.Done {
+		return nil
+	}
+	rep := &goldeneye.CampaignReport{
+		CampaignResult: cell.Result,
+		Detected:       cell.Detected,
+		Aborted:        cell.Aborted,
+		Recovered:      cell.Recovered,
+		PerDetector:    cell.Detectors,
+	}
+	if len(cell.Config) > 0 {
+		if err := json.Unmarshal(cell.Config, &rep.Config); err != nil {
+			return nil // config from a future schema or corrupted: treat as miss
+		}
+	}
+	c.mem[key] = rep
+	return rep
+}
+
+// put caches a completed report under key, persisting it when a store is
+// configured. The persisted cell embeds the resolved config so a future
+// daemon returns it verbatim on a hit.
+func (c *resultCache) put(key string, hash uint64, rep *goldeneye.CampaignReport) error {
+	c.mem[key] = rep
+	if c.store == nil {
+		return nil
+	}
+	cfgJSON, err := json.Marshal(rep.Config)
+	if err != nil {
+		return fmt.Errorf("server: encode cached config: %w", err)
+	}
+	return c.store.Save(&checkpoint.Cell{
+		Key:        key,
+		ConfigHash: hash,
+		Seed:       rep.Config.Seed,
+		Planned:    rep.Config.Injections,
+		Completed:  rep.Injections + rep.Aborted,
+		Done:       true,
+		Result:     rep.CampaignResult,
+		Detected:   rep.Detected,
+		Aborted:    rep.Aborted,
+		Recovered:  rep.Recovered,
+		Detectors:  rep.PerDetector,
+		Config:     cfgJSON,
+	})
+}

@@ -1,0 +1,266 @@
+// Package client is the typed Go client for the GoldenEye campaign
+// service (internal/server). It submits jobs, follows their SSE progress
+// streams, and decodes completed CampaignReports — which arrive
+// bit-identical to a local run with the same seed and worker count, since
+// the wire encodings round-trip the Welford accumulators exactly.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"goldeneye"
+	"goldeneye/internal/server"
+)
+
+// QueueFullError reports a submission rejected with 429 because the
+// daemon's job queue is full; RetryAfter carries the server's backoff
+// hint.
+type QueueFullError struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("%s (retry after %s)", e.Message, e.RetryAfter)
+}
+
+// APIError is a non-2xx response other than queue rejection.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("campaign service: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Client talks to one campaign daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://localhost:7726"). The underlying http.Client carries no timeout:
+// SSE streams stay open for the life of a job, so deadlines belong on the
+// caller's context.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// Submit posts a job and returns its accepted status. A full queue comes
+// back as *QueueFullError; invalid specs as *APIError with the daemon's
+// 400 reason. When the daemon answers from its result cache, the returned
+// status is already terminal (State done, Cached true).
+func (c *Client) Submit(ctx context.Context, spec *server.JobSpec) (*server.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := 2 * time.Second
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return nil, &QueueFullError{RetryAfter: retry, Message: errorMessage(resp)}
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: errorMessage(resp)}
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("client: decode submit response: %w", err)
+	}
+	return &st, nil
+}
+
+// Job fetches one job's current status.
+func (c *Client) Job(ctx context.Context, id string) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Report fetches a completed job's campaign report.
+func (c *Client) Report(ctx context.Context, id string) (*goldeneye.CampaignReport, error) {
+	var rep goldeneye.CampaignReport
+	if err := c.getJSON(ctx, "/v1/jobs/"+id+"/report", &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: resp.StatusCode, Message: errorMessage(resp)}
+	}
+	return nil
+}
+
+// Stream follows a job's SSE progress stream until it is terminal. Every
+// progress snapshot is handed to onProgress (may be nil); the returned
+// report is non-nil exactly when the job completed (the "done" event
+// carries the full report, so no extra round trip happens). A failed job
+// returns an *APIError with the daemon's failure reason; a cancelled job
+// returns ErrCancelled.
+func (c *Client) Stream(ctx context.Context, id string, onProgress func(server.JobStatus)) (*goldeneye.CampaignReport, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: errorMessage(resp)}
+	}
+
+	sc := newEventScanner(resp.Body)
+	for {
+		event, data, err := sc.next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("client: event stream ended without a terminal event")
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch event {
+		case "progress":
+			if onProgress != nil {
+				var st server.JobStatus
+				if json.Unmarshal(data, &st) == nil {
+					onProgress(st)
+				}
+			}
+		case "done":
+			var rep goldeneye.CampaignReport
+			if err := json.Unmarshal(data, &rep); err != nil {
+				return nil, fmt.Errorf("client: decode report: %w", err)
+			}
+			return &rep, nil
+		case "failed":
+			var st server.JobStatus
+			msg := string(data)
+			if json.Unmarshal(data, &st) == nil && st.Error != "" {
+				msg = st.Error
+			}
+			return nil, &APIError{StatusCode: http.StatusInternalServerError, Message: msg}
+		case "cancelled":
+			return nil, ErrCancelled
+		}
+	}
+}
+
+// ErrCancelled reports a streamed job that terminated by cancellation.
+var ErrCancelled = fmt.Errorf("client: job cancelled")
+
+// Run submits a job and follows it to completion, returning the final
+// report. Cache hits return immediately without opening a stream.
+func (c *Client) Run(ctx context.Context, spec *server.JobSpec, onProgress func(server.JobStatus)) (*goldeneye.CampaignReport, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if st.State == server.JobDone {
+		return c.Report(ctx, st.ID)
+	}
+	return c.Stream(ctx, st.ID, onProgress)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: resp.StatusCode, Message: errorMessage(resp)}
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// errorMessage extracts the daemon's {"error": ...} payload, falling back
+// to the raw body.
+func errorMessage(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// eventScanner parses SSE frames: "event:"/"data:" field lines separated
+// by blank-line dispatch, per the WHATWG EventSource framing.
+type eventScanner struct {
+	r *bufio.Reader
+}
+
+func newEventScanner(r io.Reader) *eventScanner {
+	return &eventScanner{r: bufio.NewReader(r)}
+}
+
+// next returns the following complete event. Multi-line data fields are
+// joined with newlines; comment lines (leading ':') are skipped.
+func (s *eventScanner) next() (event string, data []byte, err error) {
+	var dataLines [][]byte
+	for {
+		line, err := s.r.ReadString('\n')
+		if err != nil {
+			return "", nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if event != "" || len(dataLines) > 0 {
+				return event, bytes.Join(dataLines, []byte("\n")), nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / keep-alive
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			dataLines = append(dataLines, []byte(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")))
+		}
+	}
+}

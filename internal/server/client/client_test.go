@@ -1,0 +1,162 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"goldeneye"
+	"goldeneye/internal/inject"
+	"goldeneye/internal/server"
+	"goldeneye/internal/server/client"
+	"goldeneye/internal/zoo"
+)
+
+func startDaemon(t *testing.T, opts server.Options) (*server.Server, *client.Client) {
+	t.Helper()
+	if opts.StreamInterval == 0 {
+		opts.StreamInterval = 10 * time.Millisecond
+	}
+	s, err := server.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, client.New(ts.URL)
+}
+
+// TestRemoteEqualsLocal is the service's core guarantee: a job submitted
+// through the client against a live daemon produces a CampaignReport
+// bit-identical to calling RunCampaignParallel directly with the same
+// seed and worker count — including detector outcomes — because both
+// sides derive the pool deterministically and the wire encodings
+// round-trip the Welford accumulators exactly.
+func TestRemoteEqualsLocal(t *testing.T) {
+	f, err := goldeneye.ParseFormat("fp16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	detectors, err := goldeneye.ParseDetectors("ranger,sentinel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovery, err := goldeneye.ParseRecovery("clamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers   = 2
+		samples   = 16
+		evalBatch = 8
+	)
+	cfg := goldeneye.CampaignConfig{
+		Format:     f,
+		Injections: 6,
+		Seed:       11,
+		Layer:      1,
+		Site:       inject.SiteValue,
+		Target:     inject.TargetNeuron,
+		Detectors:  detectors,
+		Recovery:   recovery,
+	}
+
+	// Local reference run.
+	localCfg := cfg
+	model, ds, err := zoo.Pretrained("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, samples), ds.ValY[:samples], evalBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localCfg.Pool = pool
+	sim, err := goldeneye.NewSimulator(model, ds.ValX.Slice(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sim
+	local, err := goldeneye.RunCampaignParallel(context.Background(), localCfg, workers,
+		func() (*goldeneye.Simulator, error) {
+			if s := first; s != nil {
+				first = nil
+				return s, nil
+			}
+			m, d, err := zoo.Pretrained("mlp")
+			if err != nil {
+				return nil, err
+			}
+			return goldeneye.NewSimulator(m, d.ValX.Slice(0, 1))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote run through the full client → HTTP → daemon → SSE path.
+	_, c := startDaemon(t, server.Options{})
+	var sawProgress bool
+	remote, err := c.Run(context.Background(), &server.JobSpec{
+		Model:     "mlp",
+		Samples:   samples,
+		EvalBatch: evalBatch,
+		Workers:   workers,
+		Campaign:  cfg,
+	}, func(server.JobStatus) { sawProgress = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawProgress {
+		t.Error("stream delivered no progress snapshots")
+	}
+
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteJSON, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localJSON, remoteJSON) {
+		t.Errorf("remote report differs from local:\nlocal:  %s\nremote: %s", localJSON, remoteJSON)
+	}
+	if remote.Detected != local.Detected || remote.Recovered != local.Recovered {
+		t.Errorf("detector outcomes differ: remote %d/%d, local %d/%d",
+			remote.Detected, remote.Recovered, local.Detected, local.Recovered)
+	}
+	for kind, want := range local.PerDetector {
+		if got := remote.PerDetector[kind]; got != want {
+			t.Errorf("detector %s: remote %+v, local %+v", kind, got, want)
+		}
+	}
+}
+
+// TestClientErrors covers the typed error paths: queue rejection carries
+// the Retry-After hint, invalid specs surface the daemon's 400 reason.
+func TestClientErrors(t *testing.T) {
+	srv, c := startDaemon(t, server.Options{QueueSize: 1, RetryAfter: 3 * time.Second})
+	_ = srv
+
+	f, _ := goldeneye.ParseFormat("fp16")
+	bad := &server.JobSpec{Model: "nope", Campaign: goldeneye.CampaignConfig{Format: f, Injections: 1}}
+	_, err := c.Submit(context.Background(), bad)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Errorf("unknown model: want 400 APIError, got %v", err)
+	}
+
+	_, err = c.Job(context.Background(), "job-424242")
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Errorf("unknown job: want 404 APIError, got %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"goldeneye"
+	"goldeneye/internal/telemetry"
+)
+
+// job is one submitted campaign moving through the service lifecycle. Its
+// immutable identity (id, cache key, spec) is set at submission; mutable
+// state lives behind mu except the injection-progress counter, which the
+// campaign engine's Progress callback stores atomically so SSE snapshots
+// never contend with workers.
+type job struct {
+	id   string
+	key  string
+	hash uint64
+	spec *JobSpec
+
+	// cfg is the live campaign configuration. The worker overwrites it once
+	// with the fully resolved version (default layer filled in, detector
+	// cache paths attached) before the run starts; reads go through
+	// snapshotCfg.
+	cfg goldeneye.CampaignConfig
+
+	// workers is the resolved parallel worker count.
+	workers int
+
+	// detectors names the armed detection pipeline, for per-detector SSE
+	// counters.
+	detectors []string
+
+	// reg is the job's private telemetry registry; the campaign engine
+	// feeds it and snapshots read it. Keeping it per-job means counters
+	// start at zero for every job and cannot bleed between jobs.
+	reg *telemetry.Registry
+
+	// done counts executed injections, stored by the Progress callback.
+	done atomic.Int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// finished closes exactly once when the job reaches a terminal state;
+	// SSE streams and tests select on it.
+	finished chan struct{}
+
+	mu     sync.Mutex
+	state  JobState
+	cached bool
+	report *goldeneye.CampaignReport
+	err    error
+}
+
+func newJob(id, key string, hash uint64, spec *JobSpec, workers int) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id:       id,
+		key:      key,
+		hash:     hash,
+		spec:     spec,
+		cfg:      spec.Campaign,
+		workers:  workers,
+		reg:      telemetry.NewRegistry(),
+		ctx:      ctx,
+		cancel:   cancel,
+		finished: make(chan struct{}),
+		state:    JobQueued,
+	}
+}
+
+// setRunning transitions a queued job to running; it reports false when the
+// job already reached a terminal state (cancelled while queued), in which
+// case the worker must skip it.
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	return true
+}
+
+// setResolved records the fully resolved campaign configuration the run
+// will execute (server-side layer selection applied).
+func (j *job) setResolved(cfg goldeneye.CampaignConfig, detectors []string) {
+	j.mu.Lock()
+	j.cfg = cfg
+	j.detectors = detectors
+	j.mu.Unlock()
+}
+
+func (j *job) snapshotCfg() goldeneye.CampaignConfig {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cfg
+}
+
+// finish moves the job to a terminal state exactly once, reporting whether
+// this call made the transition; later calls are ignored (a cancel racing
+// completion keeps whichever landed first).
+func (j *job) finish(state JobState, rep *goldeneye.CampaignReport, err error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.report = rep
+	j.err = err
+	if state == JobDone {
+		j.done.Store(int64(j.cfg.Injections))
+	}
+	close(j.finished)
+	return true
+}
+
+// terminalState returns the job's state if terminal, or "" while it is
+// still queued/running.
+func (j *job) terminalState() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return j.state
+	}
+	return ""
+}
+
+// result returns the terminal report and error (nil report for failed or
+// cancelled-before-completion jobs).
+func (j *job) result() (*goldeneye.CampaignReport, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report, j.err
+}
+
+// snapshot assembles the job's observable state for the status endpoint
+// and the SSE stream. Counter reads are lock-free; the registry creates
+// absent counters at zero, so a snapshot of a queued job is all zeros.
+func (j *job) snapshot() JobStatus {
+	j.mu.Lock()
+	state := j.state
+	cached := j.cached
+	detectors := j.detectors
+	total := j.cfg.Injections
+	var errText string
+	if j.err != nil {
+		errText = j.err.Error()
+	}
+	j.mu.Unlock()
+
+	st := JobStatus{
+		ID:     j.id,
+		State:  state,
+		Model:  j.spec.Model,
+		Cached: cached,
+		Done:   int(j.done.Load()),
+		Total:  total,
+		Error:  errText,
+	}
+	st.Mismatches = j.reg.Counter(goldeneye.MetricCampaignMismatches).Value()
+	st.Detected = j.reg.Counter(goldeneye.MetricCampaignDetected).Value()
+	st.Aborted = j.reg.Counter(goldeneye.MetricCampaignAborted).Value()
+	if len(detectors) > 0 {
+		st.PerDetector = make(map[string]int64, len(detectors))
+		for _, name := range detectors {
+			st.PerDetector[name] = j.reg.Counter(
+				telemetry.Label(goldeneye.MetricCampaignDetections, "detector", name)).Value()
+		}
+	}
+	return st
+}

@@ -1,0 +1,515 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goldeneye"
+	"goldeneye/internal/checkpoint"
+	"goldeneye/internal/detect"
+	"goldeneye/internal/exper"
+	"goldeneye/internal/telemetry"
+	"goldeneye/internal/zoo"
+)
+
+// Service-level metric names, exposed on /metrics next to the engine's
+// campaign metrics (see internal/telemetry/README.md for the inventory).
+const (
+	MetricQueueDepth    = "goldeneye_server_queue_depth"
+	MetricJobsInFlight  = "goldeneye_server_jobs_inflight"
+	MetricJobsTotal     = "goldeneye_server_jobs_total" // labeled state="done|failed|cancelled"
+	MetricSubmissions   = "goldeneye_server_submissions_total"
+	MetricRejected      = "goldeneye_server_rejected_total"
+	MetricCacheHits     = "goldeneye_server_cache_hits_total"
+	MetricCacheMisses   = "goldeneye_server_cache_misses_total"
+	MetricCacheHitRatio = "goldeneye_server_cache_hit_ratio"
+	MetricCacheErrors   = "goldeneye_server_cache_errors_total"
+)
+
+// Options configures a campaign service.
+type Options struct {
+	// QueueSize bounds how many submitted jobs may wait for a worker
+	// (default 16). A full queue rejects submissions with 429 and a
+	// Retry-After hint rather than buffering without bound.
+	QueueSize int
+
+	// Jobs is the worker-pool size: how many campaigns run concurrently
+	// (default 1).
+	Jobs int
+
+	// CampaignWorkers is the per-job parallel worker count applied when a
+	// spec leaves Workers unset (default 1, the serial-identical path).
+	CampaignWorkers int
+
+	// CacheDir persists completed results through internal/checkpoint so
+	// the cache survives daemon restarts ("" = in-memory cache only).
+	CacheDir string
+
+	// ZooDir overrides the pre-trained model cache location ("" = the zoo
+	// default).
+	ZooDir string
+
+	// Registry receives the service metrics (nil = a fresh registry).
+	Registry *telemetry.Registry
+
+	// RetryAfter is the hint returned with 429 responses (default 2s).
+	RetryAfter time.Duration
+
+	// StreamInterval is the SSE progress sampling period (default 200ms).
+	StreamInterval time.Duration
+
+	// MaxBodyBytes bounds submission bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (o *Options) withDefaults() {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 16
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 1
+	}
+	if o.CampaignWorkers <= 0 {
+		o.CampaignWorkers = 1
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.NewRegistry()
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 2 * time.Second
+	}
+	if o.StreamInterval <= 0 {
+		o.StreamInterval = 200 * time.Millisecond
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+}
+
+// Server is the campaign service: an http.Handler exposing the job API,
+// with a bounded queue drained by a fixed worker pool.
+//
+//	POST /v1/jobs             submit a JobSpec → JobStatus (202, or 200 on cache hit)
+//	GET  /v1/jobs             list job statuses
+//	GET  /v1/jobs/{id}        one job's status
+//	GET  /v1/jobs/{id}/report the completed CampaignReport
+//	GET  /v1/jobs/{id}/events SSE progress stream until terminal
+//	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /healthz             liveness + drain state
+//	GET  /metrics             Prometheus exposition (internal/telemetry)
+//	GET  /metrics.json        JSON exposition
+//	GET  /debug/pprof/        pprof handlers
+type Server struct {
+	opts  Options
+	reg   *telemetry.Registry
+	cache *resultCache
+	mux   *http.ServeMux
+
+	queue chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	draining bool
+	closed   bool
+
+	wg  sync.WaitGroup
+	seq atomic.Int64
+
+	queueDepth  *telemetry.Gauge
+	inflight    *telemetry.Gauge
+	submissions *telemetry.Counter
+	rejected    *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+	hitRatio    *telemetry.Gauge
+	cacheErrors *telemetry.Counter
+
+	// beforeRun, when non-nil, runs on the worker goroutine after a job
+	// turns running and before the campaign executes. Test seam: lets the
+	// queue-full and cancellation tests hold a worker at a known point.
+	beforeRun func(*job)
+}
+
+// New builds a campaign service and starts its worker pool. Callers serve
+// it with net/http and stop it with Shutdown.
+func New(opts Options) (*Server, error) {
+	opts.withDefaults()
+	cache, err := newResultCache(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:  opts,
+		reg:   opts.Registry,
+		cache: cache,
+		queue: make(chan *job, opts.QueueSize),
+		jobs:  make(map[string]*job),
+
+		queueDepth:  opts.Registry.Gauge(MetricQueueDepth),
+		inflight:    opts.Registry.Gauge(MetricJobsInFlight),
+		submissions: opts.Registry.Counter(MetricSubmissions),
+		rejected:    opts.Registry.Counter(MetricRejected),
+		cacheHits:   opts.Registry.Counter(MetricCacheHits),
+		cacheMisses: opts.Registry.Counter(MetricCacheMisses),
+		hitRatio:    opts.Registry.Gauge(MetricCacheHitRatio),
+		cacheErrors: opts.Registry.Counter(MetricCacheErrors),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	tm := telemetry.Mux(s.reg)
+	s.mux.Handle("/metrics", tm)
+	s.mux.Handle("/metrics.json", tm)
+	s.mux.Handle("/debug/pprof/", tm)
+
+	s.wg.Add(opts.Jobs)
+	for i := 0; i < opts.Jobs; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the service: no new submissions are accepted, still-
+// queued jobs are cancelled, and running jobs are allowed to complete (and
+// their results cached) before it returns. If ctx expires first, running
+// jobs are cancelled through the campaign engine's context machinery and
+// Shutdown returns ctx.Err after they unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.closed = true
+	// Submissions send on the queue only while holding mu with draining
+	// false, so closing here cannot race a send.
+	close(s.queue)
+	queued := make([]*job, 0)
+	for _, id := range s.order {
+		queued = append(queued, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range queued {
+		s.cancelIfQueued(j)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.queueDepth.Set(float64(len(s.queue)))
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	if !j.setRunning() {
+		return // cancelled while queued
+	}
+	s.inflight.Add(1)
+	if f := s.beforeRun; f != nil {
+		f(j)
+	}
+	rep, err := s.execute(j)
+	s.inflight.Add(-1)
+	switch {
+	case err == nil:
+		s.finishJob(j, JobDone, rep, nil)
+		s.mu.Lock()
+		perr := s.cache.put(j.key, j.hash, rep)
+		s.mu.Unlock()
+		if perr != nil {
+			s.cacheErrors.Inc()
+		}
+	case j.ctx.Err() != nil:
+		s.finishJob(j, JobCancelled, rep, err)
+	default:
+		s.finishJob(j, JobFailed, nil, err)
+	}
+}
+
+// execute resolves the job's model and pool and runs the campaign. The
+// recover mirrors the campaign engine's own panic isolation one level up:
+// a panicking model resolution or setup fails the job, never the daemon.
+func (s *Server) execute(j *job) (rep *goldeneye.CampaignReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("server: job %s panicked: %v", j.id, r)
+		}
+	}()
+
+	dir := s.opts.ZooDir
+	if dir == "" {
+		dir = zoo.DefaultDir()
+	}
+	model, ds, err := zoo.PretrainedIn(dir, j.spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	n := min(j.spec.PoolSamples(), ds.ValLen())
+	// The spec is validated against its requested pool size, but the
+	// dataset may be smaller; clamp the batch to the realized pool.
+	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, n), ds.ValY[:n], min(j.spec.EvalBatch, n))
+	if err != nil {
+		return nil, err
+	}
+	scout, err := goldeneye.NewSimulator(model, ds.ValX.Slice(0, 1))
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := j.cfg
+	cfg.Pool = pool
+	cfg.Metrics = j.reg
+	cfg.Progress = func(done, total int) { j.done.Store(int64(done)) }
+	if cfg.Layer < 0 {
+		cfg.Layer = scout.DefaultInjectionLayer(cfg.Target)
+		if cfg.Layer < 0 {
+			return nil, &goldeneye.ConfigError{Field: "Campaign.Layer",
+				Reason: fmt.Sprintf("model %s has no injectable layers for target %v", j.spec.Model, cfg.Target)}
+		}
+	}
+	if s.cache.store != nil {
+		for i := range cfg.Detectors {
+			if cfg.Detectors[i].Kind == "ranger" && cfg.Detectors[i].CachePath == "" {
+				cfg.Detectors[i].CachePath = s.cache.store.Sidecar(j.key, ".ranger.json")
+			}
+		}
+	}
+	j.setResolved(cfg, detect.Names(cfg.Detectors))
+
+	// The scout simulator doubles as the first campaign worker's; extra
+	// workers rebuild from the zoo's gob cache, matching how local callers
+	// use RunCampaignParallel.
+	var first atomic.Pointer[goldeneye.Simulator]
+	first.Store(scout)
+	build := func() (*goldeneye.Simulator, error) {
+		if sim := first.Swap(nil); sim != nil {
+			return sim, nil
+		}
+		m, berr := zoo.PretrainedOn(dir, j.spec.Model, ds)
+		if berr != nil {
+			return nil, berr
+		}
+		return goldeneye.NewSimulator(m, ds.ValX.Slice(0, 1))
+	}
+	return goldeneye.RunCampaignParallel(j.ctx, cfg, j.workers, build)
+}
+
+// finishJob applies a terminal transition and counts it once.
+func (s *Server) finishJob(j *job, state JobState, rep *goldeneye.CampaignReport, err error) {
+	if j.finish(state, rep, err) {
+		s.reg.Counter(telemetry.Label(MetricJobsTotal, "state", string(state))).Inc()
+	}
+}
+
+// cancelIfQueued terminates a still-queued job immediately (so waiters see
+// the terminal state without waiting for a worker) and cancels the job
+// context either way; a running job unwinds through the campaign engine.
+func (s *Server) cancelIfQueued(j *job) {
+	j.mu.Lock()
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if queued {
+		s.finishJob(j, JobCancelled, nil, errors.New("server: job cancelled while queued"))
+	}
+	j.cancel()
+}
+
+// jobHash fingerprints everything that determines a job's bit-exact
+// report: the model, pool geometry, parallel worker count (Welford merge
+// order depends on it), and the campaign cell fingerprint shared with the
+// experiment sweeps.
+func jobHash(spec *JobSpec, workers int) uint64 {
+	return checkpoint.HashConfig(
+		spec.Model, spec.PoolSamples(), spec.EvalBatch, workers,
+		exper.CellHash(spec.Campaign),
+	)
+}
+
+func (s *Server) nextID() string {
+	return fmt.Sprintf("job-%06d", s.seq.Add(1))
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	spec, err := DecodeJobSpec(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.submissions.Inc()
+	workers := spec.Workers
+	if workers == 0 {
+		workers = s.opts.CampaignWorkers
+	}
+	hash := jobHash(spec, workers)
+	key := fmt.Sprintf("%s/%016x", spec.Model, hash)
+
+	s.mu.Lock()
+	if rep := s.cache.get(key, hash); rep != nil {
+		s.cacheHits.Inc()
+		s.updateHitRatio()
+		j := newJob(s.nextID(), key, hash, spec, workers)
+		j.cached = true
+		j.cfg = rep.Config
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.mu.Unlock()
+		s.finishJob(j, JobDone, rep, nil)
+		writeJSON(w, http.StatusOK, j.snapshot())
+		return
+	}
+	s.cacheMisses.Inc()
+	s.updateHitRatio()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, errors.New("server: draining, not accepting jobs"))
+		return
+	}
+	j := newJob(s.nextID(), key, hash, spec, workers)
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queueDepth.Set(float64(len(s.queue)))
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+	default:
+		s.rejected.Inc()
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server: job queue full (%d waiting)", s.opts.QueueSize))
+	}
+}
+
+// updateHitRatio refreshes the cache hit-ratio gauge; callers hold mu.
+func (s *Server) updateHitRatio() {
+	hits, misses := s.cacheHits.Value(), s.cacheMisses.Value()
+	if total := hits + misses; total > 0 {
+		s.hitRatio.Set(float64(hits) / float64(total))
+	}
+}
+
+// jobFor resolves the {id} path value, answering 404 itself on a miss.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("server: unknown job %q", id))
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	statuses := make([]JobStatus, 0, len(s.order))
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		statuses = append(statuses, j.snapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": statuses})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	if j.terminalState() != JobDone {
+		st := j.snapshot()
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("server: job %s has no report (state=%s)", j.id, st.State))
+		return
+	}
+	rep, _ := j.result()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	s.cancelIfQueued(j)
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	njobs := len(s.jobs)
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":        status,
+		"jobs":          njobs,
+		"queue_depth":   len(s.queue),
+		"jobs_inflight": int(s.inflight.Value()),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleEvents streams a job's progress as Server-Sent Events until the
+// job is terminal or the client disconnects. The stream carries "progress"
+// events (JobStatus snapshots, deduplicated, sampled at StreamInterval)
+// fed by the campaign engine's Progress hook and the job's telemetry
+// counters, then exactly one terminal event:
+//
+//	event: done       data: the full CampaignReport
+//	event: failed     data: the final JobStatus (Error set)
+//	event: cancelled  data: the final JobStatus
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError,
+			fmt.Errorf("server: response writer cannot stream"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	var last []byte
+	emitProgress := func() {
+		data, err := json.Marshal(j.snapshot())
+		if err != nil || bytes.Equal(data, last) {
+			return
+		}
+		last = data
+		writeEvent(w, fl, "progress", data)
+	}
+	emitProgress()
+
+	tick := time.NewTicker(s.opts.StreamInterval)
+	defer tick.Stop()
+wait:
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.finished:
+			break wait
+		case <-tick.C:
+			emitProgress()
+		}
+	}
+
+	final := j.snapshot()
+	switch final.State {
+	case JobDone:
+		rep, _ := j.result()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			data, _ = json.Marshal(map[string]string{"error": err.Error()})
+			writeEvent(w, fl, "failed", data)
+			return
+		}
+		writeEvent(w, fl, "done", data)
+	case JobFailed:
+		data, _ := json.Marshal(final)
+		writeEvent(w, fl, "failed", data)
+	default:
+		data, _ := json.Marshal(final)
+		writeEvent(w, fl, "cancelled", data)
+	}
+}
+
+// writeEvent emits one SSE frame. Payloads are single-line JSON, so one
+// data: field suffices.
+func writeEvent(w http.ResponseWriter, fl http.Flusher, event string, data []byte) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	fl.Flush()
+}

@@ -6,22 +6,16 @@ import (
 	"net/http/pprof"
 )
 
-// ServeDebug starts an HTTP debug server on addr (e.g. "localhost:6060")
-// exposing the registry and the runtime profiler:
+// Mux returns the observability mux over reg:
 //
 //	/metrics        Prometheus text exposition
 //	/metrics.json   JSON exposition
 //	/debug/pprof/   net/http/pprof index (profile, heap, trace, ...)
 //
-// It returns the bound address (useful with a ":0" port) and a shutdown
-// function. The server runs until shutdown is called or the process exits;
-// serving errors after a successful bind are discarded, matching the
-// fire-and-forget role of a debug endpoint.
-func ServeDebug(addr string, reg *Registry) (boundAddr string, shutdown func() error, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
+// ServeDebug serves exactly this mux; servers with their own routing (the
+// campaign daemon) mount it alongside their API instead of running a
+// second listener.
+func Mux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -36,8 +30,20 @@ func ServeDebug(addr string, reg *Registry) (boundAddr string, shutdown func() e
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
-	srv := &http.Server{Handler: mux}
+// ServeDebug starts an HTTP debug server on addr (e.g. "localhost:6060")
+// serving Mux(reg). It returns the bound address (useful with a ":0" port)
+// and a shutdown function. The server runs until shutdown is called or the
+// process exits; serving errors after a successful bind are discarded,
+// matching the fire-and-forget role of a debug endpoint.
+func ServeDebug(addr string, reg *Registry) (boundAddr string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Mux(reg)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -1,0 +1,258 @@
+package goldeneye
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"goldeneye/internal/detect"
+	"goldeneye/internal/inject"
+	"goldeneye/internal/metrics"
+)
+
+// ConfigSchemaVersion is the version stamped into the JSON encodings of
+// CampaignConfig and CampaignReport. Decoders accept any version up to the
+// current one and reject newer documents, so a daemon never silently
+// misreads a job submitted by a newer client.
+const ConfigSchemaVersion = 1
+
+// detectorJSON is the wire shape of one detector declaration. Only the
+// declarative fields travel: a Spec's CachePath is a local filesystem
+// detail and New is code — neither belongs on the network.
+type detectorJSON struct {
+	Kind   string  `json:"kind"`
+	Margin float64 `json:"margin,omitempty"`
+}
+
+// campaignConfigJSON is the stable wire shape of a CampaignConfig. The
+// runtime-only fields — Pool (tensor data the consumer attaches), Metrics,
+// Resume, Progress — are deliberately excluded, so encode→decode→encode is
+// byte-identical and a config can travel between processes.
+type campaignConfigJSON struct {
+	Version           int            `json:"version"`
+	Format            string         `json:"format,omitempty"`
+	Site              string         `json:"site,omitempty"`
+	Target            string         `json:"target,omitempty"`
+	FaultKind         string         `json:"fault_kind,omitempty"`
+	Layer             int            `json:"layer"`
+	Injections        int            `json:"injections"`
+	FlipsPerInjection int            `json:"flips_per_injection,omitempty"`
+	Seed              uint64         `json:"seed"`
+	BatchSize         int            `json:"batch_size,omitempty"`
+	UseRanger         bool           `json:"use_ranger,omitempty"`
+	EmulateNetwork    bool           `json:"emulate_network,omitempty"`
+	QuantizeWeights   bool           `json:"quantize_weights,omitempty"`
+	KeepTrace         bool           `json:"keep_trace,omitempty"`
+	MeasureDMR        bool           `json:"measure_dmr,omitempty"`
+	MaxAborts         int            `json:"max_aborts,omitempty"`
+	Detectors         []detectorJSON `json:"detectors,omitempty"`
+	Recovery          string         `json:"recovery,omitempty"`
+}
+
+// MarshalJSON encodes the campaign configuration in its stable, versioned
+// wire shape. The format travels as its ParseFormat-compatible name, sites
+// and targets as their flag spellings. Configurations carrying a custom
+// detector factory (Spec.New) cannot be serialized.
+func (c CampaignConfig) MarshalJSON() ([]byte, error) {
+	w := campaignConfigJSON{
+		Version:           ConfigSchemaVersion,
+		Layer:             c.Layer,
+		Injections:        c.Injections,
+		FlipsPerInjection: c.FlipsPerInjection,
+		Seed:              c.Seed,
+		BatchSize:         c.BatchSize,
+		UseRanger:         c.UseRanger,
+		EmulateNetwork:    c.EmulateNetwork,
+		QuantizeWeights:   c.QuantizeWeights,
+		KeepTrace:         c.KeepTrace,
+		MeasureDMR:        c.MeasureDMR,
+		MaxAborts:         c.MaxAborts,
+	}
+	if c.Format != nil {
+		w.Format = c.Format.Name()
+	}
+	if c.Site != 0 {
+		w.Site = c.Site.String()
+	}
+	if c.Target != 0 {
+		w.Target = c.Target.String()
+	}
+	if c.FaultKind != inject.KindFlip {
+		w.FaultKind = c.FaultKind.String()
+	}
+	for _, d := range c.Detectors {
+		if d.New != nil {
+			return nil, fmt.Errorf("goldeneye: detector with a custom factory is not serializable")
+		}
+		w.Detectors = append(w.Detectors, detectorJSON{Kind: d.Kind, Margin: d.Margin})
+	}
+	if c.Recovery != detect.PolicyNone {
+		w.Recovery = c.Recovery.String()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes a configuration encoded by MarshalJSON, parsing the
+// format specification and detector declarations back into live values. The
+// runtime-only fields (Pool, Metrics, Resume, Progress) come back zero; the
+// consumer attaches them. Documents stamped with a newer schema version are
+// rejected.
+func (c *CampaignConfig) UnmarshalJSON(data []byte) error {
+	var w campaignConfigJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Version > ConfigSchemaVersion {
+		return fmt.Errorf("goldeneye: campaign config schema v%d is newer than supported v%d",
+			w.Version, ConfigSchemaVersion)
+	}
+	out := CampaignConfig{
+		Layer:             w.Layer,
+		Injections:        w.Injections,
+		FlipsPerInjection: w.FlipsPerInjection,
+		Seed:              w.Seed,
+		BatchSize:         w.BatchSize,
+		UseRanger:         w.UseRanger,
+		EmulateNetwork:    w.EmulateNetwork,
+		QuantizeWeights:   w.QuantizeWeights,
+		KeepTrace:         w.KeepTrace,
+		MeasureDMR:        w.MeasureDMR,
+		MaxAborts:         w.MaxAborts,
+	}
+	var err error
+	if w.Format != "" {
+		if out.Format, err = ParseFormat(w.Format); err != nil {
+			return err
+		}
+	}
+	if out.Site, err = parseSite(w.Site); err != nil {
+		return err
+	}
+	if out.Target, err = parseTarget(w.Target); err != nil {
+		return err
+	}
+	if out.FaultKind, err = parseFaultKind(w.FaultKind); err != nil {
+		return err
+	}
+	for _, d := range w.Detectors {
+		specs, serr := detect.ParseSpecs(d.Kind)
+		if serr != nil {
+			return serr
+		}
+		if len(specs) != 1 {
+			return fmt.Errorf("goldeneye: empty detector kind in campaign config")
+		}
+		specs[0].Margin = d.Margin
+		out.Detectors = append(out.Detectors, specs[0])
+	}
+	if w.Recovery != "" {
+		if out.Recovery, err = detect.ParsePolicy(w.Recovery); err != nil {
+			return err
+		}
+	}
+	*c = out
+	return nil
+}
+
+// parseSite maps a wire site spelling back to its value; "" is the zero
+// site (campaigns treat it as SiteValue's absence, matching the Go zero
+// value of an unset config).
+func parseSite(s string) (inject.Site, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "value":
+		return inject.SiteValue, nil
+	case "metadata":
+		return inject.SiteMetadata, nil
+	default:
+		return 0, fmt.Errorf("goldeneye: unknown injection site %q", s)
+	}
+}
+
+// parseTarget maps a wire target spelling back to its value.
+func parseTarget(s string) (inject.Target, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "neuron":
+		return inject.TargetNeuron, nil
+	case "weight":
+		return inject.TargetWeight, nil
+	default:
+		return 0, fmt.Errorf("goldeneye: unknown injection target %q", s)
+	}
+}
+
+// parseFaultKind maps a wire error-model spelling back to its value; both
+// "" and "flip" decode to the default transient flip.
+func parseFaultKind(s string) (inject.FaultKind, error) {
+	switch s {
+	case "", "flip":
+		return inject.KindFlip, nil
+	case "stuck-at-0":
+		return inject.KindStuckAt0, nil
+	case "stuck-at-1":
+		return inject.KindStuckAt1, nil
+	case "burst":
+		return inject.KindBurst, nil
+	default:
+		return 0, fmt.Errorf("goldeneye: unknown fault kind %q", s)
+	}
+}
+
+// campaignReportJSON is the stable wire shape of a CampaignReport, with the
+// embedded aggregate flattened into an explicit field so the encoding
+// cannot drift when the struct grows.
+type campaignReportJSON struct {
+	Version     int                              `json:"version"`
+	Result      metrics.CampaignResult           `json:"result"`
+	Config      CampaignConfig                   `json:"config"`
+	Trace       []InjectionOutcome               `json:"trace,omitempty"`
+	Detected    int                              `json:"detected"`
+	Recovered   int                              `json:"recovered,omitempty"`
+	PerDetector map[string]metrics.DetectorStats `json:"per_detector,omitempty"`
+	Aborted     int                              `json:"aborted,omitempty"`
+	Interrupted bool                             `json:"interrupted,omitempty"`
+}
+
+// MarshalJSON encodes the report in its stable, versioned wire shape. The
+// Welford accumulators serialize bit-exactly (see metrics.RunningStat), so
+// a report survives the network byte-identically — the campaign service
+// relies on this for its remote-equals-local guarantee.
+func (r CampaignReport) MarshalJSON() ([]byte, error) {
+	return json.Marshal(campaignReportJSON{
+		Version:     ConfigSchemaVersion,
+		Result:      r.CampaignResult,
+		Config:      r.Config,
+		Trace:       r.Trace,
+		Detected:    r.Detected,
+		Recovered:   r.Recovered,
+		PerDetector: r.PerDetector,
+		Aborted:     r.Aborted,
+		Interrupted: r.Interrupted,
+	})
+}
+
+// UnmarshalJSON decodes a report encoded by MarshalJSON, rejecting
+// documents stamped with a newer schema version.
+func (r *CampaignReport) UnmarshalJSON(data []byte) error {
+	var w campaignReportJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Version > ConfigSchemaVersion {
+		return fmt.Errorf("goldeneye: campaign report schema v%d is newer than supported v%d",
+			w.Version, ConfigSchemaVersion)
+	}
+	*r = CampaignReport{
+		CampaignResult: w.Result,
+		Config:         w.Config,
+		Trace:          w.Trace,
+		Detected:       w.Detected,
+		Recovered:      w.Recovered,
+		PerDetector:    w.PerDetector,
+		Aborted:        w.Aborted,
+		Interrupted:    w.Interrupted,
+	}
+	return nil
+}

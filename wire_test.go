@@ -1,0 +1,193 @@
+package goldeneye
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"goldeneye/internal/detect"
+	"goldeneye/internal/inject"
+)
+
+// wireConfigs spans the encodable configuration space: presets and generic
+// format geometries, every site/target/fault-kind spelling, detector
+// pipelines with recovery policies.
+func wireConfigs(t *testing.T) map[string]CampaignConfig {
+	t.Helper()
+	mustFormat := func(spec string) Format {
+		f, err := ParseFormat(spec)
+		if err != nil {
+			t.Fatalf("ParseFormat(%q): %v", spec, err)
+		}
+		return f
+	}
+	return map[string]CampaignConfig{
+		"minimal": {
+			Format:     mustFormat("fp16"),
+			Injections: 100,
+			Seed:       1,
+			Layer:      3,
+		},
+		"generic-format": {
+			Format:            mustFormat("bfp_e5m5_b16"),
+			Injections:        1000,
+			FlipsPerInjection: 2,
+			Seed:              42,
+			Layer:             7,
+			Site:              inject.SiteMetadata,
+			Target:            inject.TargetWeight,
+			FaultKind:         inject.KindStuckAt1,
+			BatchSize:         32,
+			UseRanger:         true,
+			EmulateNetwork:    true,
+			QuantizeWeights:   true,
+			MeasureDMR:        true,
+			MaxAborts:         5,
+		},
+		"nodenormal": {
+			Format:     mustFormat("fp_e4m3_nodn"),
+			Injections: 10,
+			Seed:       7,
+			Layer:      -1,
+			FaultKind:  inject.KindBurst,
+		},
+		"detectors": {
+			Format:     mustFormat("int8"),
+			Injections: 50,
+			Seed:       3,
+			Layer:      2,
+			Site:       inject.SiteValue,
+			Target:     inject.TargetNeuron,
+			Detectors: []detect.Spec{
+				{Kind: "ranger", Margin: 1.5},
+				{Kind: "sentinel"},
+			},
+			Recovery: detect.PolicyClamp,
+		},
+	}
+}
+
+// TestCampaignConfigRoundTrip pins the versioned wire contract: every field
+// that travels must survive encode→decode, and re-encoding the decoded
+// config must be byte-identical (the stability the campaign service's
+// content-addressed cache keys rely on).
+func TestCampaignConfigRoundTrip(t *testing.T) {
+	for name, cfg := range wireConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			data, err := json.Marshal(cfg)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if !bytes.Contains(data, []byte(`"version":1`)) {
+				t.Fatalf("encoding carries no version: %s", data)
+			}
+			var back CampaignConfig
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+
+			if back.Format.Name() != cfg.Format.Name() {
+				t.Errorf("Format: got %q, want %q", back.Format.Name(), cfg.Format.Name())
+			}
+			if back.Site != cfg.Site || back.Target != cfg.Target || back.FaultKind != cfg.FaultKind {
+				t.Errorf("site/target/kind: got %v/%v/%v, want %v/%v/%v",
+					back.Site, back.Target, back.FaultKind, cfg.Site, cfg.Target, cfg.FaultKind)
+			}
+			if back.Layer != cfg.Layer || back.Injections != cfg.Injections ||
+				back.FlipsPerInjection != cfg.FlipsPerInjection || back.Seed != cfg.Seed ||
+				back.BatchSize != cfg.BatchSize || back.MaxAborts != cfg.MaxAborts {
+				t.Errorf("scalar fields drifted: got %+v", back)
+			}
+			if back.UseRanger != cfg.UseRanger || back.EmulateNetwork != cfg.EmulateNetwork ||
+				back.QuantizeWeights != cfg.QuantizeWeights || back.MeasureDMR != cfg.MeasureDMR {
+				t.Errorf("flag fields drifted: got %+v", back)
+			}
+			if len(back.Detectors) != len(cfg.Detectors) {
+				t.Fatalf("detectors: got %d, want %d", len(back.Detectors), len(cfg.Detectors))
+			}
+			for i := range cfg.Detectors {
+				if back.Detectors[i].Kind != cfg.Detectors[i].Kind ||
+					back.Detectors[i].Margin != cfg.Detectors[i].Margin {
+					t.Errorf("detector %d: got %+v, want %+v", i, back.Detectors[i], cfg.Detectors[i])
+				}
+			}
+			if back.Recovery != cfg.Recovery {
+				t.Errorf("Recovery: got %v, want %v", back.Recovery, cfg.Recovery)
+			}
+
+			again, err := json.Marshal(back)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if !bytes.Equal(data, again) {
+				t.Errorf("encode→decode→encode not byte-stable:\n first: %s\nsecond: %s", data, again)
+			}
+		})
+	}
+}
+
+// TestCampaignReportRoundTrip checks the report wrapper survives the wire
+// byte-stably, including the bit-exact Welford accumulators.
+func TestCampaignReportRoundTrip(t *testing.T) {
+	cfg := wireConfigs(t)["detectors"]
+	rep := CampaignReport{
+		Config:   cfg,
+		Detected: 12,
+		Aborted:  1,
+	}
+	rep.Injections = 49
+	rep.Mismatches = 17
+	rep.DeltaLoss.Add(0.25)
+	rep.DeltaLoss.Add(-1.5)
+	rep.DeltaLoss.Add(3.75)
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back CampaignReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Injections != rep.Injections || back.Mismatches != rep.Mismatches ||
+		back.Detected != rep.Detected || back.Aborted != rep.Aborted {
+		t.Errorf("counters drifted: got %+v", back)
+	}
+	if back.DeltaLoss.Mean() != rep.DeltaLoss.Mean() {
+		t.Errorf("DeltaLoss mean not bit-exact: got %v, want %v",
+			back.DeltaLoss.Mean(), rep.DeltaLoss.Mean())
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("report encoding not byte-stable:\n first: %s\nsecond: %s", data, again)
+	}
+}
+
+// TestWireRejectsNewerVersions pins forward-compatibility behavior: a
+// daemon must refuse documents from a newer schema rather than misread
+// them.
+func TestWireRejectsNewerVersions(t *testing.T) {
+	var cfg CampaignConfig
+	err := json.Unmarshal([]byte(`{"version":99,"format":"fp16","injections":1,"seed":1,"layer":0}`), &cfg)
+	if err == nil || !strings.Contains(err.Error(), "newer than supported") {
+		t.Errorf("config: want newer-version rejection, got %v", err)
+	}
+	var rep CampaignReport
+	err = json.Unmarshal([]byte(`{"version":99,"result":{},"config":{"version":1,"layer":0,"injections":1,"seed":1}}`), &rep)
+	if err == nil || !strings.Contains(err.Error(), "newer than supported") {
+		t.Errorf("report: want newer-version rejection, got %v", err)
+	}
+}
+
+// TestWireRejectsCustomDetectorFactory: code-bearing specs must not travel.
+func TestWireRejectsCustomDetectorFactory(t *testing.T) {
+	cfg := wireConfigs(t)["minimal"]
+	cfg.Detectors = []detect.Spec{{Kind: "ranger", New: func(detect.Target) (detect.Detector, error) { return nil, nil }}}
+	if _, err := json.Marshal(cfg); err == nil {
+		t.Error("want marshal error for detector with custom factory")
+	}
+}
