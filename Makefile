@@ -24,6 +24,7 @@ check:
 		echo "staticcheck not installed; skipping (go vet still ran)"; fi
 	go test -shuffle=on ./...
 	go test -race $(RACE_PKGS)
+	$(MAKE) bench-smoke
 
 # Cancellation paths are the raciest part of the lifecycle: a cancel can
 # land while workers are mid-injection, mid-merge, or not yet started.
@@ -42,13 +43,30 @@ stress-detect:
 	go test -race -count=2 ./internal/detect
 
 # Campaign batching: benchstat-comparable sub-benchmarks (pipe two runs
-# into `benchstat old.txt new.txt`) plus a machine-readable speedup report
-# in BENCH_campaign.json (serial vs batched at paper scale, bit-identity
-# re-checked). `make bench-all` runs the full figure-by-figure sweep.
+# into `benchstat old.txt new.txt`) plus the machine-readable performance
+# matrix in BENCH_campaign.json — format family × kernel path × batch size
+# × GOMAXPROCS, bit-identity re-checked per row. `make bench-all` runs the
+# full figure-by-figure sweep; docs/PERFORMANCE.md explains the output.
 .PHONY: bench
 bench:
 	go test -run NONE -bench 'BenchmarkCampaignBatched' -benchmem -count 3 .
 	GOLDENEYE_BENCH_CAMPAIGN=BENCH_campaign.json go test -run TestCampaignBenchReport -v -timeout 30m .
+
+# Fast correctness slice of the matrix, wired into `make check`: a reduced
+# matrix whose only hard assertion is that every row stays bit-identical
+# to its family's serial generic reference. Throughput numbers from this
+# target are not meaningful; use `make bench` for those.
+.PHONY: bench-smoke
+bench-smoke:
+	GOLDENEYE_BENCH_CAMPAIGN=$${TMPDIR:-/tmp}/goldeneye_bench_smoke.json GOLDENEYE_BENCH_SMOKE=1 \
+		go test -run TestCampaignBenchReport .
+
+# Compare two matrix files: `make benchdiff OLD=old.json NEW=BENCH_campaign.json`.
+# Exits non-zero on a >10% injections/sec regression in any matching row,
+# or on any bit_identical=false row in the new file.
+.PHONY: benchdiff
+benchdiff:
+	go run ./cmd/benchdiff -old $(OLD) -new $(NEW)
 
 .PHONY: bench-all
 bench-all:

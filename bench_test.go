@@ -254,6 +254,7 @@ func BenchmarkCampaignBatched(b *testing.B) {
 		batch := batch
 		b.Run(fmt.Sprintf("batch_%d", batch), func(b *testing.B) {
 			const injections = 128
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, err := sim.RunCampaign(context.Background(), goldeneye.CampaignConfig{
 					Format:         numfmt.BFPe5m5(),
@@ -314,6 +315,36 @@ func BenchmarkFormatEmulate(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				f.Emulate(x)
+			}
+		})
+	}
+}
+
+// BenchmarkEmulateFusedVsGeneric pits each family's fused single-pass
+// kernel against the generic quantize→dequantize reference on the same
+// tensor — the per-element cost model docs/PERFORMANCE.md documents. The
+// two paths are bit-identical (FuzzEmulateFusedVsGeneric); throughput and
+// allocs/op are the only things that differ.
+func BenchmarkEmulateFusedVsGeneric(b *testing.B) {
+	formats := []numfmt.Format{
+		numfmt.FP16(true), numfmt.FxP16(), numfmt.INT8(),
+		numfmt.BFPe5m5(), numfmt.AFPe5m2(),
+	}
+	x := tensor.Randn(rng.New(1), 1, 64, 1024)
+	for _, f := range formats {
+		f := f
+		b.Run(f.Name()+"/fused", func(b *testing.B) {
+			b.SetBytes(int64(x.Len() * 4))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f.Emulate(x)
+			}
+		})
+		b.Run(f.Name()+"/generic", func(b *testing.B) {
+			b.SetBytes(int64(x.Len() * 4))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				numfmt.EmulateGeneric(f, x)
 			}
 		})
 	}

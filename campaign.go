@@ -384,6 +384,103 @@ type campaignRunner struct {
 	// cfg.Metrics). One per runner because the hook closure carries
 	// per-pass state; the histograms it feeds are shared and atomic.
 	timing *nn.HookSet
+
+	// scratch is this runner's reusable per-group storage (see
+	// campaignScratch). One per runner — a runner is single-threaded, and
+	// parallel workers each own a runner.
+	scratch *campaignScratch
+}
+
+// campaignArena pools the float32 buffers backing batched campaign inputs,
+// so back-to-back campaigns — format sweeps, the bench matrix, the job
+// server — reuse storage instead of re-allocating one input tensor per
+// injection group.
+var campaignArena = tensor.NewArena()
+
+// campaignScratch is a campaignRunner's reusable per-group storage. The
+// batched injection loop runs thousands of small groups; without the
+// scratch every group allocated its batch-input tensor, its fault sets,
+// and five bookkeeping slices, and those allocations dominate the loop
+// once the emulation kernels are fused. All fields are sized once for the
+// runner's pack batch and resliced per group.
+//
+// Aliasing rule: fault rows handed out by faultRow alias faultBuf, and the
+// outcome Extra field aliases those rows. Any outcome that outlives its
+// injection group — i.e. anything appended to a report's Trace — must go
+// through traceCopy first.
+type campaignScratch struct {
+	rowLen    int                    // elements per pool-input row
+	xbBuf     []float32              // arena-backed storage behind every xb view
+	xb        map[int]*tensor.Tensor // row count → cached view over xbBuf
+	yb        []int
+	idx       []int
+	samples   []int
+	faultBuf  []inject.Fault // batch×flips backing store for fault rows
+	faultsets [][]inject.Fault
+	outs      []InjectionOutcome
+	errs      []error
+}
+
+// newCampaignScratch sizes a scratch for groups of up to batch rows drawn
+// from pool input x, with flips faults per row.
+func newCampaignScratch(x *tensor.Tensor, batch, flips int) *campaignScratch {
+	rowLen := x.Len() / x.Dim(0)
+	return &campaignScratch{
+		rowLen:    rowLen,
+		xbBuf:     campaignArena.Get(batch * rowLen),
+		xb:        make(map[int]*tensor.Tensor, 2),
+		yb:        make([]int, batch),
+		idx:       make([]int, batch),
+		samples:   make([]int, batch),
+		faultBuf:  make([]inject.Fault, batch*flips),
+		faultsets: make([][]inject.Fault, batch),
+		outs:      make([]InjectionOutcome, batch),
+		errs:      make([]error, batch),
+	}
+}
+
+// faultRow returns the k-th reusable fault row (flips faults long). The
+// row is overwritten when a later group reuses slot k.
+func (sc *campaignScratch) faultRow(k, flips int) []inject.Fault {
+	return sc.faultBuf[k*flips : (k+1)*flips]
+}
+
+// gather fills and returns the cached batch-input view for samples: the
+// selected rows of x copied into arena-backed storage, wrapped once per
+// distinct row count (a campaign sees at most two — the full batch and the
+// final partial group). The view is valid until the next gather call.
+func (sc *campaignScratch) gather(x *tensor.Tensor, samples []int) *tensor.Tensor {
+	rows := len(samples)
+	xb := sc.xb[rows]
+	if xb == nil {
+		shape := append([]int{rows}, x.Shape()[1:]...)
+		xb = tensor.Wrap(sc.xbBuf[:rows*sc.rowLen], shape...)
+		sc.xb[rows] = xb
+	}
+	tensor.GatherRowsInto(xb, x, samples)
+	return xb
+}
+
+// release returns the arena-backed storage to the pool. The scratch, and
+// every tensor view it handed out, must not be used afterwards.
+func (sc *campaignScratch) release() {
+	if sc == nil || sc.xbBuf == nil {
+		return
+	}
+	campaignArena.Put(sc.xbBuf)
+	sc.xbBuf = nil
+	sc.xb = nil
+}
+
+// traceCopy returns out with its Extra fault slice deep-copied. Outcomes
+// headed for a report's Trace outlive the injection group that produced
+// them, while Extra aliases the runner's reused fault scratch (and, on the
+// parallel path, the shared pre-drawn sequence the next resume may reuse).
+func traceCopy(out InjectionOutcome) InjectionOutcome {
+	if len(out.Extra) > 0 {
+		out.Extra = append([]inject.Fault(nil), out.Extra...)
+	}
+	return out
 }
 
 // campaignGeometry validates cfg against the simulator and returns the
@@ -524,6 +621,9 @@ func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaig
 		}
 		calSpan.End()
 	}
+	// Allocated last so the fail() paths above never strand a pooled
+	// buffer; close() returns it to the arena.
+	r.scratch = newCampaignScratch(pool.X, r.batch, flips)
 	return r, nil
 }
 
@@ -600,15 +700,23 @@ func (r *campaignRunner) detectorBaseline() map[string]metrics.DetectorStats {
 	return m
 }
 
-func (r *campaignRunner) close() { r.backup.Restore() }
+func (r *campaignRunner) close() {
+	r.backup.Restore()
+	r.scratch.release()
+}
 
+// baseHooks assembles the serial-pass emulation hook. The hook carries the
+// format's fused-kernel epilogue (tensor-wide metadata axis), so Conv2D and
+// Linear emulate their outputs in the producing pass when the hook is
+// first in line; the whole-tensor Emulate closure remains the fallback and
+// the two are pinned bit-identical.
 func (r *campaignRunner) baseHooks() *nn.HookSet {
 	h := nn.NewHookSet()
 	if r.cfg.EmulateNetwork {
 		format := r.cfg.Format
-		h.PostForward(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		h.PostForwardEpilogue(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
 			return format.Emulate(t)
-		})
+		}, numfmt.EmulateEpilogue(format, numfmt.AxisTensor))
 	}
 	return h
 }
@@ -616,14 +724,15 @@ func (r *campaignRunner) baseHooks() *nn.HookSet {
 // batchHooks is baseHooks for batched passes: network emulation runs
 // per batch row (numfmt.AxisBatch), so each row's metadata — INT scale,
 // AFP bias, BFP shared exponents — is computed from that row alone and the
-// row stays bit-identical to its batch-1 inference.
+// row stays bit-identical to its batch-1 inference. The fused epilogue
+// applies the per-row kernel on the layer output in place.
 func (r *campaignRunner) batchHooks() *nn.HookSet {
 	h := nn.NewHookSet()
 	if r.cfg.EmulateNetwork {
 		format := r.cfg.Format
-		h.PostForward(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+		h.PostForwardEpilogue(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
 			return numfmt.EmulateBatched(format, t)
-		})
+		}, numfmt.EmulateEpilogue(format, numfmt.AxisBatch))
 	}
 	return h
 }
@@ -654,14 +763,21 @@ func newFaultDrawer(cfg *CampaignConfig, elems, flips int) *faultDrawer {
 	return &faultDrawer{src: rng.New(cfg.Seed), cfg: cfg, elems: elems, flips: flips}
 }
 
-// next produces the next injection's fault set.
+// next produces the next injection's fault set in fresh storage.
 func (d *faultDrawer) next() []inject.Fault {
 	faults := make([]inject.Fault, d.flips)
-	for j := range faults {
-		faults[j] = inject.RandomFault(d.src, d.cfg.Format, d.cfg.Layer, d.elems, d.cfg.Site, d.cfg.Target)
-		faults[j].Kind = d.cfg.FaultKind
-	}
+	d.nextInto(faults)
 	return faults
+}
+
+// nextInto draws the next injection's fault set into dst (len d.flips),
+// consuming exactly the RNG stream next would — the allocation-free form
+// the batched loop uses with its scratch rows.
+func (d *faultDrawer) nextInto(dst []inject.Fault) {
+	for j := range dst {
+		dst[j] = inject.RandomFault(d.src, d.cfg.Format, d.cfg.Layer, d.elems, d.cfg.Site, d.cfg.Target)
+		dst[j].Kind = d.cfg.FaultKind
+	}
 }
 
 // abortedOutcome is the trace placeholder for an injection whose inference
@@ -803,8 +919,14 @@ func (r *campaignRunner) runIsolated(shard, injection int, faults []inject.Fault
 // execution, which reproduces the non-aborting rows bit-identically and
 // confines the abort to the offending injection(s).
 func (r *campaignRunner) runBatch(shard int, idx []int, faultsets [][]inject.Fault, samples []int) ([]InjectionOutcome, []error) {
-	outs := make([]InjectionOutcome, len(idx))
-	errs := make([]error, len(idx))
+	// Scratch-backed: valid until the runner's next runBatch call, which is
+	// after the caller has folded them into its report.
+	outs := r.scratch.outs[:len(idx)]
+	errs := r.scratch.errs[:len(idx)]
+	for k := range outs {
+		outs[k] = InjectionOutcome{}
+		errs[k] = nil
+	}
 	serially := func() {
 		for k := range idx {
 			outs[k], errs[k] = r.runIsolated(shard, idx[k], faultsets[k], samples[k])
@@ -830,8 +952,8 @@ func (r *campaignRunner) tryRunBatch(faultsets [][]inject.Fault, samples []int, 
 	}()
 	cfg := r.cfg
 	rows := len(samples)
-	xb := tensor.Gather0(r.pool.X, samples)
-	yb := make([]int, len(samples))
+	xb := r.scratch.gather(r.pool.X, samples)
+	yb := r.scratch.yb[:rows]
 	for k, s := range samples {
 		yb[k] = r.pool.Y[s]
 	}
@@ -976,7 +1098,7 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 	// A resumed campaign replays the prefix of the deterministic sequence
 	// without executing it; the prefix still counts as progress.
 	for i := 0; i < skip; i++ {
-		drawer.next()
+		drawer.nextInto(runner.scratch.faultRow(0, runner.flips))
 	}
 	if cfg.Progress != nil && skip > 0 {
 		cfg.Progress(skip, cfg.Injections)
@@ -991,12 +1113,13 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 			hi = cfg.Injections
 		}
 		rows := hi - base
-		idx := make([]int, rows)
-		faultsets := make([][]inject.Fault, rows)
-		samples := make([]int, rows)
+		idx := runner.scratch.idx[:rows]
+		faultsets := runner.scratch.faultsets[:rows]
+		samples := runner.scratch.samples[:rows]
 		for k := 0; k < rows; k++ {
 			idx[k] = base + k
-			faultsets[k] = drawer.next()
+			faultsets[k] = runner.scratch.faultRow(k, runner.flips)
+			drawer.nextInto(faultsets[k])
 			samples[k] = (base + k) % n
 		}
 		start := time.Now()
@@ -1020,7 +1143,7 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 				report.Aborted++
 				ct.recordAborted()
 				if cfg.KeepTrace {
-					report.Trace = append(report.Trace, outs[k])
+					report.Trace = append(report.Trace, traceCopy(outs[k]))
 				}
 				if cfg.MaxAborts > 0 && report.Aborted > cfg.MaxAborts {
 					return report, fmt.Errorf("goldeneye: %d aborted injections exceed MaxAborts=%d: %w",
@@ -1039,7 +1162,7 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 				ct.recordDetections(out.DetectedBy, false)
 				report.recordDetections(out)
 				if cfg.KeepTrace {
-					report.Trace = append(report.Trace, out)
+					report.Trace = append(report.Trace, traceCopy(out))
 				}
 				continue
 			}
@@ -1054,7 +1177,7 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 			}
 			report.recordDetections(out)
 			if cfg.KeepTrace {
-				report.Trace = append(report.Trace, out)
+				report.Trace = append(report.Trace, traceCopy(out))
 			}
 		}
 	}
@@ -1223,8 +1346,8 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 					hi = len(mine)
 				}
 				idx := mine[base:hi]
-				faultsets := make([][]inject.Fault, len(idx))
-				samples := make([]int, len(idx))
+				faultsets := runner.scratch.faultsets[:len(idx)]
+				samples := runner.scratch.samples[:len(idx)]
 				for k, i := range idx {
 					faultsets[k] = allFaults[i]
 					samples[k] = i % n
@@ -1248,7 +1371,7 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 						ct.recordAborted()
 						rep.Aborted++
 						if cfg.KeepTrace {
-							rep.Trace = append(rep.Trace, outs[k])
+							rep.Trace = append(rep.Trace, traceCopy(outs[k]))
 						}
 						if cfg.MaxAborts > 0 && total > int64(cfg.MaxAborts) {
 							shards[w].report = rep
@@ -1270,7 +1393,7 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 						ct.recordDetections(out.DetectedBy, false)
 						rep.recordDetections(out)
 						if cfg.KeepTrace {
-							rep.Trace = append(rep.Trace, out)
+							rep.Trace = append(rep.Trace, traceCopy(out))
 						}
 						continue
 					}
@@ -1288,7 +1411,7 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 					}
 					rep.recordDetections(out)
 					if cfg.KeepTrace {
-						rep.Trace = append(rep.Trace, out)
+						rep.Trace = append(rep.Trace, traceCopy(out))
 					}
 				}
 			}

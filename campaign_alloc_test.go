@@ -1,0 +1,99 @@
+package goldeneye
+
+import (
+	"context"
+	"testing"
+
+	"goldeneye/internal/inject"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/tensor"
+	"goldeneye/internal/zoo"
+)
+
+// The arena + scratch contract of the batched injection loop: once the
+// runner is warmed up, the per-group bookkeeping — drawing fault sets,
+// gathering the batch input tensor, and reslicing the outcome buffers —
+// performs zero heap allocations. This is the regression pin for the
+// "eliminate per-injection tensor allocation" half of the fused-kernel
+// work; the forward pass itself still allocates its layer outputs.
+func TestBatchedLoopBookkeepingAllocFree(t *testing.T) {
+	model, ds, err := zoo.Pretrained("mlp")
+	if err != nil {
+		t.Fatalf("zoo: %v", err)
+	}
+	sim := Wrap(model, ds.ValX.Slice(0, 1))
+	pool, err := NewEvalPool(ds.ValX.Slice(0, 8), ds.ValY[:8], 0)
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	cfg := CampaignConfig{
+		Format:         numfmt.INT8(),
+		Site:           inject.SiteValue,
+		Target:         inject.TargetNeuron,
+		Layer:          sim.InjectableLayers()[0],
+		Injections:     16,
+		Seed:           3,
+		Pool:           pool,
+		BatchSize:      4,
+		EmulateNetwork: true,
+	}
+	runner, err := sim.newRunner(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("newRunner: %v", err)
+	}
+	defer runner.close()
+
+	drawer := newFaultDrawer(&cfg, runner.elems, runner.flips)
+	rows := runner.batch
+	n := pool.Len()
+	samples := runner.scratch.samples[:rows]
+	// Warm-up: the per-row-count input view is cached lazily on first use.
+	for k := 0; k < rows; k++ {
+		samples[k] = k
+	}
+	runner.scratch.gather(pool.X, samples)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		idx := runner.scratch.idx[:rows]
+		faultsets := runner.scratch.faultsets[:rows]
+		samples := runner.scratch.samples[:rows]
+		for k := 0; k < rows; k++ {
+			idx[k] = k
+			faultsets[k] = runner.scratch.faultRow(k, runner.flips)
+			drawer.nextInto(faultsets[k])
+			samples[k] = k % n
+		}
+		runner.scratch.gather(pool.X, samples)
+		outs := runner.scratch.outs[:rows]
+		errs := runner.scratch.errs[:rows]
+		for k := range outs {
+			outs[k] = InjectionOutcome{}
+			errs[k] = nil
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched-loop bookkeeping allocates %.1f objects per group, want 0", allocs)
+	}
+}
+
+// Runner scratch buffers must return to the shared arena on close, so the
+// next campaign (same geometry) reuses the storage instead of allocating.
+func TestCampaignScratchReturnsToArena(t *testing.T) {
+	x := tensor.New(4, 8)
+	sc := newCampaignScratch(x, 4, 1)
+	if len(sc.xbBuf) != 4*8 {
+		t.Fatalf("scratch buffer length %d, want %d", len(sc.xbBuf), 4*8)
+	}
+	buf := sc.xbBuf
+	sc.release()
+	if sc.xbBuf != nil || sc.xb != nil {
+		t.Fatal("release did not clear the scratch views")
+	}
+	sc.release() // double release is a no-op, not a double Put
+
+	sc2 := newCampaignScratch(x, 4, 1)
+	defer sc2.release()
+	if &sc2.xbBuf[0] != &buf[0] {
+		t.Fatal("second scratch did not reuse the arena buffer")
+	}
+}

@@ -1,23 +1,32 @@
 package goldeneye_test
 
-// Campaign batching benchmark report: serial vs batched throughput of a
-// paper-scale (1000-injection) campaign on resnet_s, with the bit-identity
-// guarantee re-checked at full scale. Gated behind an environment variable
-// because it runs minutes of inference:
+// Campaign performance matrix: injections/sec of a resnet_s campaign
+// across format family × kernel path × batch size × GOMAXPROCS, with the
+// bit-identity guarantee re-checked on every cell. Gated behind an
+// environment variable because the full matrix runs minutes of inference:
 //
 //	GOLDENEYE_BENCH_CAMPAIGN=BENCH_campaign.json go test -run TestCampaignBenchReport -v .
 //
-// `make bench` invokes exactly that. The JSON report records the host's
-// parallelism alongside the throughput numbers: the batched speedup comes
-// from the row-sharded matmul (internal/tensor) spreading a batch's rows
-// across cores plus amortized per-pass overhead, so a single-core host
-// measures ~1x while multi-core hosts scale with GOMAXPROCS.
+// `make bench` invokes exactly that; `make bench-smoke` runs a small
+// matrix (GOLDENEYE_BENCH_SMOKE=1) that still asserts every row's
+// bit_identical flag. GOLDENEYE_BENCH_PROCS overrides the GOMAXPROCS
+// column list (comma-separated, default "1,4").
+//
+// Per format family, the first row is the serial reference: batch 1,
+// GOMAXPROCS=1, fused kernels off — the generic quantize→dequantize
+// configuration every earlier benchmark of this repo measured. All other
+// rows run the fused kernels, and speedup_vs_serial is relative to that
+// family's reference row. gomaxprocs/num_cpu are per row, not per file:
+// rows are measured at different GOMAXPROCS settings, so a file-level
+// value would misdescribe most of them. See docs/PERFORMANCE.md for how
+// to read the output.
 
 import (
 	"encoding/json"
-	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -26,9 +35,14 @@ import (
 	"goldeneye/internal/zoo"
 )
 
-// benchCampaignRow is one batch size's measurement in BENCH_campaign.json.
+// benchCampaignRow is one matrix cell of BENCH_campaign.json.
 type benchCampaignRow struct {
+	Format       string  `json:"format"`
+	Family       string  `json:"family"`
+	Kernel       string  `json:"kernel"` // "generic" (serial reference) or "fused"
 	BatchSize    int     `json:"batch_size"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
 	Seconds      float64 `json:"seconds"`
 	InjPerSecond float64 `json:"injections_per_second"`
 	Speedup      float64 `json:"speedup_vs_serial"`
@@ -37,89 +51,189 @@ type benchCampaignRow struct {
 
 type benchCampaignReport struct {
 	Model      string             `json:"model"`
-	Format     string             `json:"format"`
 	Layer      int                `json:"layer"`
 	Injections int                `json:"injections"`
 	PoolSize   int                `json:"pool_size"`
-	GoMaxProcs int                `json:"gomaxprocs"`
-	NumCPU     int                `json:"num_cpu"`
 	Rows       []benchCampaignRow `json:"rows"`
+}
+
+// speedupVsSerial guards the ratio against zero/negative timings (a
+// sub-millisecond smoke campaign can round to zero seconds).
+func speedupVsSerial(baseSec, sec float64) float64 {
+	if baseSec <= 0 || sec <= 0 {
+		return 0
+	}
+	return baseSec / sec
+}
+
+// reportsEqual is the non-fatal core of reportsIdentical: integer
+// aggregates plus the float64 Welford moments, which diverge on any
+// single-bit difference anywhere in the campaign.
+func reportsEqual(got, want *goldeneye.CampaignReport) bool {
+	return got.Injections == want.Injections &&
+		got.Mismatches == want.Mismatches &&
+		got.NonFinite == want.NonFinite &&
+		got.Detected == want.Detected &&
+		got.Aborted == want.Aborted &&
+		got.DeltaLoss == want.DeltaLoss &&
+		got.MismatchStat == want.MismatchStat
+}
+
+// parseProcList parses GOLDENEYE_BENCH_PROCS ("1,4,8") with def as the
+// fallback for empty or unusable input.
+func parseProcList(s string, def []int) []int {
+	if s == "" {
+		return def
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err == nil && p >= 1 {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
 }
 
 func TestCampaignBenchReport(t *testing.T) {
 	out := os.Getenv("GOLDENEYE_BENCH_CAMPAIGN")
 	if out == "" {
-		t.Skip("set GOLDENEYE_BENCH_CAMPAIGN=<path> to run the campaign batching benchmark")
+		t.Skip("set GOLDENEYE_BENCH_CAMPAIGN=<path> to run the campaign performance matrix")
 	}
+	smoke := os.Getenv("GOLDENEYE_BENCH_SMOKE") != ""
+
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+	defer numfmt.SetFusedKernels(numfmt.FusedKernels())
+
+	injections, poolN := 240, 64
+	batches := []int{1, 8, 32}
+	procs := parseProcList(os.Getenv("GOLDENEYE_BENCH_PROCS"), []int{1, 4})
+	if smoke {
+		injections, poolN = 12, 8
+		batches = []int{1, 8}
+		procs = parseProcList(os.Getenv("GOLDENEYE_BENCH_PROCS"), []int{1, 2})
+	}
+
 	model, ds, err := zoo.Pretrained("resnet_s")
 	if err != nil {
 		t.Fatal(err)
 	}
 	sim := goldeneye.Wrap(model, ds.ValX)
-	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, 64), ds.ValY[:64], 0)
+	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, poolN), ds.ValY[:poolN], 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	report := benchCampaignReport{
 		Model:      "resnet_s",
-		Format:     numfmt.BFPe5m5().Name(),
 		Layer:      sim.InjectableLayers()[2],
-		Injections: 1000,
+		Injections: injections,
 		PoolSize:   pool.Len(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
 	}
-	cfgFor := func(batch int) goldeneye.CampaignConfig {
-		return goldeneye.CampaignConfig{
-			Format:         numfmt.BFPe5m5(),
+
+	run := func(format numfmt.Format, batch int) (*goldeneye.CampaignReport, float64) {
+		start := time.Now()
+		rep, err := sim.RunCampaign(t.Context(), goldeneye.CampaignConfig{
+			Format:         format,
 			Site:           goldeneye.SiteValue,
 			Target:         goldeneye.TargetNeuron,
 			Layer:          report.Layer,
-			Injections:     report.Injections,
+			Injections:     injections,
 			Seed:           97,
 			Pool:           pool,
 			BatchSize:      batch,
 			UseRanger:      true,
 			EmulateNetwork: true,
-		}
-	}
-
-	run := func(batch int) (*goldeneye.CampaignReport, float64) {
-		start := time.Now()
-		rep, err := sim.RunCampaign(t.Context(), cfgFor(batch))
+		})
 		if err != nil {
-			t.Fatalf("batch %d: %v", batch, err)
+			t.Fatalf("%s batch %d: %v", format.Name(), batch, err)
 		}
 		return rep, time.Since(start).Seconds()
 	}
 
-	serial, serialSec := run(1)
-	report.Rows = append(report.Rows, benchCampaignRow{
-		BatchSize:    1,
-		Seconds:      serialSec,
-		InjPerSecond: float64(report.Injections) / serialSec,
-		Speedup:      1,
-		BitIdentical: true,
-	})
-	for _, batch := range []int{8, 32} {
-		rep, sec := run(batch)
-		reportsIdentical(t, fmt.Sprintf("bench batch %d", batch), rep, serial)
-		row := benchCampaignRow{
-			BatchSize:    batch,
-			Seconds:      sec,
-			InjPerSecond: float64(report.Injections) / sec,
-			Speedup:      serialSec / sec,
-			BitIdentical: !t.Failed(),
-		}
-		report.Rows = append(report.Rows, row)
-		t.Logf("batch %2d: %6.1f inj/s (%.2fx serial)", batch, row.InjPerSecond, row.Speedup)
+	families := []struct {
+		family string
+		format numfmt.Format
+	}{
+		{"fp", numfmt.FP16(true)},
+		{"int", numfmt.INT8()},
+		{"bfp", numfmt.BFPe5m5()},
+		{"afp", numfmt.AFPe5m2()},
 	}
+	for _, fam := range families {
+		// Serial generic reference row.
+		runtime.GOMAXPROCS(1)
+		numfmt.SetFusedKernels(false)
+		ref, refSec := run(fam.format, 1)
+		report.Rows = append(report.Rows, benchCampaignRow{
+			Format:       fam.format.Name(),
+			Family:       fam.family,
+			Kernel:       "generic",
+			BatchSize:    1,
+			GoMaxProcs:   1,
+			NumCPU:       runtime.NumCPU(),
+			Seconds:      refSec,
+			InjPerSecond: float64(injections) / refSec,
+			Speedup:      1,
+			BitIdentical: true,
+		})
+		numfmt.SetFusedKernels(true)
+		for _, p := range procs {
+			runtime.GOMAXPROCS(p)
+			for _, batch := range batches {
+				rep, sec := run(fam.format, batch)
+				identical := reportsEqual(rep, ref)
+				if !identical {
+					t.Errorf("%s: fused procs=%d batch=%d diverges from the serial generic reference",
+						fam.format.Name(), p, batch)
+				}
+				row := benchCampaignRow{
+					Format:       fam.format.Name(),
+					Family:       fam.family,
+					Kernel:       "fused",
+					BatchSize:    batch,
+					GoMaxProcs:   p,
+					NumCPU:       runtime.NumCPU(),
+					Seconds:      sec,
+					InjPerSecond: float64(injections) / sec,
+					Speedup:      speedupVsSerial(refSec, sec),
+					BitIdentical: identical,
+				}
+				report.Rows = append(report.Rows, row)
+				t.Logf("%-10s procs=%d batch=%2d: %7.1f inj/s (%.2fx serial generic)",
+					fam.format.Name(), p, batch, row.InjPerSecond, row.Speedup)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(origProcs)
 
-	final := report.Rows[len(report.Rows)-1]
-	if final.Speedup < 3 {
-		t.Logf("warning: batch-32 speedup %.2fx below the 3x multicore target "+
-			"(GOMAXPROCS=%d); the row-sharded matmul needs real cores to fan a batch out",
-			final.Speedup, report.GoMaxProcs)
+	// The multi-core throughput target: with ≥4 real cores, at least one
+	// fused row at GOMAXPROCS≥4 must clear 5× its family's serial generic
+	// reference. Hosts without the cores (or matrices that never ran a
+	// procs≥4 column) record the matrix but log instead of failing — the
+	// speedup needs hardware parallelism that isn't there to measure.
+	best, measured := 0.0, false
+	for _, row := range report.Rows {
+		if row.Kernel == "fused" && row.GoMaxProcs >= 4 {
+			measured = true
+			if row.Speedup > best {
+				best = row.Speedup
+			}
+		}
+	}
+	switch {
+	case !smoke && measured && runtime.NumCPU() >= 4 && best < 5:
+		t.Errorf("best fused speedup at GOMAXPROCS>=4 is %.2fx, below the 5x target on a %d-CPU host",
+			best, runtime.NumCPU())
+	case measured && best < 5:
+		t.Logf("warning: best fused speedup at GOMAXPROCS>=4 is %.2fx (<5x target); "+
+			"host has %d CPUs, so the matrix lacks the cores the target assumes",
+			best, runtime.NumCPU())
+	case !measured:
+		t.Logf("note: no fused row ran at GOMAXPROCS>=4 (procs=%v); 5x target not evaluated", procs)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -1,0 +1,133 @@
+// Command benchdiff compares two campaign performance matrices
+// (BENCH_campaign.json files written by `make bench` or `make bench-smoke`)
+// and fails when the new one is worse:
+//
+//	benchdiff -old old.json -new BENCH_campaign.json [-threshold 10]
+//
+// Rows are matched on (format, kernel, batch_size, gomaxprocs). The tool
+// exits 1 when any matched row's injections/sec regressed by more than
+// -threshold percent, or when any row of the new file carries
+// bit_identical=false — a correctness failure, not a performance one.
+// Rows present on only one side are reported but not fatal (matrix shape
+// changes are legitimate). See docs/PERFORMANCE.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// matrixRow mirrors the row schema of BENCH_campaign.json; unknown fields
+// are ignored so the tool tolerates schema growth.
+type matrixRow struct {
+	Format       string  `json:"format"`
+	Kernel       string  `json:"kernel"`
+	BatchSize    int     `json:"batch_size"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	InjPerSecond float64 `json:"injections_per_second"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+type matrixFile struct {
+	Model string      `json:"model"`
+	Rows  []matrixRow `json:"rows"`
+}
+
+// rowKey identifies a matrix cell across runs.
+type rowKey struct {
+	Format     string
+	Kernel     string
+	BatchSize  int
+	GoMaxProcs int
+}
+
+func (k rowKey) String() string {
+	return fmt.Sprintf("%s/%s batch=%d procs=%d", k.Format, k.Kernel, k.BatchSize, k.GoMaxProcs)
+}
+
+func loadMatrix(path string) (*matrixFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m matrixFile
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m.Rows) == 0 {
+		return nil, fmt.Errorf("%s: matrix has no rows", path)
+	}
+	return &m, nil
+}
+
+// diff returns the failure messages comparing old → new under the given
+// regression threshold (percent).
+func diff(oldM, newM *matrixFile, threshold float64) []string {
+	var failures []string
+	oldRows := make(map[rowKey]matrixRow, len(oldM.Rows))
+	for _, r := range oldM.Rows {
+		oldRows[rowKey{r.Format, r.Kernel, r.BatchSize, r.GoMaxProcs}] = r
+	}
+	matched := 0
+	for _, r := range newM.Rows {
+		key := rowKey{r.Format, r.Kernel, r.BatchSize, r.GoMaxProcs}
+		if !r.BitIdentical {
+			failures = append(failures, fmt.Sprintf("%s: bit_identical=false", key))
+		}
+		o, ok := oldRows[key]
+		if !ok {
+			fmt.Printf("new row (no baseline): %s\n", key)
+			continue
+		}
+		matched++
+		delete(oldRows, key)
+		if o.InjPerSecond <= 0 || r.InjPerSecond <= 0 {
+			continue // unusable timing; nothing to compare
+		}
+		change := (r.InjPerSecond - o.InjPerSecond) / o.InjPerSecond * 100
+		if change < -threshold {
+			failures = append(failures, fmt.Sprintf("%s: %.1f → %.1f inj/s (%.1f%%)",
+				key, o.InjPerSecond, r.InjPerSecond, change))
+		} else {
+			fmt.Printf("%s: %.1f → %.1f inj/s (%+.1f%%)\n", key, o.InjPerSecond, r.InjPerSecond, change)
+		}
+	}
+	for key := range oldRows {
+		fmt.Printf("dropped row (in old only): %s\n", key)
+	}
+	if matched == 0 {
+		failures = append(failures, "no rows matched between the two matrices")
+	}
+	return failures
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_campaign.json")
+	newPath := flag.String("new", "", "candidate BENCH_campaign.json")
+	threshold := flag.Float64("threshold", 10, "max allowed injections/sec regression, percent")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old old.json -new new.json [-threshold 10]")
+		os.Exit(2)
+	}
+	oldM, err := loadMatrix(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newM, err := loadMatrix(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	failures := diff(oldM, newM, *threshold)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func row(format, kernel string, batch, procs int, injps float64, bitIdentical bool) matrixRow {
+	return matrixRow{
+		Format: format, Kernel: kernel, BatchSize: batch, GoMaxProcs: procs,
+		InjPerSecond: injps, BitIdentical: bitIdentical,
+	}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	oldM := &matrixFile{Rows: []matrixRow{
+		row("fp16", "fused", 8, 4, 100, true),
+		row("int8", "generic", 1, 1, 50, true),
+	}}
+	newM := &matrixFile{Rows: []matrixRow{
+		row("fp16", "fused", 8, 4, 95, true),   // −5%: inside the 10% budget
+		row("int8", "generic", 1, 1, 60, true), // improvement
+	}}
+	if failures := diff(oldM, newM, 10); len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	oldM := &matrixFile{Rows: []matrixRow{row("fp16", "fused", 8, 4, 100, true)}}
+	newM := &matrixFile{Rows: []matrixRow{row("fp16", "fused", 8, 4, 80, true)}}
+	failures := diff(oldM, newM, 10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "fp16/fused") {
+		t.Fatalf("want one fp16 regression failure, got %v", failures)
+	}
+	// The same 20% drop passes with a looser threshold.
+	if failures := diff(oldM, newM, 25); len(failures) != 0 {
+		t.Fatalf("threshold 25 should tolerate a 20%% drop, got %v", failures)
+	}
+}
+
+func TestDiffFailsOnBitIdentityLoss(t *testing.T) {
+	oldM := &matrixFile{Rows: []matrixRow{row("bfp_e5m5_b0", "fused", 32, 4, 100, true)}}
+	newM := &matrixFile{Rows: []matrixRow{row("bfp_e5m5_b0", "fused", 32, 4, 200, false)}}
+	failures := diff(oldM, newM, 10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "bit_identical=false") {
+		t.Fatalf("want a bit-identity failure despite the speedup, got %v", failures)
+	}
+}
+
+func TestDiffToleratesShapeChanges(t *testing.T) {
+	oldM := &matrixFile{Rows: []matrixRow{
+		row("fp16", "fused", 8, 4, 100, true),
+		row("fp16", "fused", 8, 8, 150, true), // dropped in new
+	}}
+	newM := &matrixFile{Rows: []matrixRow{
+		row("fp16", "fused", 8, 4, 100, true),
+		row("afp_e5m2", "fused", 8, 4, 70, true), // added in new
+	}}
+	if failures := diff(oldM, newM, 10); len(failures) != 0 {
+		t.Fatalf("shape changes must not fail the diff: %v", failures)
+	}
+}
+
+func TestDiffFailsWhenNothingMatches(t *testing.T) {
+	oldM := &matrixFile{Rows: []matrixRow{row("fp16", "fused", 8, 4, 100, true)}}
+	newM := &matrixFile{Rows: []matrixRow{row("int8", "fused", 8, 4, 100, true)}}
+	failures := diff(oldM, newM, 10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "no rows matched") {
+		t.Fatalf("want a no-overlap failure, got %v", failures)
+	}
+}
+
+func TestDiffIgnoresZeroTimings(t *testing.T) {
+	oldM := &matrixFile{Rows: []matrixRow{row("fp16", "fused", 1, 1, 0, true)}}
+	newM := &matrixFile{Rows: []matrixRow{row("fp16", "fused", 1, 1, 0, true)}}
+	if failures := diff(oldM, newM, 10); len(failures) != 0 {
+		t.Fatalf("zero timings must not divide or fail: %v", failures)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"goldeneye"
 	"goldeneye/internal/numfmt"
+	"goldeneye/internal/tensor"
 )
 
 // FuzzParseFormat ensures arbitrary specifications never panic and that
@@ -78,6 +79,44 @@ func FuzzPosit8Decode(f *testing.F) {
 		again := p.FromBits(p.ToBits(v, meta), meta)
 		if again != v {
 			t.Fatalf("pattern %02x: %v re-encoded to %v", pattern, v, again)
+		}
+	})
+}
+
+// FuzzEmulateFusedVsGeneric is the differential proof behind the fused
+// kernels: for arbitrary float inputs, every family's single-pass fused
+// Emulate must be bit-identical to the generic quantize→dequantize
+// reference (numfmt.EmulateGeneric). The one sanctioned difference is NaN
+// payload bits — the fused FP path propagates the input payload where the
+// generic path canonicalizes it — so two NaNs always match.
+func FuzzEmulateFusedVsGeneric(f *testing.F) {
+	f.Add(uint32(0), uint32(math.Float32bits(1.0)), uint32(math.Float32bits(-3.5)), uint32(0x7FC00001))
+	f.Add(uint32(math.Float32bits(1e30)), uint32(math.Float32bits(-1e-30)),
+		uint32(math.Float32bits(float32(math.Inf(1)))), uint32(0x80000000))
+	f.Add(uint32(1), uint32(0x007FFFFF), uint32(0x00800000), uint32(0xFF7FFFFF))
+	formats := []numfmt.Format{
+		numfmt.FP16(true), numfmt.FP8E4M3(true), numfmt.FxP16(),
+		numfmt.INT8(), numfmt.BFPe5m5(), numfmt.AFPe5m2(),
+	}
+	f.Fuzz(func(t *testing.T, a, b, c, d uint32) {
+		x := tensor.New(1, 4)
+		for i, bits := range []uint32{a, b, c, d} {
+			x.Data()[i] = math.Float32frombits(bits)
+		}
+		for _, format := range formats {
+			fused := format.Emulate(x)
+			generic := numfmt.EmulateGeneric(format, x)
+			for i := range fused.Data() {
+				fv, gv := fused.Data()[i], generic.Data()[i]
+				if math.IsNaN(float64(fv)) && math.IsNaN(float64(gv)) {
+					continue
+				}
+				if math.Float32bits(fv) != math.Float32bits(gv) {
+					t.Fatalf("%s: element %d (input %08x): fused %v (%08x) vs generic %v (%08x)",
+						format.Name(), i, math.Float32bits(x.Data()[i]),
+						fv, math.Float32bits(fv), gv, math.Float32bits(gv))
+				}
+			}
 		}
 	})
 }

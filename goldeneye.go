@@ -250,15 +250,17 @@ func (c EmulationConfig) filter() nn.Filter {
 }
 
 // emulationHooks returns a hook set applying cfg's neuron emulation (nil if
-// none is needed).
+// none is needed). The hook carries the format's fused-kernel epilogue, so
+// Conv2D/Linear apply emulation to their outputs while cache-hot; other
+// layer kinds (with AllLayers) run the hook function as usual.
 func emulationHooks(cfg EmulationConfig) *nn.HookSet {
 	if cfg.Format == nil || !cfg.Neurons {
 		return nil
 	}
 	hooks := nn.NewHookSet()
-	hooks.PostForward(cfg.filter(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
+	hooks.PostForwardEpilogue(cfg.filter(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
 		return cfg.Format.Emulate(t)
-	})
+	}, numfmt.EmulateEpilogue(cfg.Format, numfmt.AxisTensor))
 	return hooks
 }
 

@@ -2,6 +2,7 @@ package exper
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -44,30 +45,46 @@ func TestTable2AllSupported(t *testing.T) {
 
 func TestFig3Shapes(t *testing.T) {
 	// The timing dichotomy needs a model with real tensor volume; the MLP
-	// finishes in microseconds and drowns in noise.
-	rows, err := Fig3(context.Background(), []string{"resnet_s"}, 3, nil, tinyOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	bySlow := make(map[string]float64)
-	for _, r := range rows {
-		if r.EI == "off" {
-			bySlow[r.Config] = r.Slowdown
+	// finishes in microseconds and drowns in noise. Wall-clock ratios on a
+	// loaded CI host can still transiently invert, so the dichotomy check
+	// re-measures before declaring failure.
+	const attempts = 3
+	var lastErrs []string
+	for attempt := 0; attempt < attempts; attempt++ {
+		rows, err := Fig3(context.Background(), []string{"resnet_s"}, 3, nil, tinyOptions())
+		if err != nil {
+			t.Fatal(err)
 		}
-		if r.AvgTime <= 0 {
-			t.Fatalf("non-positive timing for %v", r)
+		bySlow := make(map[string]float64)
+		for _, r := range rows {
+			if r.EI == "off" {
+				bySlow[r.Config] = r.Slowdown
+			}
+			if r.AvgTime <= 0 {
+				t.Fatalf("non-positive timing for %v", r)
+			}
 		}
+		if bySlow["native_fp32"] != 1.0 {
+			t.Fatalf("native baseline slowdown = %v", bySlow["native_fp32"])
+		}
+		// The Fig 3 dichotomy: BFP/AFP (code-based path) slower than the
+		// arithmetic-path formats.
+		lastErrs = nil
+		if bySlow["bfp_e5m5"] <= bySlow["fp16"] {
+			lastErrs = append(lastErrs, fmt.Sprintf("BFP (%.2fx) should be slower than FP16 (%.2fx)",
+				bySlow["bfp_e5m5"], bySlow["fp16"]))
+		}
+		if bySlow["afp_e5m2"] <= bySlow["int8"] {
+			lastErrs = append(lastErrs, fmt.Sprintf("AFP (%.2fx) should be slower than INT8 (%.2fx)",
+				bySlow["afp_e5m2"], bySlow["int8"]))
+		}
+		if lastErrs == nil {
+			return
+		}
+		t.Logf("attempt %d: dichotomy inverted (%s); re-measuring", attempt+1, strings.Join(lastErrs, "; "))
 	}
-	if bySlow["native_fp32"] != 1.0 {
-		t.Fatalf("native baseline slowdown = %v", bySlow["native_fp32"])
-	}
-	// The Fig 3 dichotomy: BFP/AFP (code-based path) slower than the
-	// arithmetic-path formats.
-	if bySlow["bfp_e5m5"] <= bySlow["fp16"] {
-		t.Errorf("BFP (%.2fx) should be slower than FP16 (%.2fx)", bySlow["bfp_e5m5"], bySlow["fp16"])
-	}
-	if bySlow["afp_e5m2"] <= bySlow["int8"] {
-		t.Errorf("AFP (%.2fx) should be slower than INT8 (%.2fx)", bySlow["afp_e5m2"], bySlow["int8"])
+	for _, e := range lastErrs {
+		t.Error(e)
 	}
 }
 

@@ -56,10 +56,18 @@ func fig3Configs() []struct {
 // Fig3 measures inference runtime for every format configuration and EI
 // mode, reproducing the shape of the paper's Fig 3: native fastest, FP/FxP/
 // INT near-native, BFP/AFP notably slower, EI overhead negligible.
+//
+// The BFP/AFP slowdown the paper reports is the cost of the generic
+// quantize→dequantize code path, so that is what this experiment runs:
+// fused kernels are disabled for the duration of the measurement. The
+// fused-kernel performance story (which closes exactly this gap) is
+// measured by the campaign bench matrix instead — see BENCH_campaign.json
+// and docs/PERFORMANCE.md.
 func Fig3(ctx context.Context, models []string, runs int, w io.Writer, o Options) ([]Fig3Row, error) {
 	if runs <= 0 {
 		runs = 5
 	}
+	defer numfmt.SetFusedKernels(numfmt.SetFusedKernels(false))
 	var rows []Fig3Row
 	for _, name := range models {
 		sim, ds, err := loadSim(name, o)

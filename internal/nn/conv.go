@@ -57,8 +57,12 @@ func (c *Conv2D) Stride() int { return c.stride }
 // Pad returns the zero padding applied on each spatial border.
 func (c *Conv2D) Pad() int { return c.pad }
 
-// Forward implements Module.
-func (c *Conv2D) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+// Forward implements Module. A staged epilogue (fused emulation of the
+// output) is applied during NCHW assembly: element-local epilogues run on
+// each (sample, channel) plane right after its bias add while the plane
+// is cache-hot; per-row and whole-tensor epilogues run once after
+// assembly with the batch-row geometry EmulateBatched uses.
+func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 {
 		panic(fmt.Sprintf("nn: %s expects NCHW input, got %v", c.name, x.Shape()))
 	}
@@ -73,6 +77,7 @@ func (c *Conv2D) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 	wm := c.w.Value.Reshape(oc, -1)
 	y := wm.MatMul(col) // (oc, n*oh*ow)
 
+	ep, _ := ctx.TakeEpilogue()
 	out := tensor.New(n, oc, oh, ow)
 	bias := c.b.Value.Data()
 	plane := oh * ow
@@ -85,8 +90,12 @@ func (c *Conv2D) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 			for i := range dst {
 				dst[i] = s[i] + bv
 			}
+			if ep.Tile != nil {
+				ep.Tile(dst)
+			}
 		}
 	}
+	ep.Apply(out.Data(), n, oc*plane)
 	return out
 }
 

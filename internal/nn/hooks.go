@@ -71,6 +71,12 @@ func (f Filter) matches(info LayerInfo) bool {
 type hookEntry struct {
 	filter Filter
 	fn     HookFunc
+
+	// ep, when non-empty, is an in-place equivalent of fn that the
+	// producing layer may fuse into its output computation (see
+	// PostForwardEpilogue). fn remains the fallback for layers that do not
+	// consume epilogues.
+	ep tensor.Epilogue
 }
 
 // HookSet holds the registered pre- and post-forward hooks of a simulation
@@ -106,6 +112,37 @@ func (h *HookSet) PostForward(f Filter, fn HookFunc) {
 	h.post = append(h.post, hookEntry{filter: f, fn: fn})
 }
 
+// PostForwardEpilogue registers fn like PostForward, additionally carrying
+// an in-place epilogue form of the same transform. When the hook is the
+// first post hook matching a layer and that layer's Forward fuses
+// epilogues (Linear, Conv2D), the layer applies ep to its output while it
+// is cache-hot and fn is skipped for that visit; in every other situation
+// fn runs exactly as a plain PostForward hook would. ep and fn must
+// compute the same values — the campaign engine registers the fused
+// emulation kernel as ep and whole-tensor Emulate as fn, which are pinned
+// bit-identical. An empty ep degrades to PostForward.
+func (h *HookSet) PostForwardEpilogue(f Filter, fn HookFunc, ep tensor.Epilogue) {
+	h.post = append(h.post, hookEntry{filter: f, fn: fn, ep: ep})
+}
+
+// fusibleEpilogue returns the epilogue a layer visit may fuse, with the
+// index of the hook entry it replaces. Only the FIRST matching post hook
+// is eligible: a fused epilogue runs inside the layer's Forward, i.e.
+// before every other post hook, so fusing a later entry would reorder the
+// composition (emulate→inject must stay emulate→inject).
+func (h *HookSet) fusibleEpilogue(info LayerInfo) (tensor.Epilogue, int, bool) {
+	for i, e := range h.post {
+		if !e.filter.matches(info) {
+			continue
+		}
+		if e.ep.Empty() {
+			return tensor.Epilogue{}, -1, false
+		}
+		return e.ep, i, true
+	}
+	return tensor.Epilogue{}, -1, false
+}
+
 func (h *HookSet) runPre(info LayerInfo, t *tensor.Tensor) *tensor.Tensor {
 	for _, e := range h.pre {
 		if e.filter.matches(info) {
@@ -116,10 +153,17 @@ func (h *HookSet) runPre(info LayerInfo, t *tensor.Tensor) *tensor.Tensor {
 }
 
 func (h *HookSet) runPost(info LayerInfo, t *tensor.Tensor) *tensor.Tensor {
-	for _, e := range h.post {
-		if e.filter.matches(info) {
-			t = e.fn(info, t)
+	return h.runPostSkip(info, t, -1)
+}
+
+// runPostSkip runs the post hooks in registration order, skipping the
+// entry at index skip (the hook whose epilogue the layer already applied).
+func (h *HookSet) runPostSkip(info LayerInfo, t *tensor.Tensor, skip int) *tensor.Tensor {
+	for i, e := range h.post {
+		if i == skip || !e.filter.matches(info) {
+			continue
 		}
+		t = e.fn(info, t)
 	}
 	return t
 }

@@ -46,8 +46,11 @@ func (l *Linear) Weight() *Param { return l.w }
 // Bias returns the bias parameter.
 func (l *Linear) Bias() *Param { return l.b }
 
-// Forward implements Module.
-func (l *Linear) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
+// Forward implements Module. The matmul, bias add, and any staged
+// epilogue (fused emulation of the output) run as one pass over the
+// output tile — bit-identical to MatMul then Add then a whole-tensor
+// post hook, but without re-streaming the output from memory.
+func (l *Linear) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	in := l.w.Value.Dim(0)
 	if x.Rank() != 2 {
 		x = x.Reshape(-1, in)
@@ -56,7 +59,8 @@ func (l *Linear) Forward(_ *Context, x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s expects input dim %d, got %v", l.name, in, x.Shape()))
 	}
 	l.lastInput = x
-	return x.MatMul(l.w.Value).Add(l.b.Value)
+	ep, _ := ctx.TakeEpilogue()
+	return x.MatMulBias(l.w.Value, l.b.Value, ep)
 }
 
 // Backward implements Module.

@@ -135,6 +135,14 @@ type Context struct {
 	hooks   *HookSet
 	visit   int
 	visitor func(Module, LayerInfo)
+
+	// Epilogue hand-off between Apply and the current module's Forward:
+	// Apply stages the fusible epilogue of the layer being visited;
+	// epilogue-aware Forwards claim it through TakeEpilogue, which flips
+	// epConsumed so Apply knows to skip the corresponding post hook.
+	pendingEp      tensor.Epilogue
+	pendingEpValid bool
+	epConsumed     bool
 }
 
 // NewContext returns a context carrying the given hooks (may be nil).
@@ -166,8 +174,36 @@ func (c *Context) Apply(m Module, x *tensor.Tensor) *tensor.Tensor {
 		return m.Forward(c, x)
 	}
 	x = c.hooks.runPre(info, x)
+	// Stage this layer's fusible epilogue for the duration of its Forward.
+	// The previous staging is saved and restored because composite modules
+	// re-enter Apply for their children mid-Forward.
+	savedEp, savedValid, savedConsumed := c.pendingEp, c.pendingEpValid, c.epConsumed
+	epIdx := -1
+	c.pendingEp, c.pendingEpValid, c.epConsumed = tensor.Epilogue{}, false, false
+	if ep, idx, ok := c.hooks.fusibleEpilogue(info); ok {
+		c.pendingEp, epIdx = ep, idx
+		c.pendingEpValid = true
+	}
 	y := m.Forward(c, x)
+	consumed := c.epConsumed
+	c.pendingEp, c.pendingEpValid, c.epConsumed = savedEp, savedValid, savedConsumed
+	if consumed {
+		return c.hooks.runPostSkip(info, y, epIdx)
+	}
 	return c.hooks.runPost(info, y)
+}
+
+// TakeEpilogue claims the epilogue staged for the module currently being
+// forwarded, if any. A module that receives ok=true must apply the
+// epilogue to its output exactly once — the hook it was fused from will
+// not run for this visit. Safe on a nil context (no epilogue). Modules
+// that never call TakeEpilogue are unaffected: their hooks run as always.
+func (c *Context) TakeEpilogue() (tensor.Epilogue, bool) {
+	if c == nil || !c.pendingEpValid || c.epConsumed {
+		return tensor.Epilogue{}, false
+	}
+	c.epConsumed = true
+	return c.pendingEp, true
 }
 
 // Reset clears the per-pass visit counter; call between forward passes when

@@ -125,11 +125,82 @@ func (f *AFP) Dequantize(enc *Encoding) *tensor.Tensor {
 	return out
 }
 
-// Emulate implements Format via the generic code-based path; like BFP, AFP
-// has no arithmetic fast path (Fig 3's Python-speed side).
+// Emulate implements Format. With fused kernels enabled (the default) it
+// runs the single-pass arithmetic kernel below; otherwise it takes the
+// generic quantize→dequantize code path, which the fused kernel is pinned
+// bit-identical to by the property and fuzz suites.
 func (f *AFP) Emulate(t *tensor.Tensor) *tensor.Tensor {
 	countEmulate(t.Len())
-	return emulateViaCodes(f, t)
+	if !FusedKernels() {
+		return emulateViaCodes(f, t)
+	}
+	countKernelFused()
+	out := t.Clone()
+	f.emulateRowsInPlace(out.Data(), 1, t.Len())
+	return out
+}
+
+// emulateRowsInPlace implements rowEmulator: the fused single-pass AFP
+// kernel. Each row derives its own bias register from the row's maximum
+// magnitude — exactly what Quantize does per tensor — so the result is
+// bit-identical to quantizing each row separately (the EmulateBatched
+// per-row contract; rows=1 gives whole-tensor semantics).
+func (f *AFP) emulateRowsInPlace(data []float32, rows, rowLen int) {
+	for r := 0; r < rows; r++ {
+		row := data[r*rowLen : (r+1)*rowLen]
+		maxAbs := 0.0
+		for _, v := range row {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		expMin, _, maxFinite, denStep := f.geometry(f.biasFor(maxAbs))
+		minNorm := math.Ldexp(1, expMin)
+		for i, v := range row {
+			row[i] = float32(f.emulateValue(float64(v), expMin, maxFinite, minNorm, denStep))
+		}
+	}
+}
+
+// emulateValue snaps one value under a fixed geometry, replicating
+// FromBits∘ToBits exactly: every branch below lands on a value whose
+// decode reconstruction is exact in float64 (mantissa extraction and
+// frac·2^exp are exact for representable codes), so computing the decoded
+// value directly — without materializing the code — changes no bits.
+func (f *AFP) emulateValue(v float64, expMin int, maxFinite, minNorm, denStep float64) float64 {
+	sign := 1.0
+	if math.Signbit(v) {
+		sign = -1
+	}
+	if v == 0 || math.IsNaN(v) {
+		return sign * 0
+	}
+	a := math.Abs(v)
+	if a >= maxFinite {
+		return sign * maxFinite
+	}
+	exp := floorLog2(a)
+	if exp < expMin {
+		if !f.denormals {
+			// Nearest representable values are 0 and minNorm; the RNE
+			// half-way point resolves to 0 (even), as in ToBits.
+			if roundEven(a/minNorm) == 0 {
+				return sign * 0
+			}
+			return sign * minNorm
+		}
+		mant := roundEven(a / denStep)
+		if mant >= math.Ldexp(1, f.mantBits) { // rounded up to minNorm
+			return sign * minNorm
+		}
+		return sign * mant * denStep
+	}
+	step := math.Ldexp(1, exp-f.mantBits)
+	q := roundEven(a/step) * step
+	if q > maxFinite {
+		return sign * maxFinite
+	}
+	return sign * q
 }
 
 // ToBits implements Format (method 3) under the metadata's bias register.

@@ -77,17 +77,29 @@ func DequantizeBatched(f Format, enc *Encoding) *tensor.Tensor {
 	return out
 }
 
-// EmulateBatched is the batched inference-emulation hot path: a
-// quantize/dequantize round trip in which every batch row's metadata is
-// derived from that row alone. Batch-invariant formats keep their
-// whole-tensor fast path (already bit-identical per row); metadata-bearing
-// formats emulate row-sliced views, in parallel for large activations.
+// EmulateBatched is the batched inference-emulation hot path: emulation in
+// which every batch row's metadata is derived from that row alone.
+// Batch-invariant formats keep their whole-tensor fast path (already
+// bit-identical per row). Metadata-bearing formats with a fused kernel
+// (INT, BFP, AFP) run it directly over row slices of one output buffer —
+// no per-row tensor allocation, no quantize/dequantize round trip — with a
+// GOMAXPROCS-bounded fan-out for large activations. Formats without a
+// fused kernel (LUT), or with fused kernels disabled, emulate row-sliced
+// views through their own Emulate, which is what the fused rows are pinned
+// bit-identical to.
 func EmulateBatched(f Format, t *tensor.Tensor) *tensor.Tensor {
 	n := t.Dim(0)
 	if n <= 1 || batchInvariant(f) {
 		return f.Emulate(t)
 	}
 	rowLen := t.Len() / n
+	if re, ok := f.(rowEmulator); ok && FusedKernels() {
+		countEmulate(t.Len())
+		countKernelFused()
+		out := t.Clone()
+		emulateRowsParallel(re, out.Data(), n, rowLen)
+		return out
+	}
 	out := tensor.New(t.Shape()...)
 	dst := out.Data()
 	emulateRow := func(r int) {

@@ -182,11 +182,63 @@ func (f *BFP) decodeValue(b Bits, step float64) float64 {
 	return v
 }
 
-// Emulate implements Format via the generic code-based path; BFP has no
-// arithmetic fast path (the paper's Python-speed side of Fig 3).
+// Emulate implements Format. With fused kernels enabled (the default) it
+// runs the single-pass block kernel below; otherwise it takes the generic
+// quantize→dequantize code path, which the fused kernel is pinned
+// bit-identical to by the property and fuzz suites.
 func (f *BFP) Emulate(t *tensor.Tensor) *tensor.Tensor {
 	countEmulate(t.Len())
-	return emulateViaCodes(f, t)
+	if !FusedKernels() {
+		return emulateViaCodes(f, t)
+	}
+	countKernelFused()
+	out := t.Clone()
+	f.emulateRowsInPlace(out.Data(), 1, t.Len())
+	return out
+}
+
+// emulateRowsInPlace implements rowEmulator: the fused single-pass BFP
+// kernel. Each row is treated as its own tensor — blocks never straddle a
+// row boundary — so the result is bit-identical to quantizing and
+// dequantizing each row separately (the EmulateBatched per-row contract;
+// rows=1 gives whole-tensor semantics).
+//
+// Per block: one max-magnitude scan derives the shared exponent's step,
+// then each value is clamped, rounded to the mantissa grid with the
+// branch-free magic-constant RNE, and rescaled. Clamp-before-round equals
+// encodeValue's round-then-clamp because maxMag is an odd integer (the
+// half-way tie at maxMag−0.5 resolves downward under RNE either way), and
+// maxMag < 2^51 keeps roundEvenMagic exact. Copysign reproduces
+// encodeValue's Signbit handling for −0 and signed NaN.
+func (f *BFP) emulateRowsInPlace(data []float32, rows, rowLen int) {
+	maxC := float64(f.maxMag)
+	for r := 0; r < rows; r++ {
+		row := data[r*rowLen : (r+1)*rowLen]
+		nb := f.numBlocks(rowLen)
+		for blk := 0; blk < nb; blk++ {
+			lo, hi := f.blockBounds(blk, rowLen)
+			maxAbs := 0.0
+			for _, v := range row[lo:hi] {
+				if a := math.Abs(float64(v)); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			step := f.stepFor(f.sharedExpCode(maxAbs))
+			for i := lo; i < hi; i++ {
+				a := float64(row[i])
+				c := math.Abs(a) / step
+				switch {
+				case c >= maxC:
+					c = maxC
+				case c != c: // NaN encodes as sign-only, decodes as ±0
+					c = 0
+				default:
+					c = roundEvenMagic(c)
+				}
+				row[i] = float32(math.Copysign(c*step, a))
+			}
+		}
+	}
 }
 
 // ToBits implements Format (method 3). The scalar path treats the value as

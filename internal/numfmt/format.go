@@ -209,20 +209,26 @@ type Format interface {
 	FromBits(b Bits, meta Metadata) float64
 
 	// Emulate quantizes and dequantizes t in one step: the value each
-	// element would take after a round trip through the format. This is the
-	// inference-emulation hot path; formats with arithmetic fast paths
-	// (FP, FxP, INT) bypass code construction here, mirroring the paper's
-	// accelerated QPyTorch backends, while BFP and AFP use the generic
-	// code-based path (the Python-speed side of Fig 3's dichotomy).
+	// element would take after a round trip through the format. This is
+	// the inference-emulation hot path: all five paper families run fused
+	// single-pass kernels here (see kernels.go), bit-identical to the
+	// generic Dequantize∘Quantize composition that defines the semantics.
+	// LNS, posit, and the LUT take the generic path; SetFusedKernels(false)
+	// pins BFP/AFP back to it for differential testing and for measuring
+	// the paper's Fig 3 dichotomy between accelerated and code-based
+	// backends.
 	Emulate(t *tensor.Tensor) *tensor.Tensor
 
 	// Range reports the representable dynamic range (Table I).
 	Range() Range
 }
 
-// emulateViaCodes is the generic (slow) Emulate implementation used by
-// formats without an arithmetic fast path.
+// emulateViaCodes is the generic (slow) Emulate implementation: a full
+// quantize→dequantize round trip through code space. BFP and AFP fall back
+// to it when fused kernels are disabled (SetFusedKernels), and it remains
+// the reference the fused kernels are differentially tested against.
 func emulateViaCodes(f Format, t *tensor.Tensor) *tensor.Tensor {
+	countKernelGeneric()
 	return f.Dequantize(f.Quantize(t))
 }
 

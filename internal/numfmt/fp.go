@@ -136,15 +136,29 @@ func (f *FP) quantizeScalar(v float64) float64 {
 // with Dequantize∘Quantize.
 func (f *FP) Emulate(t *tensor.Tensor) *tensor.Tensor {
 	countEmulate(t.Len())
+	countKernelFused()
 	out := t.Clone()
-	data := out.Data()
+	f.emulateChunk(out.Data())
+	return out
+}
+
+// emulateRowsInPlace implements rowEmulator. FP snapping is element-local,
+// so the row geometry is irrelevant.
+func (f *FP) emulateRowsInPlace(data []float32, _, _ int) {
+	f.emulateChunk(data)
+}
+
+// emulateChunk snaps a contiguous chunk of float32 storage to the format's
+// representable values in place — the shared kernel behind Emulate, the
+// batched row variant, and the matmul epilogue.
+func (f *FP) emulateChunk(data []float32) {
 	if f.mantBits > 23 {
 		// Wider-than-float32 mantissa: every float32 value is exactly
 		// representable; only exponent limits can apply.
 		for i, v := range data {
 			data[i] = float32(f.quantizeScalar(float64(v)))
 		}
-		return out
+		return
 	}
 
 	var (
@@ -193,7 +207,6 @@ func (f *FP) Emulate(t *tensor.Tensor) *tensor.Tensor {
 		}
 		data[i] = math.Float32frombits(sign | mag)
 	}
-	return out
 }
 
 // Quantize implements Format (method 1).

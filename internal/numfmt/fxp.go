@@ -78,13 +78,27 @@ func (f *FxP) quantizeCode(v float64) int64 {
 // branch-free RNE, clamp, scale back.
 func (f *FxP) Emulate(t *tensor.Tensor) *tensor.Tensor {
 	countEmulate(t.Len())
+	countKernelFused()
 	out := t.Clone()
-	data := out.Data()
+	f.emulateChunk(out.Data())
+	return out
+}
+
+// emulateRowsInPlace implements rowEmulator. FxP snapping is element-local,
+// so the row geometry is irrelevant.
+func (f *FxP) emulateRowsInPlace(data []float32, _, _ int) {
+	f.emulateChunk(data)
+}
+
+// emulateChunk snaps a contiguous chunk of float32 storage to the nearest
+// fixed-point grid values in place — the shared kernel behind Emulate, the
+// batched row variant, and the matmul epilogue.
+func (f *FxP) emulateChunk(data []float32) {
 	if f.maxCode >= magicSafe {
 		for i, v := range data {
 			data[i] = float32(float64(f.quantizeCode(float64(v))) * f.step)
 		}
-		return out
+		return
 	}
 	inv := 1 / f.step
 	maxC, minC := float64(f.maxCode), float64(f.minCode)
@@ -102,7 +116,6 @@ func (f *FxP) Emulate(t *tensor.Tensor) *tensor.Tensor {
 		}
 		data[i] = float32(c * f.step)
 	}
-	return out
 }
 
 // Quantize implements Format (method 1).

@@ -86,6 +86,7 @@ func (q *INT) quantizeCode(v, scale float64) int64 {
 // branch-free RNE, clamp, scale back.
 func (q *INT) Emulate(t *tensor.Tensor) *tensor.Tensor {
 	countEmulate(t.Len())
+	countKernelFused()
 	scale := float64(q.scaleFor(t))
 	out := t.Clone()
 	data := out.Data()
@@ -110,6 +111,50 @@ func (q *INT) Emulate(t *tensor.Tensor) *tensor.Tensor {
 		data[i] = float32(c * scale)
 	}
 	return out
+}
+
+// emulateRowsInPlace implements rowEmulator: the fused per-row INT kernel.
+// Each row derives its own scale register — float32-truncated exactly as
+// scaleFor does — so the result is bit-identical to quantizing each row as
+// its own tensor (the EmulateBatched per-row contract).
+func (q *INT) emulateRowsInPlace(data []float32, rows, rowLen int) {
+	maxC := float64(q.qmax)
+	for r := 0; r < rows; r++ {
+		row := data[r*rowLen : (r+1)*rowLen]
+		maxAbs := 0.0
+		for _, v := range row {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := 1.0
+		if maxAbs != 0 {
+			// The float32 round-trip replicates scaleFor's register
+			// truncation; without it the fused path would divide by a more
+			// precise scale than the hardware register holds.
+			scale = float64(float32(maxAbs / maxC))
+		}
+		if scale == 0 {
+			// float32 underflow of the scale register: the generic path
+			// leaves every code at 0·scale semantics undefined, and the
+			// whole-tensor Emulate returns the clone unchanged. Match it.
+			continue
+		}
+		for i, v := range row {
+			c := float64(v) / scale
+			switch {
+			case c >= maxC:
+				c = maxC
+			case c <= -maxC:
+				c = -maxC
+			case c != c: // NaN
+				c = 0
+			default:
+				c = roundEvenMagic(c)
+			}
+			row[i] = float32(c * scale)
+		}
+	}
 }
 
 // Quantize implements Format (method 1), recording the scale register in

@@ -13,6 +13,15 @@ type OpCounts struct {
 	Dequantize int64 // Dequantize calls
 	Emulate    int64 // Emulate calls
 	Elements   int64 // tensor elements processed across all three
+
+	// Kernel-path split for Emulate work: FusedKernels counts executions of
+	// a single-pass arithmetic/bit-twiddled kernel (fp/fxp/intq always;
+	// bfp/afp when fused kernels are enabled, including epilogue and batched
+	// row invocations); GenericKernels counts trips through the
+	// quantize→dequantize code path (emulateViaCodes). Formats with bespoke
+	// Emulate implementations (LNS, Posit, LUT) appear in neither.
+	FusedKernels   int64
+	GenericKernels int64
 }
 
 // opStats holds the live counters: package-global atomics so that the
@@ -21,6 +30,7 @@ type OpCounts struct {
 // (goldeneye.RegisterRuntimeCollectors).
 var opStats struct {
 	quantize, dequantize, emulate, elements atomic.Int64
+	kernelFused, kernelGeneric              atomic.Int64
 }
 
 func countQuantize(n int) {
@@ -38,14 +48,19 @@ func countEmulate(n int) {
 	opStats.elements.Add(int64(n))
 }
 
+func countKernelFused()   { opStats.kernelFused.Add(1) }
+func countKernelGeneric() { opStats.kernelGeneric.Add(1) }
+
 // ReadOpCounts returns the current counter values (each field read
 // atomically; the set is not one atomic snapshot).
 func ReadOpCounts() OpCounts {
 	return OpCounts{
-		Quantize:   opStats.quantize.Load(),
-		Dequantize: opStats.dequantize.Load(),
-		Emulate:    opStats.emulate.Load(),
-		Elements:   opStats.elements.Load(),
+		Quantize:       opStats.quantize.Load(),
+		Dequantize:     opStats.dequantize.Load(),
+		Emulate:        opStats.emulate.Load(),
+		Elements:       opStats.elements.Load(),
+		FusedKernels:   opStats.kernelFused.Load(),
+		GenericKernels: opStats.kernelGeneric.Load(),
 	}
 }
 
@@ -55,4 +70,6 @@ func ResetOpCounts() {
 	opStats.dequantize.Store(0)
 	opStats.emulate.Store(0)
 	opStats.elements.Store(0)
+	opStats.kernelFused.Store(0)
+	opStats.kernelGeneric.Store(0)
 }

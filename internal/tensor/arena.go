@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// arenaClasses bounds the pooled buffer sizes to 2^31 elements; anything
+// larger is allocated directly (no campaign tensor approaches that).
+const arenaClasses = 32
+
+// Arena recycles float32 scratch buffers through power-of-two size-classed
+// sync.Pools. The campaign engine acquires its per-run scratch (batch
+// tensors, label and index slices reinterpreted as float storage) from an
+// arena once per campaign and returns it on close, so back-to-back
+// campaigns — the EvalPool and DSE loops — stop paying a fresh round of
+// large allocations each run and the batched inner loop allocates nothing
+// per injection.
+//
+// Get and Put are safe for concurrent use. Buffers are handed out with
+// undefined contents: callers must fully overwrite what they read.
+type Arena struct {
+	pools [arenaClasses]sync.Pool
+}
+
+// NewArena returns an empty arena. The zero value is also ready to use.
+func NewArena() *Arena { return &Arena{} }
+
+// classFor returns the smallest c with 1<<c >= n.
+func classFor(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a buffer of length n with undefined contents, reusing a
+// pooled buffer of the matching size class when one is available.
+func (a *Arena) Get(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	c := classFor(n)
+	if c >= arenaClasses {
+		return make([]float32, n)
+	}
+	if p, ok := a.pools[c].Get().(*[]float32); ok {
+		return (*p)[:n]
+	}
+	return make([]float32, n, 1<<uint(c))
+}
+
+// Put returns buf to the arena for reuse. Only buffers whose capacity is a
+// power of two — i.e. buffers that came from Get — are pooled; anything
+// else is dropped for the garbage collector. Callers must not use buf
+// after Put.
+func (a *Arena) Put(buf []float32) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	cl := bits.Len(uint(c)) - 1
+	if cl >= arenaClasses {
+		return
+	}
+	full := buf[:c]
+	a.pools[cl].Put(&full)
+}

@@ -1,0 +1,48 @@
+package tensor
+
+// Epilogue is a set of optional callbacks an operation (MatMulBias, the
+// conv forward) applies to its freshly written output while it is still
+// cache-hot, instead of forcing the caller into a follow-up whole-tensor
+// pass. All callbacks mutate the storage they are handed in place.
+//
+// At most one of the three fields is consulted, in this order:
+//
+//   - Tile runs inside the producing operation's worker goroutines on each
+//     contiguous output chunk as soon as that chunk is complete. Only
+//     element-local transforms (each element depends on nothing but
+//     itself) may use Tile — the chunk boundaries are an implementation
+//     detail of the producer's parallel decomposition.
+//   - Rows runs once on the full output after all workers finish, with the
+//     caller-declared row geometry (rows contiguous rows of rowLen
+//     elements). Transforms that derive per-row state — per-sample
+//     quantization metadata, for instance — use Rows.
+//   - Whole runs once on the full output storage after all workers finish,
+//     for transforms that need tensor-wide state.
+//
+// The zero Epilogue is a no-op; producers skip it without overhead.
+type Epilogue struct {
+	Tile  func(chunk []float32)
+	Rows  func(data []float32, rows, rowLen int)
+	Whole func(data []float32)
+}
+
+// Empty reports whether the epilogue carries no callbacks, i.e. applying
+// it is a no-op.
+func (ep Epilogue) Empty() bool {
+	return ep.Tile == nil && ep.Rows == nil && ep.Whole == nil
+}
+
+// Apply runs the epilogue's post-barrier stage on a completed output:
+// Rows or Whole, whichever is set. When Tile is set it does nothing — the
+// producer already applied the epilogue chunk-wise — so producers can call
+// Apply unconditionally after their workers finish.
+func (ep Epilogue) Apply(data []float32, rows, rowLen int) {
+	switch {
+	case ep.Tile != nil:
+		// Already applied chunk-wise by the producer.
+	case ep.Rows != nil:
+		ep.Rows(data, rows, rowLen)
+	case ep.Whole != nil:
+		ep.Whole(data)
+	}
+}

@@ -55,6 +55,55 @@ func matmulRows(c, a, b []float32, lo, hi, k, n int) {
 	}
 }
 
+// MatMulBias returns t @ o + bias with an optional epilogue applied to the
+// output while it is cache-hot. bias may be nil (no bias) or a rank-1
+// tensor of length n added to every output row — bit-identical to
+// MatMul(o).Add(bias), which performs the same additions in the same
+// order, but without materializing the intermediate product. The epilogue
+// runs per output chunk inside the worker goroutines (Tile) or once after
+// the parallel barrier (Rows/Whole); see Epilogue.
+//
+// This is the layer-forward fast path: emulation (or any element-local
+// transform) touches each output element while its cache line is still
+// resident from the matmul write, instead of re-streaming the whole output
+// from memory in a follow-up pass.
+func (t *Tensor) MatMulBias(o, bias *Tensor, ep Epilogue) *Tensor {
+	if len(t.shape) != 2 || len(o.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulBias requires rank-2 operands, got %v and %v", t.shape, o.shape))
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulBias inner dimensions differ: %v @ %v", t.shape, o.shape))
+	}
+	if bias != nil && (len(bias.shape) != 1 || bias.shape[0] != n) {
+		panic(fmt.Sprintf("tensor: MatMulBias bias shape %v does not match output columns %d", bias.shape, n))
+	}
+	out := New(m, n)
+	defer func(start time.Time) { recordMatMul(start, m, n, k) }(time.Now())
+	work := func(lo, hi int) {
+		matmulRows(out.data, t.data, o.data, lo, hi, k, n)
+		if bias != nil {
+			for i := lo; i < hi; i++ {
+				ci := out.data[i*n : (i+1)*n]
+				for j := range ci {
+					ci[j] += bias.data[j]
+				}
+			}
+		}
+		if ep.Tile != nil {
+			ep.Tile(out.data[lo*n : hi*n])
+		}
+	}
+	if m*n >= matmulParallelThreshold && m > 1 {
+		parallelRows(m, work)
+	} else {
+		work(0, m)
+	}
+	ep.Apply(out.data, m, n)
+	return out
+}
+
 // MatMulT returns t @ oᵀ for shapes (m, k) and (n, k). This avoids
 // materializing the transpose in attention and backward passes.
 func (t *Tensor) MatMulT(o *Tensor) *Tensor {

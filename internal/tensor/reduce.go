@@ -185,6 +185,27 @@ func Gather0(t *Tensor, idx []int) *Tensor {
 	return out
 }
 
+// GatherRowsInto is the allocation-free Gather0: it overwrites dst's rows
+// with t's rows at idx, in order. dst must have exactly len(idx) rows with
+// t's trailing dimensions — the batched campaign loop keeps one arena-
+// backed dst per batch size and refills it every group instead of
+// allocating a fresh batch tensor per injection round.
+func GatherRowsInto(dst, t *Tensor, idx []int) {
+	if len(idx) == 0 {
+		panic("tensor: GatherRowsInto of nothing")
+	}
+	inner := len(t.data) / t.shape[0]
+	if dst.shape[0] != len(idx) || len(dst.data) != len(idx)*inner {
+		panic(fmt.Sprintf("tensor: GatherRowsInto dst %v does not hold %d rows of %d elements", dst.shape, len(idx), inner))
+	}
+	for k, i := range idx {
+		if i < 0 || i >= t.shape[0] {
+			panic(fmt.Sprintf("tensor: GatherRowsInto index %d out of range for axis 0 of %v", i, t.shape))
+		}
+		copy(dst.data[k*inner:(k+1)*inner], t.data[i*inner:(i+1)*inner])
+	}
+}
+
 // Concat0 concatenates tensors along axis 0. All trailing dimensions must
 // match.
 func Concat0(ts ...*Tensor) *Tensor {

@@ -46,6 +46,19 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 	return t
 }
 
+// Wrap returns a tensor that aliases data as its storage — no copy. The
+// caller keeps ownership of the slice: mutations flow both ways, and the
+// data must outlive the tensor. This is the arena path: campaign scratch
+// buffers become tensors without a per-use allocation. Use FromSlice when
+// an independent copy is wanted.
+func Wrap(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: Wrap data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{data: data, shape: append([]int(nil), shape...)}
+}
+
 // Full returns a tensor with every element set to v.
 func Full(v float32, shape ...int) *Tensor {
 	t := New(shape...)

@@ -63,6 +63,8 @@ func RegisterRuntimeCollectors(reg *telemetry.Registry) {
 		set("goldeneye_numfmt_dequantize_total", float64(nf.Dequantize))
 		set("goldeneye_numfmt_emulate_total", float64(nf.Emulate))
 		set("goldeneye_numfmt_elements_total", float64(nf.Elements))
+		set("goldeneye_numfmt_fused_kernels_total", float64(nf.FusedKernels))
+		set("goldeneye_numfmt_generic_kernels_total", float64(nf.GenericKernels))
 
 		ds := dse.ReadSearchStats()
 		set("goldeneye_dse_searches_total", float64(ds.Searches))
