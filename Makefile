@@ -11,7 +11,8 @@ test:
 RACE_PKGS = ./internal/telemetry ./internal/tensor ./internal/nn \
             ./internal/numfmt ./internal/inject ./internal/dse \
             ./internal/checkpoint ./internal/detect ./internal/exper \
-            ./internal/server ./internal/server/client .
+            ./internal/server ./internal/server/journal \
+            ./internal/server/client ./internal/chaos .
 
 .PHONY: check
 check:
@@ -24,6 +25,7 @@ check:
 		echo "staticcheck not installed; skipping (go vet still ran)"; fi
 	go test -shuffle=on ./...
 	go test -race $(RACE_PKGS)
+	$(MAKE) stress-chaos
 	$(MAKE) bench-smoke
 
 # Cancellation paths are the raciest part of the lifecycle: a cancel can
@@ -71,6 +73,18 @@ benchdiff:
 .PHONY: bench-all
 bench-all:
 	go test -bench=. -benchmem ./...
+
+# Fault-tolerance gate: the chaos suite (dropped connections, stalled SSE
+# streams, full-queue bursts), journal crash-replay, cancel/complete races,
+# and the kill-mid-job end-to-end (a journaling daemon SIGKILLed mid-
+# campaign, restarted, every job recovered byte-identically) — all under
+# the race detector with shuffled test order.
+.PHONY: stress-chaos
+stress-chaos:
+	go test -race -shuffle=on ./internal/chaos ./internal/server/journal
+	go test -race -shuffle=on -run 'TestIdempotent|TestReadyz|TestDeadline|TestJournalReplay|TestCancelRaces|TestSSEResume' ./internal/server
+	go test -race -shuffle=on -run 'TestSubmitRetries|TestIdempotentRetry|TestStreamResumes|TestStreamStall|TestBurstSubmit' ./internal/server/client
+	go test -race -run TestKillMidJobRecovers ./cmd/goldeneyed
 
 # Campaign-service smoke gate: boots a real goldeneyed process on a random
 # port, submits a tiny campaign through the typed client, asserts the SSE

@@ -87,6 +87,7 @@ func run(ctx context.Context, args []string) error {
 		detectors = fs.String("detectors", "", "comma-separated detection pipeline (inject): ranger,sentinel,dmr,abft")
 		recovery  = fs.String("recovery", "none", "recovery policy for detected faults (inject): none|clamp|zero|reexecute|abort")
 		serverURL = fs.String("server", "", "submit the campaign to a goldeneyed daemon at this base URL instead of running locally (inject)")
+		deadline  = fs.Duration("job-deadline", 0, "per-job execution bound on the daemon (inject with -server); an expiring job returns its partial report (0 = unbounded)")
 		progress  = fs.Bool("progress", false, "render a live progress line (campaigns) and imply -metrics")
 		metricsFl = fs.Bool("metrics", false, "print a final metrics dump (Prometheus text) to stdout")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
@@ -183,7 +184,7 @@ func run(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		return runRemoteInject(ctx, *serverURL, *model, *samples, *batch, *workers, cfg, *progress)
+		return runRemoteInject(ctx, *serverURL, *model, *samples, *batch, *workers, *deadline, cfg, *progress)
 	}
 
 	m, ds, err := zoo.Pretrained(*model)
@@ -321,16 +322,17 @@ func printInjectReport(model string, rep *goldeneye.CampaignReport) {
 // SSE progress stream, and prints the final report. SIGINT cancels the
 // remote job before returning, so an interrupted submission doesn't leave
 // the daemon running an orphan campaign.
-func runRemoteInject(ctx context.Context, base, model string, samples, batch, workers int, cfg goldeneye.CampaignConfig, showProgress bool) error {
+func runRemoteInject(ctx context.Context, base, model string, samples, batch, workers int, deadline time.Duration, cfg goldeneye.CampaignConfig, showProgress bool) error {
 	if samples > 0 && batch > samples {
 		batch = samples // same clamp the local path applies to its pool
 	}
 	spec := &server.JobSpec{
-		Model:     model,
-		Samples:   samples,
-		EvalBatch: batch,
-		Workers:   workers,
-		Campaign:  cfg,
+		Model:           model,
+		Samples:         samples,
+		EvalBatch:       batch,
+		Workers:         workers,
+		DeadlineSeconds: deadline.Seconds(),
+		Campaign:        cfg,
 	}
 	c := client.New(base)
 	st, err := c.Submit(ctx, spec)

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"goldeneye"
+	"goldeneye/internal/chaos"
+	"goldeneye/internal/server"
+	"goldeneye/internal/server/client"
+)
+
+// spawnDaemon re-executes the test binary as a real goldeneyed process
+// (see TestMain) and returns the running command plus the base URL parsed
+// from its startup banner.
+func spawnDaemon(t *testing.T, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "GOLDENEYED_SMOKE_CHILD=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	rd := bufio.NewReader(stdout)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read daemon banner: %v", err)
+	}
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected banner %q", line)
+	}
+	base := strings.TrimSpace(line[i+len(marker):])
+	go func() { // drain the rest so the daemon never blocks on stdout
+		for {
+			if _, err := rd.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	}()
+	return cmd, base
+}
+
+func killSpec(t *testing.T, seed uint64, injections int) *server.JobSpec {
+	t.Helper()
+	f, err := goldeneye.ParseFormat("fp16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &server.JobSpec{
+		Model:     "mlp",
+		Samples:   16,
+		EvalBatch: 8,
+		Campaign: goldeneye.CampaignConfig{
+			Format:     f,
+			Injections: injections,
+			Seed:       seed,
+			Layer:      1,
+		},
+	}
+}
+
+// TestKillMidJobRecovers is the chaos acceptance gate: a journaling daemon
+// is SIGKILLed with one campaign mid-run and two more queued, restarted on
+// a different port behind a stable proxy address, and the client's retry
+// and SSE-resume machinery completes every job — each final report byte-
+// identical to an unfailed daemon running the same specs.
+func TestKillMidJobRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon processes")
+	}
+	cacheDir, journalDir := t.TempDir(), t.TempDir()
+
+	cmd1, base1 := spawnDaemon(t,
+		"-addr", "127.0.0.1:0", "-cache-dir", cacheDir, "-journal-dir", journalDir)
+	p, err := chaos.NewProxy(strings.TrimPrefix(base1, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := client.NewWithOptions(p.URL(), client.Options{
+		BaseBackoff: 20 * time.Millisecond,
+		MaxBackoff:  500 * time.Millisecond,
+		MaxAttempts: 40, // must outlast the kill → restart → retarget window
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Job 1 is long enough to be mid-run at the kill; jobs 2 and 3 queue
+	// behind it (the daemon runs one campaign at a time by default).
+	specs := []*server.JobSpec{
+		killSpec(t, 51, 30000),
+		killSpec(t, 52, 300),
+		killSpec(t, 53, 300),
+	}
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = st.ID
+	}
+
+	// Follow all three streams through the crash.
+	type result struct {
+		i   int
+		rep *goldeneye.CampaignReport
+		err error
+	}
+	results := make(chan result, len(ids))
+	for i, id := range ids {
+		go func(i int, id string) {
+			rep, err := c.Stream(ctx, id, nil)
+			results <- result{i, rep, err}
+		}(i, id)
+	}
+
+	// Wait until job 1 is demonstrably mid-campaign, then SIGKILL — no
+	// drain, no journal flush beyond what's already on disk.
+	for {
+		st, jerr := c.Job(ctx, ids[0])
+		if jerr == nil && st.State == server.JobRunning && st.Done > 500 {
+			break
+		}
+		if ctx.Err() != nil {
+			t.Fatal("job 1 never reached mid-campaign")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := cmd1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Wait()
+
+	// Restart over the same directories on a new port; swing the proxy so
+	// the clients' stable address now reaches the replayed daemon.
+	_, base2 := spawnDaemon(t,
+		"-addr", "127.0.0.1:0", "-cache-dir", cacheDir, "-journal-dir", journalDir)
+	p.SetTarget(strings.TrimPrefix(base2, "http://"))
+	p.DropActive()
+
+	reports := make([]*goldeneye.CampaignReport, len(ids))
+	for range ids {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("job %s did not survive the kill: %v", ids[r.i], r.err)
+		}
+		reports[r.i] = r.rep
+	}
+	resumes := c.Registry().Counter(client.MetricSSEResumes).Value()
+	if resumes < int64(len(ids)) {
+		t.Errorf("SSE resumes: %d, want >= %d", resumes, len(ids))
+	}
+
+	// The replayed daemon reports its journal recovery on /metrics.
+	mresp, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !bytes.Contains(metrics, []byte("goldeneye_server_journal_replayed_total")) {
+		t.Error("restarted daemon exposes no journal replay metrics")
+	}
+
+	// Reference: an unfailed daemon over fresh state runs the same specs.
+	// Every recovered report must match it byte for byte.
+	_, base3 := spawnDaemon(t,
+		"-addr", "127.0.0.1:0", "-cache-dir", t.TempDir(), "-journal-dir", t.TempDir())
+	ref := client.New(base3)
+	for i, spec := range specs {
+		want, err := ref.Run(ctx, spec, nil)
+		if err != nil {
+			t.Fatalf("reference run %d: %v", i, err)
+		}
+		a, _ := json.Marshal(reports[i])
+		b, _ := json.Marshal(want)
+		if !bytes.Equal(a, b) {
+			t.Errorf("job %s: recovered report differs from unfailed run:\n%s\n%s", ids[i], a, b)
+		}
+	}
+}

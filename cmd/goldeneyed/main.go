@@ -9,7 +9,10 @@
 //
 // On SIGINT/SIGTERM the daemon drains: running campaigns finish (bounded
 // by -drain-timeout) and their results are persisted before exit, so a
-// rolling restart never discards completed work.
+// rolling restart never discards completed work. With -journal-dir the
+// daemon also keeps a write-ahead job journal and survives crashes: a
+// restarted daemon replays the journal, re-queues interrupted jobs, and
+// re-executes them bit-identically (see docs/OPERATIONS.md).
 package main
 
 import (
@@ -34,8 +37,10 @@ func main() {
 		jobs         = flag.Int("jobs", 1, "concurrent campaign jobs")
 		campWorkers  = flag.Int("campaign-workers", 1, "default per-job campaign parallelism")
 		cacheDir     = flag.String("cache-dir", "", "persist the result cache here (empty = in-memory only)")
+		journalDir   = flag.String("journal-dir", "", "persist the write-ahead job journal here (empty = no crash recovery)")
 		zooDir       = flag.String("zoo-dir", "", "pre-trained model cache directory (empty = default)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "how long SIGTERM waits for running jobs before cancelling them")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handler timeout on non-streaming endpoints")
 	)
 	flag.Parse()
 
@@ -45,8 +50,10 @@ func main() {
 		Jobs:            *jobs,
 		CampaignWorkers: *campWorkers,
 		CacheDir:        *cacheDir,
+		JournalDir:      *journalDir,
 		ZooDir:          *zooDir,
 		Registry:        reg,
+		RequestTimeout:  *reqTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "goldeneyed:", err)
@@ -60,6 +67,10 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: svc}
 	fmt.Printf("goldeneyed listening on http://%s\n", ln.Addr())
+	if *journalDir != "" {
+		fmt.Printf("goldeneyed: journaling jobs to %s (crash recovery armed)\n", *journalDir)
+	}
+	fmt.Printf("goldeneyed: readiness at http://%s/readyz, liveness at http://%s/healthz\n", ln.Addr(), ln.Addr())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

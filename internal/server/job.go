@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 	"sync/atomic"
 
@@ -19,6 +20,14 @@ type job struct {
 	key  string
 	hash uint64
 	spec *JobSpec
+
+	// seqNum is the numeric submission sequence behind the id; idemKey and
+	// specJSON are the client's Idempotency-Key and the accepted spec's
+	// canonical encoding. All three are journal bookkeeping, immutable
+	// after submission (or journal replay).
+	seqNum   int64
+	idemKey  string
+	specJSON json.RawMessage
 
 	// cfg is the live campaign configuration. The worker overwrites it once
 	// with the fully resolved version (default layer filled in, detector
@@ -41,6 +50,11 @@ type job struct {
 	// done counts executed injections, stored by the Progress callback.
 	done atomic.Int64
 
+	// seq is the monotonic progress sequence: one tick per engine progress
+	// callback plus one at the terminal transition. SSE frames carry it as
+	// their event id, which is what makes Last-Event-ID resume work.
+	seq atomic.Int64
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -53,6 +67,13 @@ type job struct {
 	cached bool
 	report *goldeneye.CampaignReport
 	err    error
+
+	// jmu serializes this job's journal writes; journaled is the highest
+	// state rank written so far. Together they keep journal transitions
+	// monotonic even when the submit path's "queued" record races the
+	// worker's "running"/terminal ones (the stale write is dropped).
+	jmu       sync.Mutex
+	journaled int
 }
 
 func newJob(id, key string, hash uint64, spec *JobSpec, workers int) *job {
@@ -70,6 +91,13 @@ func newJob(id, key string, hash uint64, spec *JobSpec, workers int) *job {
 		finished: make(chan struct{}),
 		state:    JobQueued,
 	}
+}
+
+// progressed records campaign progress from the engine's Progress hook:
+// the cumulative injection count plus one sequence tick.
+func (j *job) progressed(done int) {
+	j.done.Store(int64(done))
+	j.seq.Add(1)
 }
 
 // setRunning transitions a queued job to running; it reports false when the
@@ -115,6 +143,7 @@ func (j *job) finish(state JobState, rep *goldeneye.CampaignReport, err error) b
 	if state == JobDone {
 		j.done.Store(int64(j.cfg.Injections))
 	}
+	j.seq.Add(1)
 	close(j.finished)
 	return true
 }
@@ -158,6 +187,7 @@ func (j *job) snapshot() JobStatus {
 		State:  state,
 		Model:  j.spec.Model,
 		Cached: cached,
+		Seq:    j.seq.Load(),
 		Done:   int(j.done.Load()),
 		Total:  total,
 		Error:  errText,

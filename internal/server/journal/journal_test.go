@@ -1,0 +1,216 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func entry(id string, seq int64, state State) *Entry {
+	return &Entry{
+		ID:    id,
+		Seq:   seq,
+		Key:   "mlp/deadbeef",
+		Hash:  42,
+		Spec:  json.RawMessage(`{"model":"mlp"}`),
+		State: state,
+	}
+}
+
+// TestRecordReplayRoundTrip: entries come back in submission order with
+// their last-recorded state.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record out of order; transitions overwrite.
+	if err := j.Record(entry("job-000002", 2, StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(entry("job-000001", 1, StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(entry("job-000001", 1, StateRunning)); err != nil {
+		t.Fatal(err)
+	}
+	e3 := entry("job-000003", 3, StateDone)
+	e3.IdempotencyKey = "idem-xyz"
+	e3.Error = ""
+	if err := j.Record(e3); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, skipped, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped: got %d, want 0", skipped)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries: got %d, want 3", len(entries))
+	}
+	wantIDs := []string{"job-000001", "job-000002", "job-000003"}
+	wantStates := []State{StateRunning, StateQueued, StateDone}
+	for i, e := range entries {
+		if e.ID != wantIDs[i] || e.State != wantStates[i] {
+			t.Errorf("entry %d: got %s/%s, want %s/%s", i, e.ID, e.State, wantIDs[i], wantStates[i])
+		}
+	}
+	if entries[2].IdempotencyKey != "idem-xyz" {
+		t.Errorf("idempotency key lost: %+v", entries[2])
+	}
+}
+
+// TestReplaySkipsCorrupt: garbage files are counted, not fatal, and do not
+// hide valid entries.
+func TestReplaySkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(entry("job-000001", 1, StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	for name, body := range map[string]string{
+		"torn.job.json":   `{"id":"job-9`,
+		"empty.job.json":  ``,
+		"nospec.job.json": `{"id":"job-000009","seq":9,"state":"queued"}`,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, skipped, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].ID != "job-000001" {
+		t.Errorf("entries: %+v", entries)
+	}
+	if skipped != 3 {
+		t.Errorf("skipped: got %d, want 3", skipped)
+	}
+}
+
+// TestRemove is idempotent: removing an absent entry is a no-op.
+func TestRemove(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(entry("job-000001", 1, StateDone)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Remove("job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Remove("job-000001"); err != nil {
+		t.Fatalf("second remove: %v", err)
+	}
+	entries, _, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("entries after remove: %+v", entries)
+	}
+}
+
+// TestHealthy: a failed record flips health, the next success clears it.
+func TestHealthy(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Healthy(); err != nil {
+		t.Fatalf("fresh journal unhealthy: %v", err)
+	}
+	// Make the directory unwritable so the temp-file create fails.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	recErr := j.Record(entry("job-000001", 1, StateQueued))
+	os.Chmod(dir, 0o755)
+	if os.Getuid() == 0 && recErr == nil {
+		t.Skip("running as root: chmod does not enforce read-only")
+	}
+	if recErr == nil {
+		t.Fatal("record into read-only dir succeeded")
+	}
+	if err := j.Healthy(); err == nil {
+		t.Error("journal healthy after failed record")
+	}
+	if err := j.Record(entry("job-000001", 1, StateQueued)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Healthy(); err != nil {
+		t.Errorf("journal unhealthy after successful record: %v", err)
+	}
+}
+
+// TestHostileIDStaysInDir: path traversal in an ID cannot escape the
+// journal directory.
+func TestHostileIDStaysInDir(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entry("../../evil", 1, StateQueued)
+	if err := j.Record(e); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("journal files: %v", paths)
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "evil.job.json")); err == nil {
+		t.Error("hostile ID escaped the journal directory")
+	}
+}
+
+// TestConcurrentRecords: parallel transitions on distinct jobs are safe and
+// all land (exercised under -race by the stress-chaos target).
+func TestConcurrentRecords(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("job-%06d", i)
+			for _, st := range []State{StateQueued, StateRunning, StateDone} {
+				if err := j.Record(entry(id, int64(i), st)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	entries, skipped, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 || skipped != 0 {
+		t.Fatalf("entries=%d skipped=%d, want 8/0", len(entries), skipped)
+	}
+	for _, e := range entries {
+		if e.State != StateDone {
+			t.Errorf("%s: state %s, want done", e.ID, e.State)
+		}
+	}
+}

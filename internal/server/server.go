@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -15,6 +16,7 @@ import (
 	"goldeneye/internal/checkpoint"
 	"goldeneye/internal/detect"
 	"goldeneye/internal/exper"
+	"goldeneye/internal/server/journal"
 	"goldeneye/internal/telemetry"
 	"goldeneye/internal/zoo"
 )
@@ -31,6 +33,16 @@ const (
 	MetricCacheMisses   = "goldeneye_server_cache_misses_total"
 	MetricCacheHitRatio = "goldeneye_server_cache_hit_ratio"
 	MetricCacheErrors   = "goldeneye_server_cache_errors_total"
+
+	// Resilience-layer metrics: journal write-ahead activity, boot-time
+	// replay outcomes, idempotent submission dedup, SSE stream resumes,
+	// and per-job deadline expiries.
+	MetricJournalRecords  = "goldeneye_server_journal_records_total"
+	MetricJournalErrors   = "goldeneye_server_journal_errors_total"
+	MetricJournalReplayed = "goldeneye_server_journal_replayed_total" // labeled outcome="restored|requeued|skipped"
+	MetricIdempotentHits  = "goldeneye_server_idempotent_hits_total"
+	MetricSSEResumes      = "goldeneye_server_sse_resumes_total"
+	MetricDeadlineExpired = "goldeneye_server_deadline_expired_total"
 )
 
 // Options configures a campaign service.
@@ -52,6 +64,13 @@ type Options struct {
 	// the cache survives daemon restarts ("" = in-memory cache only).
 	CacheDir string
 
+	// JournalDir persists the write-ahead job journal ("" = no journal).
+	// With a journal, a daemon that crashes — or is SIGKILLed mid-campaign
+	// — replays it at boot: terminal jobs are restored (reports served
+	// from the result cache) and queued or running jobs are re-queued and
+	// re-executed bit-identically from their deterministic seed.
+	JournalDir string
+
 	// ZooDir overrides the pre-trained model cache location ("" = the zoo
 	// default).
 	ZooDir string
@@ -64,6 +83,16 @@ type Options struct {
 
 	// StreamInterval is the SSE progress sampling period (default 200ms).
 	StreamInterval time.Duration
+
+	// StreamKeepAlive is how long an SSE stream may stay silent before a
+	// comment heartbeat is emitted (default 10s), so client idle watchdogs
+	// can tell a slow campaign from a stalled connection.
+	StreamKeepAlive time.Duration
+
+	// RequestTimeout bounds every non-streaming request handler (default
+	// 30s); only the SSE stream and the debug/metrics mux are exempt. A
+	// handler that overruns answers 503.
+	RequestTimeout time.Duration
 
 	// MaxBodyBytes bounds submission bodies (default 1 MiB).
 	MaxBodyBytes int64
@@ -88,6 +117,12 @@ func (o *Options) withDefaults() {
 	if o.StreamInterval <= 0 {
 		o.StreamInterval = 200 * time.Millisecond
 	}
+	if o.StreamKeepAlive <= 0 {
+		o.StreamKeepAlive = 10 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
 	}
@@ -103,34 +138,42 @@ func (o *Options) withDefaults() {
 //	GET  /v1/jobs/{id}/events SSE progress stream until terminal
 //	POST /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET  /healthz             liveness + drain state
+//	GET  /readyz              readiness: 503 once draining or the journal is unwritable
 //	GET  /metrics             Prometheus exposition (internal/telemetry)
 //	GET  /metrics.json        JSON exposition
 //	GET  /debug/pprof/        pprof handlers
 type Server struct {
-	opts  Options
-	reg   *telemetry.Registry
-	cache *resultCache
-	mux   *http.ServeMux
+	opts    Options
+	reg     *telemetry.Registry
+	cache   *resultCache
+	journal *journal.Journal // nil = no write-ahead journal
+	mux     *http.ServeMux
 
 	queue chan *job
 
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string
+	idem     map[string]string // Idempotency-Key → job ID
 	draining bool
 	closed   bool
 
 	wg  sync.WaitGroup
 	seq atomic.Int64
 
-	queueDepth  *telemetry.Gauge
-	inflight    *telemetry.Gauge
-	submissions *telemetry.Counter
-	rejected    *telemetry.Counter
-	cacheHits   *telemetry.Counter
-	cacheMisses *telemetry.Counter
-	hitRatio    *telemetry.Gauge
-	cacheErrors *telemetry.Counter
+	queueDepth      *telemetry.Gauge
+	inflight        *telemetry.Gauge
+	submissions     *telemetry.Counter
+	rejected        *telemetry.Counter
+	cacheHits       *telemetry.Counter
+	cacheMisses     *telemetry.Counter
+	hitRatio        *telemetry.Gauge
+	cacheErrors     *telemetry.Counter
+	journalRecords  *telemetry.Counter
+	journalErrors   *telemetry.Counter
+	idemHits        *telemetry.Counter
+	sseResumes      *telemetry.Counter
+	deadlineExpired *telemetry.Counter
 
 	// beforeRun, when non-nil, runs on the worker goroutine after a job
 	// turns running and before the campaign executes. Test seam: lets the
@@ -139,37 +182,72 @@ type Server struct {
 }
 
 // New builds a campaign service and starts its worker pool. Callers serve
-// it with net/http and stop it with Shutdown.
+// it with net/http and stop it with Shutdown. With a JournalDir, New
+// replays the write-ahead journal before accepting traffic: interrupted
+// jobs re-enter the queue (in submission order, ahead of new work) and
+// terminal ones are restored to the job table, so clients resume streams
+// and retry submissions against the same job IDs they held before the
+// crash.
 func New(opts Options) (*Server, error) {
 	opts.withDefaults()
 	cache, err := newResultCache(opts.CacheDir)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		opts:  opts,
-		reg:   opts.Registry,
-		cache: cache,
-		queue: make(chan *job, opts.QueueSize),
-		jobs:  make(map[string]*job),
-
-		queueDepth:  opts.Registry.Gauge(MetricQueueDepth),
-		inflight:    opts.Registry.Gauge(MetricJobsInFlight),
-		submissions: opts.Registry.Counter(MetricSubmissions),
-		rejected:    opts.Registry.Counter(MetricRejected),
-		cacheHits:   opts.Registry.Counter(MetricCacheHits),
-		cacheMisses: opts.Registry.Counter(MetricCacheMisses),
-		hitRatio:    opts.Registry.Gauge(MetricCacheHitRatio),
-		cacheErrors: opts.Registry.Counter(MetricCacheErrors),
+	var jl *journal.Journal
+	var entries []*journal.Entry
+	var skipped int
+	if opts.JournalDir != "" {
+		if jl, err = journal.Open(opts.JournalDir); err != nil {
+			return nil, err
+		}
+		if entries, skipped, err = jl.Replay(); err != nil {
+			return nil, err
+		}
 	}
+	s := &Server{
+		opts:    opts,
+		reg:     opts.Registry,
+		cache:   cache,
+		journal: jl,
+		jobs:    make(map[string]*job),
+		idem:    make(map[string]string),
+
+		queueDepth:      opts.Registry.Gauge(MetricQueueDepth),
+		inflight:        opts.Registry.Gauge(MetricJobsInFlight),
+		submissions:     opts.Registry.Counter(MetricSubmissions),
+		rejected:        opts.Registry.Counter(MetricRejected),
+		cacheHits:       opts.Registry.Counter(MetricCacheHits),
+		cacheMisses:     opts.Registry.Counter(MetricCacheMisses),
+		hitRatio:        opts.Registry.Gauge(MetricCacheHitRatio),
+		cacheErrors:     opts.Registry.Counter(MetricCacheErrors),
+		journalRecords:  opts.Registry.Counter(MetricJournalRecords),
+		journalErrors:   opts.Registry.Counter(MetricJournalErrors),
+		idemHits:        opts.Registry.Counter(MetricIdempotentHits),
+		sseResumes:      opts.Registry.Counter(MetricSSEResumes),
+		deadlineExpired: opts.Registry.Counter(MetricDeadlineExpired),
+	}
+	requeue := s.restoreJournal(entries, skipped)
+	// The queue must hold every replayed job on top of the configured
+	// bound, or a crash with a full queue could not re-admit its own work.
+	s.queue = make(chan *job, opts.QueueSize+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
+	}
+	s.queueDepth.Set(float64(len(s.queue)))
+
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	timed := func(h http.HandlerFunc) http.Handler {
+		return http.TimeoutHandler(h, opts.RequestTimeout, `{"error":"server: request timed out"}`)
+	}
+	s.mux.Handle("POST /v1/jobs", timed(s.handleSubmit))
+	s.mux.Handle("GET /v1/jobs", timed(s.handleList))
+	s.mux.Handle("GET /v1/jobs/{id}", timed(s.handleStatus))
+	s.mux.Handle("GET /v1/jobs/{id}/report", timed(s.handleReport))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents) // SSE: no per-request timeout
+	s.mux.Handle("POST /v1/jobs/{id}/cancel", timed(s.handleCancel))
+	s.mux.Handle("GET /healthz", timed(s.handleHealthz))
+	s.mux.Handle("GET /readyz", timed(s.handleReadyz))
 	tm := telemetry.Mux(s.reg)
 	s.mux.Handle("/metrics", tm)
 	s.mux.Handle("/metrics.json", tm)
@@ -180,6 +258,121 @@ func New(opts Options) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// restoreJournal rebuilds the job table from replayed journal entries and
+// returns the jobs that must re-enter the queue (interrupted queued or
+// running jobs, and done jobs whose report no longer exists in the result
+// cache — re-executing those is bit-identical by the determinism
+// invariant). Runs before the worker pool starts, so it owns all state.
+func (s *Server) restoreJournal(entries []*journal.Entry, skipped int) []*job {
+	replayed := func(outcome string) {
+		s.reg.Counter(telemetry.Label(MetricJournalReplayed, "outcome", outcome)).Inc()
+	}
+	for i := 0; i < skipped; i++ {
+		replayed("skipped")
+	}
+	var requeue []*job
+	var maxSeq int64
+	for _, e := range entries {
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+		spec, err := DecodeJobSpec(bytes.NewReader(e.Spec))
+		if err != nil {
+			// A spec this daemon version no longer accepts (schema drift);
+			// skip it rather than refusing to boot.
+			replayed("skipped")
+			s.journalErrors.Inc()
+			continue
+		}
+		j := newJob(e.ID, e.Key, e.Hash, spec, e.Workers)
+		j.seqNum = e.Seq
+		j.idemKey = e.IdempotencyKey
+		j.specJSON = e.Spec
+		switch {
+		case e.State == journal.StateDone:
+			if rep := s.cache.get(e.Key, e.Hash); rep != nil {
+				j.cached = true
+				j.cfg = rep.Config
+				j.finish(JobDone, rep, nil)
+				replayed("restored")
+			} else {
+				requeue = append(requeue, j)
+				replayed("requeued")
+			}
+		case e.State == journal.StateFailed:
+			j.finish(JobFailed, nil, fmt.Errorf("server: journaled failure: %s", e.Error))
+			replayed("restored")
+		case e.State == journal.StateCancelled:
+			j.finish(JobCancelled, nil, errors.New("server: job cancelled before restart"))
+			replayed("restored")
+		default: // queued or running: the crash interrupted it
+			requeue = append(requeue, j)
+			replayed("requeued")
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if j.idemKey != "" {
+			s.idem[j.idemKey] = j.id
+		}
+	}
+	// New submissions continue the journal's sequence so IDs never collide
+	// with replayed ones.
+	s.seq.Store(maxSeq)
+	// Re-record requeued jobs as queued: a second crash before they run
+	// must replay them the same way.
+	for _, j := range requeue {
+		s.journalRecord(j, journal.StateQueued, "")
+	}
+	return requeue
+}
+
+// journalRank orders lifecycle states so a job's journal entry can only
+// move forward: a submit path's "queued" write that loses the race against
+// the worker's "running" (or a fast job's terminal) write is dropped.
+func journalRank(state journal.State) int {
+	switch state {
+	case journal.StateQueued:
+		return 1
+	case journal.StateRunning:
+		return 2
+	default: // terminal
+		return 3
+	}
+}
+
+// journalRecord persists a job transition to the write-ahead journal.
+// Failures are counted and surfaced through /readyz rather than failing
+// the job: the daemon stays available, degraded to non-durable, and
+// operators see it immediately.
+func (s *Server) journalRecord(j *job, state journal.State, errText string) {
+	if s.journal == nil {
+		return
+	}
+	j.jmu.Lock()
+	defer j.jmu.Unlock()
+	rank := journalRank(state)
+	if rank <= j.journaled {
+		return
+	}
+	j.journaled = rank
+	err := s.journal.Record(&journal.Entry{
+		ID:             j.id,
+		Seq:            j.seqNum,
+		IdempotencyKey: j.idemKey,
+		Key:            j.key,
+		Hash:           j.hash,
+		Workers:        j.workers,
+		Spec:           j.specJSON,
+		State:          state,
+		Error:          errText,
+	})
+	if err != nil {
+		s.journalErrors.Inc()
+		return
+	}
+	s.journalRecords.Inc()
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -243,11 +436,19 @@ func (s *Server) runJob(j *job) {
 	if !j.setRunning() {
 		return // cancelled while queued
 	}
+	s.journalRecord(j, journal.StateRunning, "")
 	s.inflight.Add(1)
 	if f := s.beforeRun; f != nil {
 		f(j)
 	}
-	rep, err := s.execute(j)
+	// The per-job deadline starts here, when a worker picks the job up —
+	// queue time doesn't count against it.
+	ctx, cancel := j.ctx, context.CancelFunc(func() {})
+	if d := j.spec.Deadline(); d > 0 {
+		ctx, cancel = context.WithTimeout(j.ctx, d)
+	}
+	rep, err := s.execute(ctx, j)
+	cancel()
 	s.inflight.Add(-1)
 	switch {
 	case err == nil:
@@ -260,15 +461,27 @@ func (s *Server) runJob(j *job) {
 		}
 	case j.ctx.Err() != nil:
 		s.finishJob(j, JobCancelled, rep, err)
+	case ctx.Err() != nil && rep != nil:
+		// The job deadline expired mid-campaign: degrade to the partial
+		// report (Interrupted set) instead of a hung worker. Partial
+		// reports are never cached — a resubmission re-runs the campaign.
+		s.deadlineExpired.Inc()
+		s.finishJob(j, JobDone, rep, nil)
+	case ctx.Err() != nil:
+		s.deadlineExpired.Inc()
+		s.finishJob(j, JobFailed, nil,
+			fmt.Errorf("server: job %s exceeded its %gs deadline before producing a report: %w",
+				j.id, j.spec.DeadlineSeconds, err))
 	default:
 		s.finishJob(j, JobFailed, nil, err)
 	}
 }
 
-// execute resolves the job's model and pool and runs the campaign. The
+// execute resolves the job's model and pool and runs the campaign under
+// ctx (the job context, possibly narrowed by a per-job deadline). The
 // recover mirrors the campaign engine's own panic isolation one level up:
 // a panicking model resolution or setup fails the job, never the daemon.
-func (s *Server) execute(j *job) (rep *goldeneye.CampaignReport, err error) {
+func (s *Server) execute(ctx context.Context, j *job) (rep *goldeneye.CampaignReport, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rep, err = nil, fmt.Errorf("server: job %s panicked: %v", j.id, r)
@@ -298,7 +511,7 @@ func (s *Server) execute(j *job) (rep *goldeneye.CampaignReport, err error) {
 	cfg := j.cfg
 	cfg.Pool = pool
 	cfg.Metrics = j.reg
-	cfg.Progress = func(done, total int) { j.done.Store(int64(done)) }
+	cfg.Progress = func(done, total int) { j.progressed(done) }
 	if cfg.Layer < 0 {
 		cfg.Layer = scout.DefaultInjectionLayer(cfg.Target)
 		if cfg.Layer < 0 {
@@ -330,13 +543,18 @@ func (s *Server) execute(j *job) (rep *goldeneye.CampaignReport, err error) {
 		}
 		return goldeneye.NewSimulator(m, ds.ValX.Slice(0, 1))
 	}
-	return goldeneye.RunCampaignParallel(j.ctx, cfg, j.workers, build)
+	return goldeneye.RunCampaignParallel(ctx, cfg, j.workers, build)
 }
 
-// finishJob applies a terminal transition and counts it once.
+// finishJob applies a terminal transition, counts it once, and journals it.
 func (s *Server) finishJob(j *job, state JobState, rep *goldeneye.CampaignReport, err error) {
 	if j.finish(state, rep, err) {
 		s.reg.Counter(telemetry.Label(MetricJobsTotal, "state", string(state))).Inc()
+		var errText string
+		if err != nil {
+			errText = err.Error()
+		}
+		s.journalRecord(j, journal.State(state), errText)
 	}
 }
 
@@ -364,8 +582,20 @@ func jobHash(spec *JobSpec, workers int) uint64 {
 	)
 }
 
-func (s *Server) nextID() string {
-	return fmt.Sprintf("job-%06d", s.seq.Add(1))
+func (s *Server) nextID() (string, int64) {
+	n := s.seq.Add(1)
+	return fmt.Sprintf("job-%06d", n), n
+}
+
+// newSubmission constructs a job for an accepted submission, carrying the
+// journal bookkeeping (sequence, idempotency key, canonical spec bytes).
+func (s *Server) newSubmission(key string, hash uint64, spec *JobSpec, workers int, idemKey string) *job {
+	id, seq := s.nextID()
+	j := newJob(id, key, hash, spec, workers)
+	j.seqNum = seq
+	j.idemKey = idemKey
+	j.specJSON, _ = json.Marshal(spec)
+	return j
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -382,16 +612,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	hash := jobHash(spec, workers)
 	key := fmt.Sprintf("%s/%016x", spec.Model, hash)
+	idemKey := r.Header.Get("Idempotency-Key")
 
 	s.mu.Lock()
+	// Idempotent retry: a key we've already accepted maps to its original
+	// job, whatever state it is in — the retried submit never double-runs
+	// the campaign. The key index survives restarts through the journal.
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			j := s.jobs[id]
+			s.mu.Unlock()
+			s.idemHits.Inc()
+			w.Header().Set("Idempotency-Replayed", "true")
+			writeJSON(w, http.StatusOK, j.snapshot())
+			return
+		}
+	}
 	if rep := s.cache.get(key, hash); rep != nil {
 		s.cacheHits.Inc()
 		s.updateHitRatio()
-		j := newJob(s.nextID(), key, hash, spec, workers)
+		j := s.newSubmission(key, hash, spec, workers, idemKey)
 		j.cached = true
 		j.cfg = rep.Config
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
+		if idemKey != "" {
+			s.idem[idemKey] = j.id
+		}
 		s.mu.Unlock()
 		s.finishJob(j, JobDone, rep, nil)
 		writeJSON(w, http.StatusOK, j.snapshot())
@@ -404,13 +651,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, errors.New("server: draining, not accepting jobs"))
 		return
 	}
-	j := newJob(s.nextID(), key, hash, spec, workers)
+	j := s.newSubmission(key, hash, spec, workers, idemKey)
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
+		if idemKey != "" {
+			s.idem[idemKey] = j.id
+		}
 		s.queueDepth.Set(float64(len(s.queue)))
 		s.mu.Unlock()
+		// Journal the acceptance before acknowledging it, so a crash after
+		// the 202 always replays the job.
+		s.journalRecord(j, journal.StateQueued, "")
 		writeJSON(w, http.StatusAccepted, j.snapshot())
 	default:
 		s.rejected.Inc()
@@ -483,6 +736,32 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cancelIfQueued(j)
 	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleReadyz is the drain-aware readiness probe, distinct from the
+// liveness /healthz: it answers 503 once Shutdown begins (load balancers
+// stop routing new jobs while in-flight ones drain) or when the write-ahead
+// journal has become unwritable (accepting work that cannot be made durable
+// would silently void the crash-safety contract).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	reason := ""
+	switch {
+	case draining:
+		reason = "draining"
+	case s.journal != nil:
+		if err := s.journal.Healthy(); err != nil {
+			reason = "journal unwritable: " + err.Error()
+		}
+	}
+	if reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "unavailable", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -17,6 +18,14 @@ import (
 //	event: done       data: the full CampaignReport
 //	event: failed     data: the final JobStatus (Error set)
 //	event: cancelled  data: the final JobStatus
+//
+// Every frame carries the job's monotonic progress sequence as its SSE id.
+// A reconnecting client replays it via the Last-Event-ID header and the
+// stream resumes: snapshots at or before that sequence are suppressed
+// (progress is cumulative, so skipping stale ones loses nothing), while
+// the terminal event is always delivered. Idle streams emit comment
+// heartbeats every StreamKeepAlive so clients can distinguish a slow
+// campaign from a stalled connection.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.jobFor(w, r)
 	if j == nil {
@@ -28,6 +37,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: response writer cannot stream"))
 		return
 	}
+
+	lastSent := int64(-1)
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		if v, err := strconv.ParseInt(lid, 10, 64); err == nil && v >= 0 {
+			lastSent = v
+			s.sseResumes.Inc()
+		}
+	}
+
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
@@ -35,14 +53,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 
+	lastWrite := time.Now()
 	var last []byte
 	emitProgress := func() {
-		data, err := json.Marshal(j.snapshot())
+		st := j.snapshot()
+		if st.Seq <= lastSent {
+			return // the client saw this (or a later) snapshot before reconnecting
+		}
+		data, err := json.Marshal(st)
 		if err != nil || bytes.Equal(data, last) {
 			return
 		}
 		last = data
-		writeEvent(w, fl, "progress", data)
+		lastSent = st.Seq
+		writeEvent(w, fl, "progress", st.Seq, data)
+		lastWrite = time.Now()
 	}
 	emitProgress()
 
@@ -57,9 +82,17 @@ wait:
 			break wait
 		case <-tick.C:
 			emitProgress()
+			if time.Since(lastWrite) >= s.opts.StreamKeepAlive {
+				fmt.Fprint(w, ": hb\n\n")
+				fl.Flush()
+				lastWrite = time.Now()
+			}
 		}
 	}
 
+	// The terminal transition bumped the sequence one final time; the
+	// terminal frame carries that id and is delivered unconditionally.
+	terminalSeq := j.seq.Load()
 	final := j.snapshot()
 	switch final.State {
 	case JobDone:
@@ -67,22 +100,22 @@ wait:
 		data, err := json.Marshal(rep)
 		if err != nil {
 			data, _ = json.Marshal(map[string]string{"error": err.Error()})
-			writeEvent(w, fl, "failed", data)
+			writeEvent(w, fl, "failed", terminalSeq, data)
 			return
 		}
-		writeEvent(w, fl, "done", data)
+		writeEvent(w, fl, "done", terminalSeq, data)
 	case JobFailed:
 		data, _ := json.Marshal(final)
-		writeEvent(w, fl, "failed", data)
+		writeEvent(w, fl, "failed", terminalSeq, data)
 	default:
 		data, _ := json.Marshal(final)
-		writeEvent(w, fl, "cancelled", data)
+		writeEvent(w, fl, "cancelled", terminalSeq, data)
 	}
 }
 
-// writeEvent emits one SSE frame. Payloads are single-line JSON, so one
-// data: field suffices.
-func writeEvent(w http.ResponseWriter, fl http.Flusher, event string, data []byte) {
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+// writeEvent emits one SSE frame with its event id. Payloads are
+// single-line JSON, so one data: field suffices.
+func writeEvent(w http.ResponseWriter, fl http.Flusher, event string, id int64, data []byte) {
+	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, data)
 	fl.Flush()
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"slices"
+	"time"
 
 	"goldeneye"
 	"goldeneye/internal/inject"
@@ -66,10 +67,24 @@ type JobSpec struct {
 	// worker counts.
 	Workers int `json:"workers,omitempty"`
 
+	// DeadlineSeconds bounds the job's execution time (0 = unbounded). The
+	// clock starts when a worker picks the job up, not while it queues. A
+	// campaign still running at the deadline is stopped at the next
+	// injection boundary and the job completes with the partial report
+	// (Interrupted set) rather than hanging a worker; partial reports are
+	// never cached. The deadline is not part of the cache key: only
+	// complete reports are cached, and those are deadline-independent.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+
 	// Campaign is the campaign configuration proper, in its versioned wire
 	// encoding. Layer may be -1 to select the model's default injection
 	// layer server-side.
 	Campaign goldeneye.CampaignConfig `json:"campaign"`
+}
+
+// Deadline returns the spec's per-job execution bound, 0 when unbounded.
+func (s *JobSpec) Deadline() time.Duration {
+	return time.Duration(s.DeadlineSeconds * float64(time.Second))
 }
 
 // Validate checks a decoded submission against the rules the daemon can
@@ -94,6 +109,10 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Workers < 0 {
 		return &goldeneye.ConfigError{Field: "Workers", Reason: fmt.Sprintf("worker count %d is negative", s.Workers)}
+	}
+	if s.DeadlineSeconds < 0 {
+		return &goldeneye.ConfigError{Field: "DeadlineSeconds",
+			Reason: fmt.Sprintf("deadline %v is negative", s.DeadlineSeconds)}
 	}
 	if s.EvalBatch > s.PoolSamples() {
 		return &goldeneye.ConfigError{Field: "EvalBatch",
@@ -187,6 +206,13 @@ type JobStatus struct {
 	State  JobState `json:"state"`
 	Model  string   `json:"model"`
 	Cached bool     `json:"cached,omitempty"`
+
+	// Seq is the job's monotonic progress sequence number: it advances on
+	// every engine progress callback and once more at the terminal
+	// transition. SSE frames carry it as their event id, so a reconnecting
+	// client sends it back as Last-Event-ID and the stream resumes without
+	// re-delivering snapshots it already saw.
+	Seq int64 `json:"seq"`
 
 	// Done/Total track executed injections (recorded + aborted) against
 	// the campaign's planned count.
