@@ -51,7 +51,7 @@ stress-detect:
 # full figure-by-figure sweep; docs/PERFORMANCE.md explains the output.
 .PHONY: bench
 bench:
-	go test -run NONE -bench 'BenchmarkCampaignBatched' -benchmem -count 3 .
+	go test -run NONE -bench 'BenchmarkCampaignBatched|BenchmarkAssignmentOverhead' -benchmem -count 3 .
 	GOLDENEYE_BENCH_CAMPAIGN=BENCH_campaign.json go test -run TestCampaignBenchReport -v -timeout 30m .
 
 # Fast correctness slice of the matrix, wired into `make check`: a reduced

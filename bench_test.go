@@ -277,6 +277,56 @@ func BenchmarkCampaignBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkAssignmentOverhead pins the api_redesign's perf contract: the
+// legacy uniform configuration (Assignment nil — the zero value) must cost
+// the same after the redesign as before it, and its explicit
+// uniform-assignment lowering must cost the same as the legacy spelling.
+// Compare the two sub-benchmarks with benchstat; they run the identical
+// campaign through the legacy shim and through a default-only
+// FormatAssignment.
+func BenchmarkAssignmentOverhead(b *testing.B) {
+	sim, x, y := benchSim(b, "resnet_s")
+	pool, err := goldeneye.NewEvalPool(x.Slice(0, 64), y[:64], 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := sim.InjectableLayers()[2]
+	f := numfmt.FP8E4M3(true)
+	base := goldeneye.CampaignConfig{
+		Site:       goldeneye.SiteValue,
+		Target:     goldeneye.TargetNeuron,
+		Layer:      layer,
+		Injections: 128,
+		Pool:       pool,
+		BatchSize:  8,
+	}
+	legacy := base
+	legacy.Format = f
+	legacy.EmulateNetwork = true
+	lowered := base
+	lowered.Format = f
+	lowered.Assignment = &goldeneye.FormatAssignment{
+		Default: goldeneye.RoleFormats{Activations: f},
+	}
+	for _, bc := range []struct {
+		name string
+		cfg  goldeneye.CampaignConfig
+	}{{"legacy_nil_assignment", legacy}, {"lowered_assignment", lowered}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := bc.cfg
+				cfg.Seed = uint64(i)
+				if _, err := sim.RunCampaign(context.Background(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(128*b.N)/b.Elapsed().Seconds(), "inj/s")
+		})
+	}
+}
+
 // BenchmarkMetricConvergence measures a KeepTrace campaign plus running-CI
 // computation (the §IV-C convergence experiment).
 func BenchmarkMetricConvergence(b *testing.B) {

@@ -25,10 +25,27 @@ import (
 // to one inference, with mismatch and ΔLoss recorded against the fault-free
 // reference under the same number format.
 type CampaignConfig struct {
-	// Format is the emulated number system faults are injected into.
+	// Format is the emulated number system faults are injected into. With
+	// an Assignment it may stay nil; the injection format then resolves
+	// from the assigned role at the target layer (activations for neuron
+	// targets, weights for weight targets, the accumulator format for
+	// SiteAccum).
 	Format numfmt.Format
 
-	// Site selects data-value or metadata injection.
+	// Assignment maps layers to per-role formats (weights, activations,
+	// accumulator) — the mixed-precision surface that generalizes the
+	// uniform Format + EmulateNetwork + QuantizeWeights trio. When set,
+	// those three legacy fields are ignored for emulation (Format is still
+	// honored as an explicit injection format) and the campaign runs each
+	// layer in its assigned roles. Accumulator roles are required for
+	// format-space SiteAccum injection; without one, accumulator faults
+	// flip bits of the native float32 register.
+	Assignment *FormatAssignment
+
+	// Site selects data-value, metadata, or accumulator-interior
+	// injection. SiteAccum flips a bit of one partial-sum register inside
+	// the target layer's GEMM at a random reduction step; it requires a
+	// neuron target and a GEMM-backed layer (CONV or LINEAR).
 	Site inject.Site
 
 	// Target selects neuron (activation) or weight corruption.
@@ -75,9 +92,19 @@ type CampaignConfig struct {
 	// EmulateNetwork quantizes all CONV/LINEAR activations to Format during
 	// every inference, so the campaign models a network *running in* the
 	// studied format rather than FP32 with one quantized layer.
+	//
+	// Deprecated: use Assignment with an Activations role, which
+	// generalizes this to per-layer formats. The field remains fully
+	// supported and bit-identical; it is ignored when Assignment is set.
 	EmulateNetwork bool
 
 	// QuantizeWeights converts weights to Format for the campaign.
+	//
+	// Deprecated: use Assignment with a Weights role. Note the historical
+	// semantics this flag keeps: it converts every non-frozen model
+	// parameter (normalization scale/shift included), while an Assignment
+	// converts only the parameters of the layers it assigns. Ignored when
+	// Assignment is set.
 	QuantizeWeights bool
 
 	// KeepTrace records each injection's outcome (needed by the metric-
@@ -368,8 +395,13 @@ type campaignRunner struct {
 	ranger    *inject.RangeProfile
 	cleanPred []int
 	cleanLoss []float64
-	elems     int
-	flips     int
+	geom      campaignGeom
+
+	// emuAsg is the lowered emulation assignment every pass of this runner
+	// applies (nil when the campaign emulates nothing); injFormat is the
+	// resolved injection format (see campaignGeom.inj).
+	emuAsg    *FormatAssignment
+	injFormat numfmt.Format
 
 	// pipeline is this runner's detection pipeline (nil without
 	// cfg.Detectors). One per runner — detectors carry calibration state,
@@ -483,57 +515,142 @@ func traceCopy(out InjectionOutcome) InjectionOutcome {
 	return out
 }
 
+// emulationAssignment lowers cfg to the format assignment its forward
+// passes run under: Assignment itself when set, else the uniform-activation
+// assignment the deprecated EmulateNetwork flag describes. The deprecated
+// QuantizeWeights flag is deliberately not lowered — its historical
+// all-parameter conversion is applied verbatim by newRunner, so legacy
+// campaigns stay bit-identical.
+func (cfg *CampaignConfig) emulationAssignment() *FormatAssignment {
+	if cfg.Assignment != nil {
+		return cfg.Assignment
+	}
+	if cfg.EmulateNetwork && cfg.Format != nil {
+		return &FormatAssignment{Default: RoleFormats{Activations: cfg.Format}}
+	}
+	return nil
+}
+
+// campaignGeom is the validated fault-drawing geometry campaignGeometry
+// resolves: the evaluation pool, the target element count, the flips per
+// injection, and the injection format/depth.
+type campaignGeom struct {
+	pool  *EvalPool
+	elems int
+	flips int
+
+	// inj is the format faults encode in: cfg.Format for value/metadata
+	// sites (or the assigned role standing in for a nil Format), and the
+	// target layer's accumulator format for SiteAccum — nil there meaning
+	// the native float32 register.
+	inj numfmt.Format
+
+	// depth is the target layer's GEMM reduction depth — the number of
+	// multiply-accumulate steps a SiteAccum fault can land on. Zero for
+	// other sites.
+	depth int
+}
+
 // campaignGeometry validates cfg against the simulator and returns the
-// resolved evaluation pool plus the fault-drawing geometry (target element
-// count and flips per injection).
-func (s *Simulator) campaignGeometry(cfg CampaignConfig) (pool *EvalPool, elems, flips int, err error) {
-	if cfg.Format == nil {
-		return nil, 0, 0, &ConfigError{Field: "Format", Reason: "campaign requires a format"}
+// resolved evaluation pool plus the fault-drawing geometry.
+func (s *Simulator) campaignGeometry(cfg CampaignConfig) (campaignGeom, error) {
+	var g campaignGeom
+	fail := func(err error) (campaignGeom, error) { return campaignGeom{}, err }
+	if cfg.Format == nil && cfg.Assignment == nil {
+		return fail(&ConfigError{Field: "Format", Reason: "campaign requires a format"})
+	}
+	if cfg.Assignment != nil {
+		if err := cfg.Assignment.Validate(); err != nil {
+			return fail(err)
+		}
 	}
 	if cfg.Injections <= 0 {
-		return nil, 0, 0, configErrf("Injections", "campaign requires a positive injection count, got %d", cfg.Injections)
+		return fail(configErrf("Injections", "campaign requires a positive injection count, got %d", cfg.Injections))
 	}
-	if pool, err = cfg.evalPool(); err != nil {
-		return nil, 0, 0, err
+	pool, err := cfg.evalPool()
+	if err != nil {
+		return fail(err)
 	}
+	g.pool = pool
 	// Validate the effective pack batch, not the raw field: weight-target
 	// campaigns degrade any BatchSize to the serial path (see packBatch),
 	// so an oversized request is only an error when it would actually run.
 	if b := cfg.packBatch(); b > pool.Len() {
-		return nil, 0, 0, configErrf("BatchSize",
-			"campaign batch %d exceeds the pool's %d samples", b, pool.Len())
-	}
-	if cfg.Site == inject.SiteMetadata && inject.MetaBitWidth(cfg.Format) == 0 {
-		return nil, 0, 0, fmt.Errorf("goldeneye: format %s has no metadata to inject into", cfg.Format.Name())
+		return fail(configErrf("BatchSize",
+			"campaign batch %d exceeds the pool's %d samples", b, pool.Len()))
 	}
 	if cfg.Recovery != detect.PolicyNone && len(cfg.Detectors) == 0 {
-		return nil, 0, 0, fmt.Errorf("goldeneye: recovery policy %s requires Detectors", cfg.Recovery)
+		return fail(fmt.Errorf("goldeneye: recovery policy %s requires Detectors", cfg.Recovery))
 	}
 	if cfg.Resume != nil {
 		if cfg.KeepTrace {
-			return nil, 0, 0, fmt.Errorf("goldeneye: resume does not support KeepTrace campaigns")
+			return fail(fmt.Errorf("goldeneye: resume does not support KeepTrace campaigns"))
 		}
 		if cfg.Resume.Completed < 0 || cfg.Resume.Completed > cfg.Injections {
-			return nil, 0, 0, fmt.Errorf("goldeneye: resume point %d outside campaign of %d injections",
-				cfg.Resume.Completed, cfg.Injections)
+			return fail(fmt.Errorf("goldeneye: resume point %d outside campaign of %d injections",
+				cfg.Resume.Completed, cfg.Injections))
 		}
 	}
-	elems = s.sizes[cfg.Layer]
-	if cfg.Target == inject.TargetNeuron && elems == 0 {
-		return nil, 0, 0, fmt.Errorf("goldeneye: unknown layer index %d", cfg.Layer)
+	g.elems = s.sizes[cfg.Layer]
+	if cfg.Target == inject.TargetNeuron && g.elems == 0 {
+		return fail(fmt.Errorf("goldeneye: unknown layer index %d", cfg.Layer))
 	}
 	if cfg.Target == inject.TargetWeight {
 		p, err := s.widx.ParamOfLayer(cfg.Layer)
 		if err != nil {
-			return nil, 0, 0, err
+			return fail(err)
 		}
-		elems = p.Value.Len()
+		g.elems = p.Value.Len()
 	}
-	flips = cfg.FlipsPerInjection
-	if flips <= 0 {
-		flips = 1
+	g.flips = cfg.FlipsPerInjection
+	if g.flips <= 0 {
+		g.flips = 1
 	}
-	return pool, elems, flips, nil
+	if cfg.Site == inject.SiteAccum {
+		if cfg.Target != inject.TargetNeuron {
+			return fail(&ConfigError{Field: "Target",
+				Reason: "accumulator faults corrupt partial sums of the layer output; they require a neuron target"})
+		}
+		if cfg.FaultKind == inject.KindBurst {
+			return fail(&ConfigError{Field: "FaultKind",
+				Reason: "burst faults span the elements of one value tensor and have no accumulator-register analogue"})
+		}
+		info, ok := s.layerInfo(cfg.Layer)
+		if !ok {
+			return fail(fmt.Errorf("goldeneye: unknown layer index %d", cfg.Layer))
+		}
+		mod := s.modules[cfg.Layer]
+		depth, hasGEMM := nn.GEMMDepth(mod)
+		if !hasGEMM {
+			return fail(configErrf("Layer",
+				"accumulator-site injection requires a GEMM-backed layer, but layer %d is %s (%s)",
+				cfg.Layer, info.Kind, info.Name))
+		}
+		g.depth = depth
+		g.inj = cfg.Assignment.rolesFor(info, nn.DefaultLayers()).Accumulator
+		return g, nil
+	}
+	// Value/metadata sites: resolve the injection format — the explicit
+	// Format, or the assigned role matching the target at the target layer.
+	g.inj = cfg.Format
+	if g.inj == nil {
+		info, _ := s.layerInfo(cfg.Layer)
+		roles := cfg.Assignment.rolesFor(info, nn.DefaultLayers())
+		if cfg.Target == inject.TargetWeight {
+			g.inj = roles.Weights
+		} else {
+			g.inj = roles.Activations
+		}
+		if g.inj == nil {
+			return fail(configErrf("Format",
+				"campaign requires an injection format: set Format, or assign layer %d a %s role",
+				cfg.Layer, map[inject.Target]string{inject.TargetWeight: "weights", inject.TargetNeuron: "activations"}[cfg.Target]))
+		}
+	}
+	if cfg.Site == inject.SiteMetadata && inject.MetaBitWidth(g.inj) == 0 {
+		return fail(fmt.Errorf("goldeneye: format %s has no metadata to inject into", g.inj.Name()))
+	}
+	return g, nil
 }
 
 // newRunner validates cfg against the simulator and computes the
@@ -541,11 +658,15 @@ func (s *Simulator) campaignGeometry(cfg CampaignConfig) (pool *EvalPool, elems,
 // during setup (range profiling, clean references) aborts promptly.
 // Callers must invoke close() to restore weights.
 func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaignRunner, error) {
-	pool, elems, flips, err := s.campaignGeometry(cfg)
+	g, err := s.campaignGeometry(cfg)
 	if err != nil {
 		return nil, err
 	}
-	r := &campaignRunner{sim: s, cfg: cfg, pool: pool, batch: cfg.packBatch(), elems: elems, flips: flips}
+	pool := g.pool
+	r := &campaignRunner{
+		sim: s, cfg: cfg, pool: pool, batch: cfg.packBatch(),
+		geom: g, emuAsg: cfg.emulationAssignment(), injFormat: g.inj,
+	}
 	if cfg.Metrics != nil {
 		r.timing = layerTimingHooks(cfg.Metrics)
 	}
@@ -555,7 +676,12 @@ func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaig
 		r.backup.Restore()
 		return nil, err
 	}
-	if cfg.QuantizeWeights {
+	// Offline weight conversion. The deprecated QuantizeWeights flag keeps
+	// its historical all-parameter semantics bit for bit; an Assignment
+	// converts each assigned layer's own parameters instead.
+	if cfg.Assignment != nil {
+		s.applyWeightAssignment(cfg.Assignment, nn.DefaultLayers())
+	} else if cfg.QuantizeWeights {
 		inject.QuantizeWeights(s.model, cfg.Format)
 	}
 	// The detection pipeline builds after weight quantization, so
@@ -623,7 +749,7 @@ func (s *Simulator) newRunner(ctx context.Context, cfg CampaignConfig) (*campaig
 	}
 	// Allocated last so the fail() paths above never strand a pooled
 	// buffer; close() returns it to the arena.
-	r.scratch = newCampaignScratch(pool.X, r.batch, flips)
+	r.scratch = newCampaignScratch(pool.X, r.batch, g.flips)
 	return r, nil
 }
 
@@ -705,35 +831,30 @@ func (r *campaignRunner) close() {
 	r.scratch.release()
 }
 
-// baseHooks assembles the serial-pass emulation hook. The hook carries the
-// format's fused-kernel epilogue (tensor-wide metadata axis), so Conv2D and
-// Linear emulate their outputs in the producing pass when the hook is
-// first in line; the whole-tensor Emulate closure remains the fallback and
+// baseHooks assembles the serial-pass emulation hooks from the campaign's
+// lowered assignment: activation hooks carrying each format's fused-kernel
+// epilogue (tensor-wide metadata axis), plus accumulator-format rounding on
+// GEMM-backed layers. A legacy EmulateNetwork campaign lowers to a uniform
+// activation assignment and registers the exact hook it always has; the
+// whole-tensor Emulate closure remains the fused epilogue's fallback and
 // the two are pinned bit-identical.
 func (r *campaignRunner) baseHooks() *nn.HookSet {
-	h := nn.NewHookSet()
-	if r.cfg.EmulateNetwork {
-		format := r.cfg.Format
-		h.PostForwardEpilogue(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
-			return format.Emulate(t)
-		}, numfmt.EmulateEpilogue(format, numfmt.AxisTensor))
-	}
-	return h
+	return r.emulationHooks(numfmt.AxisTensor)
 }
 
-// batchHooks is baseHooks for batched passes: network emulation runs
+// batchHooks is baseHooks for batched passes: activation emulation runs
 // per batch row (numfmt.AxisBatch), so each row's metadata — INT scale,
 // AFP bias, BFP shared exponents — is computed from that row alone and the
-// row stays bit-identical to its batch-1 inference. The fused epilogue
-// applies the per-row kernel on the layer output in place.
+// row stays bit-identical to its batch-1 inference. Accumulator-format
+// rounding is per element and needs no axis distinction.
 func (r *campaignRunner) batchHooks() *nn.HookSet {
+	return r.emulationHooks(numfmt.AxisBatch)
+}
+
+func (r *campaignRunner) emulationHooks(axis numfmt.MetaAxis) *nn.HookSet {
 	h := nn.NewHookSet()
-	if r.cfg.EmulateNetwork {
-		format := r.cfg.Format
-		h.PostForwardEpilogue(nn.DefaultLayers(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
-			return numfmt.EmulateBatched(format, t)
-		}, numfmt.EmulateEpilogue(format, numfmt.AxisBatch))
-	}
+	addActivationHooks(h, r.emuAsg, axis, nn.DefaultLayers())
+	addAccumHooks(h, r.emuAsg, nn.DefaultLayers())
 	return h
 }
 
@@ -752,30 +873,34 @@ func (r *campaignRunner) withTiming(h *nn.HookSet) *nn.HookSet {
 // parallel paths (and by resume-prefix replay), so the sequences cannot
 // drift apart.
 type faultDrawer struct {
-	src   *rng.RNG
-	cfg   *CampaignConfig
-	elems int
-	flips int
+	src  *rng.RNG
+	cfg  *CampaignConfig
+	geom campaignGeom
 }
 
-// newFaultDrawer positions a drawer at the start of cfg's fault sequence.
-func newFaultDrawer(cfg *CampaignConfig, elems, flips int) *faultDrawer {
-	return &faultDrawer{src: rng.New(cfg.Seed), cfg: cfg, elems: elems, flips: flips}
+// newFaultDrawer positions a drawer at the start of cfg's fault sequence
+// over the resolved geometry.
+func newFaultDrawer(cfg *CampaignConfig, g campaignGeom) *faultDrawer {
+	return &faultDrawer{src: rng.New(cfg.Seed), cfg: cfg, geom: g}
 }
 
 // next produces the next injection's fault set in fresh storage.
 func (d *faultDrawer) next() []inject.Fault {
-	faults := make([]inject.Fault, d.flips)
+	faults := make([]inject.Fault, d.geom.flips)
 	d.nextInto(faults)
 	return faults
 }
 
-// nextInto draws the next injection's fault set into dst (len d.flips),
+// nextInto draws the next injection's fault set into dst (len geom.flips),
 // consuming exactly the RNG stream next would — the allocation-free form
 // the batched loop uses with its scratch rows.
 func (d *faultDrawer) nextInto(dst []inject.Fault) {
 	for j := range dst {
-		dst[j] = inject.RandomFault(d.src, d.cfg.Format, d.cfg.Layer, d.elems, d.cfg.Site, d.cfg.Target)
+		if d.cfg.Site == inject.SiteAccum {
+			dst[j] = inject.RandomAccumFault(d.src, d.geom.inj, d.cfg.Layer, d.geom.elems, d.geom.depth)
+		} else {
+			dst[j] = inject.RandomFault(d.src, d.geom.inj, d.cfg.Layer, d.geom.elems, d.cfg.Site, d.cfg.Target)
+		}
 		dst[j].Kind = d.cfg.FaultKind
 	}
 }
@@ -798,9 +923,16 @@ func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out Injectio
 	cfg := r.cfg
 	out.FirstNonFiniteLayer = -1
 	hooks := r.baseHooks()
-	if cfg.Target == inject.TargetNeuron {
-		hooks.PostForward(nn.ByIndex(cfg.Layer), inject.NeuronHookMulti(cfg.Format, faults))
-	} else {
+	switch {
+	case cfg.Site == inject.SiteAccum:
+		// Registered after the emulation accum entries, so the layer's
+		// assigned accumulator rounding stays first in the merged spec and
+		// the faults corrupt the quantized reduction.
+		spec := nn.AccumSpec{Faults: inject.AccumFaultsFor(r.injFormat, faults, 0)}
+		hooks.Accum(nn.ByIndex(cfg.Layer), func(nn.LayerInfo) nn.AccumSpec { return spec })
+	case cfg.Target == inject.TargetNeuron:
+		hooks.PostForward(nn.ByIndex(cfg.Layer), inject.NeuronHookMulti(r.injFormat, faults))
+	default:
 		var restores []func()
 		// Undo weight corruption in reverse order so overlapping faults
 		// restore correctly — deferred, so panic unwinding restores too.
@@ -810,7 +942,7 @@ func (r *campaignRunner) runOne(faults []inject.Fault, sample int) (out Injectio
 			}
 		}()
 		for _, fault := range faults {
-			restore, ferr := inject.WeightFault(cfg.Format, fault, r.sim.widx)
+			restore, ferr := inject.WeightFault(r.injFormat, fault, r.sim.widx)
 			if ferr != nil {
 				return out, ferr
 			}
@@ -962,7 +1094,19 @@ func (r *campaignRunner) tryRunBatch(faultsets [][]inject.Fault, samples []int, 
 	// the detection pipeline. Detection and recovery are row-confined, so
 	// every row stays bit-identical to its serial batch-1 inference.
 	hooks := r.batchHooks()
-	hooks.PostForward(nn.ByIndex(cfg.Layer), inject.NeuronHookBatched(cfg.Format, faultsets))
+	if cfg.Site == inject.SiteAccum {
+		// One accumulator spec covers the whole pass: row k's faults land
+		// on batch row k of the target layer's GEMM, so each injection
+		// corrupts only its own sample's reduction.
+		var afs []nn.AccumFault
+		for k, fs := range faultsets {
+			afs = append(afs, inject.AccumFaultsFor(r.injFormat, fs, k)...)
+		}
+		spec := nn.AccumSpec{Faults: afs}
+		hooks.Accum(nn.ByIndex(cfg.Layer), func(nn.LayerInfo) nn.AccumSpec { return spec })
+	} else {
+		hooks.PostForward(nn.ByIndex(cfg.Layer), inject.NeuronHookBatched(r.injFormat, faultsets))
+	}
 	if r.ranger != nil {
 		hooks.PostForward(nn.AllLayers(), r.ranger.ClampHook())
 	}
@@ -1092,13 +1236,13 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 		report.PerDetector = mergeResumeDetectors(report.PerDetector, cfg.Resume.PerDetector)
 	}
 	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections, detect.Names(cfg.Detectors))
-	drawer := newFaultDrawer(&cfg, runner.elems, runner.flips)
+	drawer := newFaultDrawer(&cfg, runner.geom)
 	n := runner.pool.Len()
 	batch := runner.batch
 	// A resumed campaign replays the prefix of the deterministic sequence
 	// without executing it; the prefix still counts as progress.
 	for i := 0; i < skip; i++ {
-		drawer.nextInto(runner.scratch.faultRow(0, runner.flips))
+		drawer.nextInto(runner.scratch.faultRow(0, runner.geom.flips))
 	}
 	if cfg.Progress != nil && skip > 0 {
 		cfg.Progress(skip, cfg.Injections)
@@ -1118,7 +1262,7 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 		samples := runner.scratch.samples[:rows]
 		for k := 0; k < rows; k++ {
 			idx[k] = base + k
-			faultsets[k] = runner.scratch.faultRow(k, runner.flips)
+			faultsets[k] = runner.scratch.faultRow(k, runner.geom.flips)
 			drawer.nextInto(faultsets[k])
 			samples[k] = (base + k) % n
 		}
@@ -1224,11 +1368,11 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 	if err != nil {
 		return nil, err
 	}
-	pool, elems, flips, err := scout.campaignGeometry(cfg)
+	g, err := scout.campaignGeometry(cfg)
 	if err != nil {
 		return nil, err
 	}
-	drawer := newFaultDrawer(&cfg, elems, flips)
+	drawer := newFaultDrawer(&cfg, g)
 	allFaults := make([][]inject.Fault, cfg.Injections)
 	for i := range allFaults {
 		allFaults[i] = drawer.next()
@@ -1268,7 +1412,7 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		// takes it from one shard only.
 		fp map[string]metrics.DetectorStats
 	}
-	n := pool.Len()
+	n := g.pool.Len()
 	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections, detect.Names(cfg.Detectors))
 	shards := make([]shard, workers)
 	var aborted atomic.Int64

@@ -1,0 +1,221 @@
+package goldeneye_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"goldeneye"
+	"goldeneye/internal/inject"
+	"goldeneye/internal/nn"
+	"goldeneye/internal/numfmt"
+)
+
+// mixedAccumAssignment is the walkthrough configuration of the docs:
+// bfloat16 weights, FP8 activations, FP32 accumulate.
+func mixedAccumAssignment() *goldeneye.FormatAssignment {
+	return &goldeneye.FormatAssignment{Default: goldeneye.RoleFormats{
+		Weights:     numfmt.BFloat16(true),
+		Activations: numfmt.FP8E4M3(true),
+		Accumulator: numfmt.FP32(true),
+	}}
+}
+
+// The accumulator-site guarantee: under one seed, serial, batched, and
+// parallel campaigns agree bit for bit — integer aggregates, Welford
+// moments (serial/batched), and every trace entry.
+func TestAccumCampaignBitIdenticalAcrossPaths(t *testing.T) {
+	sim, pool := loadSim(t, "mlp")
+	x, y := pool.subset(8)
+	cfg := goldeneye.CampaignConfig{
+		Assignment: mixedAccumAssignment(),
+		Site:       goldeneye.SiteAccum,
+		Target:     goldeneye.TargetNeuron,
+		Layer:      sim.InjectableLayers()[1],
+		Injections: 23, // not a batch multiple: exercises the ragged tail
+		Seed:       17,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
+		KeepTrace:  true,
+	}
+	serial, err := sim.RunCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Mismatches == 0 && serial.MeanDeltaLoss() == 0 {
+		t.Fatal("accumulator faults had no observable effect at all; injection is likely not reaching the reduction")
+	}
+
+	bcfg := cfg
+	bcfg.BatchSize = 5
+	batched, err := sim.RunCampaign(context.Background(), bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsIdentical(t, "accum batched", batched, serial)
+
+	par, err := goldeneye.RunCampaignParallel(context.Background(), bcfg, 3, mlpBuilder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Injections != serial.Injections || par.Mismatches != serial.Mismatches ||
+		par.NonFinite != serial.NonFinite || par.Detected != serial.Detected {
+		t.Fatalf("accum parallel aggregates diverge: %+v vs %+v", par.CampaignResult, serial.CampaignResult)
+	}
+	for i := range serial.Trace {
+		a, b := par.Trace[i], serial.Trace[i]
+		if a.Fault != b.Fault || a.Sample != b.Sample || a.Mismatch != b.Mismatch || a.DeltaLoss != b.DeltaLoss {
+			t.Fatalf("accum parallel trace diverges at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// Without an accumulator role the faults land on the native float32
+// register — the legacy-format campaign shape with -site accum.
+func TestAccumCampaignNativeRegister(t *testing.T) {
+	sim, pool := loadSim(t, "mlp")
+	x, y := pool.subset(6)
+	cfg := goldeneye.CampaignConfig{
+		Format:         numfmt.FP16(true),
+		EmulateNetwork: true,
+		Site:           goldeneye.SiteAccum,
+		Target:         goldeneye.TargetNeuron,
+		Layer:          sim.InjectableLayers()[0],
+		Injections:     16,
+		Seed:           5,
+		Pool:           &goldeneye.EvalPool{X: x, Y: y},
+		KeepTrace:      true,
+	}
+	serial, err := sim.RunCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := cfg
+	bcfg.BatchSize = 4
+	batched, err := sim.RunCampaign(context.Background(), bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsIdentical(t, "accum native register", batched, serial)
+	for _, out := range serial.Trace {
+		f := out.Fault
+		if f.Site != goldeneye.SiteAccum || f.Bit < 0 || f.Bit >= 32 {
+			t.Fatalf("native-register fault outside float32 bit range: %+v", f)
+		}
+		if f.Step < 0 {
+			t.Fatalf("fault drew a negative reduction step: %+v", f)
+		}
+	}
+}
+
+// Accumulator-site campaigns on structurally unsuitable configurations are
+// rejected up front with a typed *ConfigError.
+func TestAccumCampaignValidation(t *testing.T) {
+	sim, pool := loadSim(t, "mlp")
+	x, y := pool.subset(4)
+	base := goldeneye.CampaignConfig{
+		Assignment: mixedAccumAssignment(),
+		Site:       goldeneye.SiteAccum,
+		Target:     goldeneye.TargetNeuron,
+		Layer:      sim.InjectableLayers()[0],
+		Injections: 4,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
+	}
+
+	// A layer without a GEMM has no accumulator: the error is typed and
+	// names the offending layer's kind.
+	var reluLayer = -1
+	for _, l := range sim.Layers() {
+		if l.Kind == nn.KindActivation {
+			reluLayer = l.Index
+			break
+		}
+	}
+	if reluLayer < 0 {
+		t.Fatal("mlp has no activation layer?")
+	}
+	noGEMM := base
+	noGEMM.Layer = reluLayer
+	_, err := sim.RunCampaign(context.Background(), noGEMM)
+	var cfgErr *goldeneye.ConfigError
+	if err == nil || !errors.As(err, &cfgErr) || cfgErr.Field != "Layer" ||
+		!strings.Contains(err.Error(), "GEMM-backed") || !strings.Contains(err.Error(), "activation") {
+		t.Fatalf("non-GEMM layer: got %v, want *ConfigError{Layer} naming the layer kind", err)
+	}
+
+	weight := base
+	weight.Target = goldeneye.TargetWeight
+	if _, err := sim.RunCampaign(context.Background(), weight); err == nil ||
+		!errors.As(err, &cfgErr) || cfgErr.Field != "Target" {
+		t.Fatalf("weight target: got %v, want *ConfigError{Target}", err)
+	}
+
+	burst := base
+	burst.FaultKind = inject.KindBurst
+	if _, err := sim.RunCampaign(context.Background(), burst); err == nil ||
+		!errors.As(err, &cfgErr) || cfgErr.Field != "FaultKind" {
+		t.Fatalf("burst kind: got %v, want *ConfigError{FaultKind}", err)
+	}
+
+	meta := base
+	meta.Assignment = &goldeneye.FormatAssignment{Default: goldeneye.RoleFormats{
+		Accumulator: numfmt.INT8(), // scale metadata: no register analogue
+	}}
+	if _, err := sim.RunCampaign(context.Background(), meta); err == nil ||
+		!errors.As(err, &cfgErr) || cfgErr.Field != "Assignment" {
+		t.Fatalf("metadata accumulator: got %v, want *ConfigError{Assignment}", err)
+	}
+}
+
+// ABFT checks the GEMM invariant itself, so it must catch a sizable share
+// of accumulator-interior corruptions; detection must also survive the
+// batched path bit-identically.
+func TestAccumCampaignABFTDetection(t *testing.T) {
+	sim, pool := loadSim(t, "mlp")
+	x, y := pool.subset(8)
+	dets, err := goldeneye.ParseDetectors("abft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldeneye.CampaignConfig{
+		Assignment: mixedAccumAssignment(),
+		Site:       goldeneye.SiteAccum,
+		Target:     goldeneye.TargetNeuron,
+		Layer:      sim.InjectableLayers()[1],
+		Injections: 40,
+		Seed:       29,
+		Pool:       &goldeneye.EvalPool{X: x, Y: y},
+		Detectors:  dets,
+		KeepTrace:  true,
+	}
+	serial, err := sim.RunCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Detected == 0 {
+		t.Fatal("ABFT detected no accumulator faults at all")
+	}
+	// Every corrupting injection perturbs a GEMM output, which is exactly
+	// the invariant ABFT checks: coverage of mismatching runs should be
+	// substantial (well above a coin flip on this tiny model).
+	var mismatchedDetected, mismatched int
+	for _, out := range serial.Trace {
+		if out.Mismatch {
+			mismatched++
+			if out.Detected {
+				mismatchedDetected++
+			}
+		}
+	}
+	if mismatched > 0 && mismatchedDetected*2 < mismatched {
+		t.Fatalf("ABFT caught only %d/%d mismatching accumulator faults", mismatchedDetected, mismatched)
+	}
+
+	bcfg := cfg
+	bcfg.BatchSize = 8
+	batched, err := sim.RunCampaign(context.Background(), bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportsIdentical(t, "accum abft batched", batched, serial)
+}

@@ -43,7 +43,7 @@ func TestBatchedLoopBookkeepingAllocFree(t *testing.T) {
 	}
 	defer runner.close()
 
-	drawer := newFaultDrawer(&cfg, runner.elems, runner.flips)
+	drawer := newFaultDrawer(&cfg, runner.geom)
 	rows := runner.batch
 	n := pool.Len()
 	samples := runner.scratch.samples[:rows]
@@ -59,7 +59,7 @@ func TestBatchedLoopBookkeepingAllocFree(t *testing.T) {
 		samples := runner.scratch.samples[:rows]
 		for k := 0; k < rows; k++ {
 			idx[k] = k
-			faultsets[k] = runner.scratch.faultRow(k, runner.flips)
+			faultsets[k] = runner.scratch.faultRow(k, runner.geom.flips)
 			drawer.nextInto(faultsets[k])
 			samples[k] = k % n
 		}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,12 +72,14 @@ func run(ctx context.Context, args []string) error {
 	var (
 		model     = fs.String("model", "resnet_s", fmt.Sprintf("model name %v", models.Names()))
 		format    = fs.String("format", "fp16", "number format specification")
+		formatMap = fs.String("format-map", "", `per-layer role formats, e.g. "w:bf16,a:fp8_e4m3,acc:fp32;4=a:fp16" (roles w/a/acc; ";N=" overrides layer N); replaces -format emulation for eval and inject`)
 		layer     = fs.Int("layer", -1, "layer visit index (-1 = middle injectable layer)")
-		site      = fs.String("site", "value", "injection site: value|metadata")
+		site      = fs.String("site", "value", "injection site: value|metadata|accum")
 		target    = fs.String("target", "neuron", "injection target: neuron|weight")
 		n         = fs.Int("n", 1000, "number of injections")
 		seed      = fs.Uint64("seed", 1, "campaign seed")
 		family    = fs.String("family", "fp", "DSE family: fp|fxp|int|bfp|afp")
+		mixed     = fs.String("mixed", "", `mixed-assignment DSE: "|"-separated per-layer role-triple candidates, e.g. "w:fp16,a:fp16,acc:fp32|w:fp8_e4m3,a:fp8_e4m3" (dse)`)
 		threshold = fs.Float64("threshold", 0.01, "DSE accuracy-loss threshold")
 		ranger    = fs.Bool("ranger", true, "enable the range detector")
 		samples   = fs.Int("samples", 300, "validation samples")
@@ -132,23 +135,50 @@ func run(ctx context.Context, args []string) error {
 		return nil
 	}
 
+	// formatSet reports whether -format was passed explicitly: with a
+	// -format-map, an untouched -format default must not also become the
+	// injection format (the assignment's roles resolve it instead).
+	formatSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "format" {
+			formatSet = true
+		}
+	})
+
+	// parseAssignment resolves the -format-map flag (nil when unset).
+	parseAssignment := func() (*goldeneye.FormatAssignment, error) {
+		if *formatMap == "" {
+			return nil, nil
+		}
+		return goldeneye.ParseFormatMap(*formatMap)
+	}
+
 	// buildCampaign assembles the campaign configuration shared by the
 	// local and remote inject paths. Layer may stay -1: the executing side
 	// (simulator or daemon) resolves the model's default injection layer.
+	// With a -format-map, the assignment drives emulation and -format is
+	// honored only when passed explicitly (as the injection format).
 	buildCampaign := func() (goldeneye.CampaignConfig, error) {
-		f, err := goldeneye.ParseFormat(*format)
+		asg, err := parseAssignment()
 		if err != nil {
 			return goldeneye.CampaignConfig{}, err
 		}
 		cfg := goldeneye.CampaignConfig{
-			Format:         f,
-			Injections:     *n,
-			Seed:           *seed,
-			Layer:          *layer,
-			BatchSize:      *packBatch,
-			UseRanger:      *ranger,
-			EmulateNetwork: true,
-			MaxAborts:      *maxAborts,
+			Assignment: asg,
+			Injections: *n,
+			Seed:       *seed,
+			Layer:      *layer,
+			BatchSize:  *packBatch,
+			UseRanger:  *ranger,
+			MaxAborts:  *maxAborts,
+		}
+		if asg == nil || formatSet {
+			if cfg.Format, err = goldeneye.ParseFormat(*format); err != nil {
+				return goldeneye.CampaignConfig{}, err
+			}
+		}
+		if asg == nil {
+			cfg.EmulateNetwork = true
 		}
 		if *detectors != "" {
 			if cfg.Detectors, err = goldeneye.ParseDetectors(*detectors); err != nil {
@@ -163,8 +193,10 @@ func run(ctx context.Context, args []string) error {
 			cfg.Site = inject.SiteValue
 		case "metadata":
 			cfg.Site = inject.SiteMetadata
+		case "accum":
+			cfg.Site = inject.SiteAccum
 		default:
-			return goldeneye.CampaignConfig{}, fmt.Errorf("unknown site %q", *site)
+			return goldeneye.CampaignConfig{}, fmt.Errorf("unknown site %q (want value, metadata, or accum)", *site)
 		}
 		switch *target {
 		case "neuron":
@@ -213,17 +245,28 @@ func run(ctx context.Context, args []string) error {
 		return nil
 
 	case "eval":
-		f, err := goldeneye.ParseFormat(*format)
+		asg, err := parseAssignment()
 		if err != nil {
 			return err
 		}
+		var emuCfg goldeneye.EmulationConfig
+		label := ""
+		if asg != nil {
+			emuCfg = goldeneye.EmulationConfig{Assignment: asg}
+			label = asg.Canonical()
+		} else {
+			f, ferr := goldeneye.ParseFormat(*format)
+			if ferr != nil {
+				return ferr
+			}
+			emuCfg = goldeneye.EmulationConfig{Format: f, Weights: true, Neurons: true}
+			label = f.Name()
+		}
 		native := sim.EvaluatePool(pool, goldeneye.EmulationConfig{})
-		emulated := sim.EvaluatePool(pool, goldeneye.EmulationConfig{
-			Format: f, Weights: true, Neurons: true,
-		})
+		emulated := sim.EvaluatePool(pool, emuCfg)
 		fmt.Printf("model=%s samples=%d\n", *model, nVal)
 		fmt.Printf("native fp32:  %.4f\n", native)
-		fmt.Printf("%-12s  %.4f (Δ %+0.4f)\n", f.Name()+":", emulated, emulated-native)
+		fmt.Printf("%-12s  %.4f (Δ %+0.4f)\n", label+":", emulated, emulated-native)
 		return nil
 
 	case "inject":
@@ -268,6 +311,9 @@ func run(ctx context.Context, args []string) error {
 		return nil
 
 	case "dse":
+		if *mixed != "" {
+			return runMixedDSE(sim, pool, *model, *mixed, *threshold)
+		}
 		res := sim.RunDSE(pool.X, pool.Y, *batch, goldeneye.DSEConfig{
 			Family:    dse.Family(*family),
 			Threshold: *threshold,
@@ -292,12 +338,70 @@ func run(ctx context.Context, args []string) error {
 	}
 }
 
+// runMixedDSE runs the per-layer mixed-assignment search: spec is the
+// "|"-separated candidate menu, each segment a ParseRoleFormats triple.
+func runMixedDSE(sim *goldeneye.Simulator, pool *goldeneye.EvalPool, model, spec string, threshold float64) error {
+	var cands []goldeneye.MixedDSECandidate
+	for _, seg := range strings.Split(spec, "|") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			return fmt.Errorf("mixed candidate list has an empty segment")
+		}
+		rf, err := goldeneye.ParseRoleFormats(seg)
+		if err != nil {
+			return fmt.Errorf("mixed candidate %q: %w", seg, err)
+		}
+		cands = append(cands, goldeneye.MixedDSECandidate{
+			Name:        rf.Canonical(),
+			Weights:     rf.Weights,
+			Activations: rf.Activations,
+			Accumulator: rf.Accumulator,
+		})
+	}
+	res := sim.RunMixedDSE(pool, goldeneye.MixedDSEConfig{
+		Candidates: cands,
+		Threshold:  threshold,
+	})
+	fmt.Printf("model=%s mixed candidates=%d layers=%d threshold=%.3f baseline=%.4f\n",
+		model, len(res.Candidates), len(res.Config.Layers), threshold, res.Config.Baseline)
+	for _, node := range res.Nodes {
+		mark := " "
+		if node.Accepted {
+			mark = "✓"
+		}
+		fmt.Printf("node %2d: cost=%7.1f acc=%.4f %s  %s\n",
+			node.Order, node.Cost, node.Accuracy, mark, res.Describe(node))
+	}
+	fmt.Println("frontier (cost asc):")
+	for _, node := range res.Frontier {
+		fmt.Printf("  cost=%7.1f acc=%.4f  %s\n", node.Cost, node.Accuracy, res.Describe(node))
+	}
+	if res.Best != nil {
+		fmt.Printf("best: cost=%.1f acc=%.4f  %s\n", res.Best.Cost, res.Best.Accuracy, res.Describe(*res.Best))
+		fmt.Printf("      format-map: %s\n",
+			goldeneye.MixedAssignment(res.Candidates, res.Best.Assignment).Canonical())
+	} else {
+		fmt.Println("no acceptable mixed assignment")
+	}
+	return nil
+}
+
 // printInjectReport renders a campaign report from its own resolved
 // configuration, so local and remote runs print identically.
 func printInjectReport(model string, rep *goldeneye.CampaignReport) {
 	cfg := rep.Config
+	formatLabel := "-"
+	switch {
+	case cfg.Format != nil:
+		formatLabel = cfg.Format.Name()
+	case cfg.Assignment != nil:
+		formatLabel = cfg.Assignment.Canonical()
+	}
 	fmt.Printf("model=%s format=%s layer=%d site=%s target=%s injections=%d\n",
-		model, cfg.Format.Name(), cfg.Layer, cfg.Site, cfg.Target, rep.Injections)
+		model, formatLabel, cfg.Layer, cfg.Site, cfg.Target, rep.Injections)
+	if cfg.Format != nil && cfg.Assignment != nil {
+		fmt.Printf("assignment:    %s\n", cfg.Assignment.Canonical())
+	}
 	fmt.Printf("mean ΔLoss:    %.5f (±%.5f at 95%%)\n", rep.MeanDeltaLoss(), rep.DeltaLoss.CI95())
 	fmt.Printf("mismatch rate: %.4f (%d/%d)\n", rep.MismatchRate(), rep.Mismatches, rep.Injections)
 	fmt.Printf("non-finite:    %d\n", rep.NonFinite)

@@ -92,6 +92,7 @@ type (
 const (
 	SiteValue    = inject.SiteValue
 	SiteMetadata = inject.SiteMetadata
+	SiteAccum    = inject.SiteAccum
 	TargetNeuron = inject.TargetNeuron
 	TargetWeight = inject.TargetWeight
 )
@@ -192,6 +193,16 @@ func (s *Simulator) Layers() []LayerInfo {
 // LayerOutputSize returns the element count of a layer's output at batch 1.
 func (s *Simulator) LayerOutputSize(index int) int { return s.sizes[index] }
 
+// layerInfo returns the traced LayerInfo at a visit index.
+func (s *Simulator) layerInfo(index int) (nn.LayerInfo, bool) {
+	for _, l := range s.layers {
+		if l.Index == index {
+			return l, true
+		}
+	}
+	return nn.LayerInfo{}, false
+}
+
 // InjectableLayers returns the visit indices of CONV and LINEAR layers —
 // the paper's default injection targets (§V-B).
 func (s *Simulator) InjectableLayers() []int {
@@ -224,21 +235,42 @@ func (s *Simulator) DefaultInjectionLayer(target inject.Target) int {
 	return candidates[len(candidates)/2]
 }
 
-// EmulationConfig selects how a number format is applied to the model.
+// EmulationConfig selects how number formats are applied to the model.
+//
+// The modern surface is Assignment: a per-layer, per-role format map
+// (weights, activations, accumulator). The Format/Weights/Neurons trio is
+// the original uniform surface, kept as a deprecated shim: it lowers to a
+// uniform assignment and stays bit-identical to its historical behavior.
+// When Assignment is non-nil it takes precedence and the legacy fields are
+// ignored.
 type EmulationConfig struct {
+	// Assignment maps layers to per-role formats (mixed precision). When
+	// set, it replaces the Format/Weights/Neurons fields below.
+	Assignment *FormatAssignment
+
 	// Format is the emulated number system; nil means native FP32
 	// execution (the baseline).
+	//
+	// Deprecated: use Assignment, which generalizes the uniform
+	// Format+Weights+Neurons trio to per-layer, per-role formats. The
+	// field remains fully supported and bit-identical.
 	Format numfmt.Format
 
 	// Weights converts all weights/biases to the format (offline
 	// conversion, §V-B).
+	//
+	// Deprecated: use Assignment with a Weights role.
 	Weights bool
 
 	// Neurons quantizes layer outputs to the format during the forward
 	// pass via post-forward hooks.
+	//
+	// Deprecated: use Assignment with an Activations role.
 	Neurons bool
 
 	// AllLayers hooks every layer kind instead of the CONV/LINEAR default.
+	// With Assignment set, it widens the scope of Assignment.Default the
+	// same way (PerLayer entries always apply at exactly their index).
 	AllLayers bool
 }
 
@@ -249,28 +281,65 @@ func (c EmulationConfig) filter() nn.Filter {
 	return nn.DefaultLayers()
 }
 
-// emulationHooks returns a hook set applying cfg's neuron emulation (nil if
-// none is needed). The hook carries the format's fused-kernel epilogue, so
-// Conv2D/Linear apply emulation to their outputs while cache-hot; other
-// layer kinds (with AllLayers) run the hook function as usual.
+// runtimeAssignment lowers the configuration to the assignment its forward
+// passes run under: Assignment itself when set, else the uniform-activation
+// assignment the deprecated Format+Neurons fields describe. (The weights
+// role of the legacy fields is handled by applyEmulationWeights, which must
+// reproduce the historical all-parameter conversion exactly.)
+func (c EmulationConfig) runtimeAssignment() *FormatAssignment {
+	if c.Assignment != nil {
+		return c.Assignment
+	}
+	if c.Format != nil && c.Neurons {
+		return &FormatAssignment{Default: RoleFormats{Activations: c.Format}}
+	}
+	return nil
+}
+
+// emulationHooks returns a hook set applying cfg's activation and
+// accumulator emulation (nil if none is needed). Activation hooks carry the
+// format's fused-kernel epilogue, so Conv2D/Linear apply emulation to their
+// outputs while cache-hot; other layer kinds (with AllLayers) run the hook
+// function as usual. Accumulator roles round every GEMM partial sum through
+// the assigned format.
 func emulationHooks(cfg EmulationConfig) *nn.HookSet {
-	if cfg.Format == nil || !cfg.Neurons {
+	asg := cfg.runtimeAssignment()
+	if !asg.hasActivations() && !asg.hasAccumulator() {
 		return nil
 	}
 	hooks := nn.NewHookSet()
-	hooks.PostForwardEpilogue(cfg.filter(), func(_ nn.LayerInfo, t *tensor.Tensor) *tensor.Tensor {
-		return cfg.Format.Emulate(t)
-	}, numfmt.EmulateEpilogue(cfg.Format, numfmt.AxisTensor))
+	addActivationHooks(hooks, asg, numfmt.AxisTensor, cfg.filter())
+	addAccumHooks(hooks, asg, cfg.filter())
 	return hooks
+}
+
+// applyEmulationWeights performs cfg's offline weight conversion and
+// returns the restore function (nil when no conversion applies). The
+// deprecated Weights flag keeps its historical semantics — QuantizeWeights
+// converts every non-frozen model parameter, normalization scales included
+// — while an Assignment converts each assigned layer's own parameters only.
+func (s *Simulator) applyEmulationWeights(cfg EmulationConfig) func() {
+	switch {
+	case cfg.Assignment != nil:
+		if !cfg.Assignment.hasWeights() {
+			return nil
+		}
+		backup := inject.BackupWeights(s.model)
+		s.applyWeightAssignment(cfg.Assignment, cfg.filter())
+		return backup.Restore
+	case cfg.Format != nil && cfg.Weights:
+		backup := inject.BackupWeights(s.model)
+		inject.QuantizeWeights(s.model, cfg.Format)
+		return backup.Restore
+	}
+	return nil
 }
 
 // Evaluate returns the model's top-1 accuracy over (x, y) under the given
 // emulation, restoring native weights afterwards.
 func (s *Simulator) Evaluate(x *tensor.Tensor, y []int, batch int, cfg EmulationConfig) float64 {
-	if cfg.Format != nil && cfg.Weights {
-		backup := inject.BackupWeights(s.model)
-		defer backup.Restore()
-		inject.QuantizeWeights(s.model, cfg.Format)
+	if restore := s.applyEmulationWeights(cfg); restore != nil {
+		defer restore()
 	}
 	return train.Evaluate(s.model, x, y, batch, emulationHooks(cfg))
 }
@@ -278,10 +347,8 @@ func (s *Simulator) Evaluate(x *tensor.Tensor, y []int, batch int, cfg Emulation
 // Logits runs a forward pass under the given emulation and returns the
 // output logits. Weight conversion, when requested, is restored afterwards.
 func (s *Simulator) Logits(x *tensor.Tensor, cfg EmulationConfig) *tensor.Tensor {
-	if cfg.Format != nil && cfg.Weights {
-		backup := inject.BackupWeights(s.model)
-		defer backup.Restore()
-		inject.QuantizeWeights(s.model, cfg.Format)
+	if restore := s.applyEmulationWeights(cfg); restore != nil {
+		defer restore()
 	}
 	return nn.Forward(nn.NewContext(emulationHooks(cfg)), s.model, x)
 }

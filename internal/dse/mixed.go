@@ -1,0 +1,285 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"goldeneye/internal/numfmt"
+)
+
+// MixedCandidate is one per-layer precision option of a mixed-assignment
+// search: the role triple (weights, activations, accumulator) a layer may
+// run in, plus its hardware cost. A nil role means native float32.
+type MixedCandidate struct {
+	// Name labels the candidate in results (e.g. "bf16×fp8+fp32acc").
+	Name string
+
+	// Weights, Activations, and Accumulator are the candidate's role
+	// formats (nil = native float32 for that role).
+	Weights     numfmt.Format
+	Activations numfmt.Format
+	Accumulator numfmt.Format
+
+	// Cost is the candidate's per-layer hardware cost; the search minimizes
+	// the total over layers. Zero means "use the default": the summed bit
+	// widths of the three roles, nil roles counting the native 32 bits.
+	Cost float64
+}
+
+// cost returns the candidate's effective cost (see Cost).
+func (c MixedCandidate) cost() float64 {
+	if c.Cost != 0 {
+		return c.Cost
+	}
+	bits := func(f numfmt.Format) float64 {
+		if f == nil {
+			return 32
+		}
+		return float64(f.BitWidth())
+	}
+	return bits(c.Weights) + bits(c.Activations) + bits(c.Accumulator)
+}
+
+// MixedConfig parameterizes a mixed-assignment search over per-layer
+// format candidates.
+type MixedConfig struct {
+	// Layers lists the layer visit indices under search (typically the
+	// model's injectable CONV/LINEAR layers).
+	Layers []int
+
+	// Candidates is the per-layer precision menu. The search orders it by
+	// descending cost internally; every layer starts at the costliest
+	// candidate and is greedily demoted down the menu.
+	Candidates []MixedCandidate
+
+	// Baseline is the reference accuracy (native FP32 validation top-1).
+	Baseline float64
+
+	// Threshold is the tolerated accuracy drop from Baseline.
+	Threshold float64
+
+	// MaxEvals caps evaluated assignments (default 64). Each evaluation is
+	// one full validation sweep, so the cap bounds search cost the way
+	// MaxNodes bounds the uniform search.
+	MaxEvals int
+}
+
+// MixedNode is one evaluated mixed assignment.
+type MixedNode struct {
+	// Assignment maps each searched layer to its candidate index (into the
+	// cost-ordered candidate list of MixedResult.Candidates).
+	Assignment map[int]int
+
+	// Accuracy is the measured task accuracy of the assignment; Cost its
+	// summed per-layer candidate cost.
+	Accuracy float64
+	Cost     float64
+
+	// Order is the evaluation order (0-based); Accepted whether the node
+	// met the accuracy threshold.
+	Order    int
+	Accepted bool
+}
+
+// MixedResult is a completed mixed-assignment search.
+type MixedResult struct {
+	Config MixedConfig
+
+	// Candidates is the cost-ordered (descending) candidate list node
+	// assignments index into.
+	Candidates []MixedCandidate
+
+	// Nodes lists every evaluated assignment in visit order.
+	Nodes []MixedNode
+
+	// Frontier is the accuracy×cost Pareto frontier over the visited
+	// nodes, cheapest first: each entry is strictly cheaper than its
+	// successor and no visited node dominates it (cheaper-or-equal and
+	// more-accurate).
+	Frontier []MixedNode
+
+	// Best is the cheapest accepted node (highest accuracy as tie-break),
+	// nil when no visited assignment met the threshold.
+	Best *MixedNode
+}
+
+// Describe renders a node's assignment as "layer=candidate" pairs in layer
+// order, for logs and experiment tables.
+func (r *MixedResult) Describe(n MixedNode) string {
+	layers := make([]int, 0, len(n.Assignment))
+	for l := range n.Assignment {
+		layers = append(layers, l)
+	}
+	sort.Ints(layers)
+	parts := make([]string, len(layers))
+	for i, l := range layers {
+		parts[i] = fmt.Sprintf("%d=%s", l, r.Candidates[n.Assignment[l]].Name)
+	}
+	return strings.Join(parts, " ")
+}
+
+// OrderCandidates returns the menu in the search's internal order —
+// descending cost, stable for ties. Node assignments (and eval callbacks)
+// index this ordered list, so callers materializing an assignment must
+// resolve candidate indices through it.
+func OrderCandidates(cands []MixedCandidate) []MixedCandidate {
+	out := append([]MixedCandidate(nil), cands...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].cost() > out[j].cost()
+	})
+	return out
+}
+
+// SearchMixed runs a greedy per-layer demotion search for mixed-precision
+// assignments: every layer starts at the costliest candidate, and each
+// round evaluates demoting one layer one step down the cost-ordered menu,
+// committing the single demotion with the largest cost cut that keeps
+// accuracy within the threshold (accuracy, then lower layer index, break
+// ties). The search stops when no single-layer demotion is acceptable or
+// MaxEvals is reached. eval measures an assignment's task accuracy; it is
+// called once per distinct assignment (results are memoized).
+//
+// The returned result carries, beyond the accepted optimum, the full
+// accuracy×cost Pareto frontier over the visited assignments — the
+// per-layer counterpart of the uniform search's Fig 6 node list.
+func SearchMixed(cfg MixedConfig, eval func(assignment map[int]int) float64) *MixedResult {
+	if cfg.MaxEvals == 0 {
+		cfg.MaxEvals = 64
+	}
+	res := &MixedResult{Config: cfg}
+	if len(cfg.Layers) == 0 || len(cfg.Candidates) == 0 {
+		return res
+	}
+	res.Candidates = OrderCandidates(cfg.Candidates)
+
+	key := func(a map[int]int) string {
+		parts := make([]string, len(cfg.Layers))
+		for i, l := range cfg.Layers {
+			parts[i] = fmt.Sprintf("%d:%d", l, a[l])
+		}
+		return strings.Join(parts, ",")
+	}
+	costOf := func(a map[int]int) float64 {
+		var c float64
+		for _, l := range cfg.Layers {
+			c += res.Candidates[a[l]].cost()
+		}
+		return c
+	}
+	memo := make(map[string]*MixedNode)
+	visit := func(a map[int]int) (*MixedNode, bool) {
+		k := key(a)
+		if n, ok := memo[k]; ok {
+			return n, true
+		}
+		if len(res.Nodes) >= cfg.MaxEvals {
+			return nil, false
+		}
+		cp := make(map[int]int, len(a))
+		for l, c := range a {
+			cp[l] = c
+		}
+		acc := eval(cp)
+		res.Nodes = append(res.Nodes, MixedNode{
+			Assignment: cp,
+			Accuracy:   acc,
+			Cost:       costOf(a),
+			Order:      len(res.Nodes),
+			Accepted:   acc >= cfg.Baseline-cfg.Threshold,
+		})
+		n := &res.Nodes[len(res.Nodes)-1]
+		memo[k] = n
+		return n, true
+	}
+
+	// Start: every layer at the costliest candidate.
+	current := make(map[int]int, len(cfg.Layers))
+	for _, l := range cfg.Layers {
+		current[l] = 0
+	}
+	if n, ok := visit(current); !ok || !n.Accepted {
+		// Even the costliest assignment misses the threshold (or the eval
+		// budget is zero): report what was visited.
+		finalizeMixed(res)
+		return res
+	}
+
+	for {
+		type move struct {
+			layer int
+			node  *MixedNode
+			cut   float64
+		}
+		var best *move
+		exhausted := false
+		for _, l := range cfg.Layers {
+			if current[l]+1 >= len(res.Candidates) {
+				continue // already at the cheapest candidate
+			}
+			current[l]++
+			n, ok := visit(current)
+			cut := res.Candidates[current[l]-1].cost() - res.Candidates[current[l]].cost()
+			current[l]--
+			if !ok {
+				exhausted = true
+				break
+			}
+			if !n.Accepted {
+				continue
+			}
+			if best == nil || cut > best.cut ||
+				(cut == best.cut && n.Accuracy > best.node.Accuracy) {
+				best = &move{layer: l, node: n, cut: cut}
+			}
+		}
+		if best == nil || exhausted {
+			break
+		}
+		current[best.layer]++
+	}
+	finalizeMixed(res)
+	return res
+}
+
+// finalizeMixed computes the Pareto frontier and the accepted optimum over
+// the visited nodes.
+func finalizeMixed(res *MixedResult) {
+	if len(res.Nodes) == 0 {
+		return
+	}
+	// Frontier: sweep nodes by (cost asc, accuracy desc); keep each node
+	// strictly improving accuracy over everything cheaper.
+	order := make([]int, len(res.Nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := res.Nodes[order[a]], res.Nodes[order[b]]
+		if na.Cost != nb.Cost {
+			return na.Cost < nb.Cost
+		}
+		return na.Accuracy > nb.Accuracy
+	})
+	bestAcc := 0.0
+	for _, i := range order {
+		n := res.Nodes[i]
+		if len(res.Frontier) == 0 || n.Accuracy > bestAcc {
+			if len(res.Frontier) > 0 && n.Cost == res.Frontier[len(res.Frontier)-1].Cost {
+				continue // same cost, lower accuracy (sort order)
+			}
+			res.Frontier = append(res.Frontier, n)
+			bestAcc = n.Accuracy
+		}
+	}
+	for i := range res.Nodes {
+		n := &res.Nodes[i]
+		if !n.Accepted {
+			continue
+		}
+		if res.Best == nil || n.Cost < res.Best.Cost ||
+			(n.Cost == res.Best.Cost && n.Accuracy > res.Best.Accuracy) {
+			res.Best = n
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package dse
+
+import (
+	"testing"
+
+	"goldeneye/internal/numfmt"
+)
+
+func mixedMenu() []MixedCandidate {
+	return []MixedCandidate{
+		{Name: "fp16", Weights: numfmt.FP16(true), Activations: numfmt.FP16(true), Accumulator: numfmt.FP32(true)}, // 64 bits
+		{Name: "fp8", Weights: numfmt.FP8E4M3(true), Activations: numfmt.FP8E4M3(true)},                            // 8+8+32 = 48 bits
+	}
+}
+
+func TestOrderCandidatesByDescendingCost(t *testing.T) {
+	menu := []MixedCandidate{
+		{Name: "cheap", Cost: 10},
+		{Name: "costly", Cost: 90},
+		{Name: "mid", Cost: 50},
+	}
+	ordered := OrderCandidates(menu)
+	if ordered[0].Name != "costly" || ordered[1].Name != "mid" || ordered[2].Name != "cheap" {
+		t.Fatalf("order = %v", ordered)
+	}
+	if menu[0].Name != "cheap" {
+		t.Fatal("OrderCandidates mutated its input")
+	}
+	// Default cost: summed role bit widths, nil roles at native 32.
+	if c := mixedMenu()[1].cost(); c != 48 {
+		t.Fatalf("default cost = %v, want 48", c)
+	}
+}
+
+// The greedy demotion search must walk every layer down to the cheapest
+// candidate when accuracy never drops, and stop at the first assignment
+// whose single-step demotions all violate the threshold.
+func TestSearchMixedGreedyDemotion(t *testing.T) {
+	// Accuracy model: layer 1 tolerates fp8, layer 2 does not.
+	eval := func(a map[int]int) float64 {
+		if a[2] == 1 {
+			return 0.80 // demoting layer 2 tanks accuracy
+		}
+		return 0.90
+	}
+	res := SearchMixed(MixedConfig{
+		Layers:     []int{1, 2},
+		Candidates: mixedMenu(),
+		Baseline:   0.90,
+		Threshold:  0.02,
+	}, eval)
+	if res.Best == nil {
+		t.Fatal("no accepted assignment")
+	}
+	if res.Best.Assignment[1] != 1 || res.Best.Assignment[2] != 0 {
+		t.Fatalf("best assignment = %v, want layer 1 demoted, layer 2 held", res.Best.Assignment)
+	}
+	if res.Best.Cost != 48+64 {
+		t.Fatalf("best cost = %v, want 112", res.Best.Cost)
+	}
+	// Frontier: strictly increasing accuracy over decreasing cost, and the
+	// cheapest visited node leads.
+	for i := 1; i < len(res.Frontier); i++ {
+		a, b := res.Frontier[i-1], res.Frontier[i]
+		if b.Cost <= a.Cost || b.Accuracy <= a.Accuracy {
+			t.Fatalf("frontier not Pareto-ordered: %+v then %+v", a, b)
+		}
+	}
+}
+
+// Evaluations are memoized per distinct assignment and capped by MaxEvals.
+func TestSearchMixedMemoizationAndBudget(t *testing.T) {
+	seen := map[string]int{}
+	keyOf := func(a map[int]int) string {
+		return string(rune('0'+a[1])) + string(rune('0'+a[2])) + string(rune('0'+a[3]))
+	}
+	eval := func(a map[int]int) float64 {
+		seen[keyOf(a)]++
+		return 1.0
+	}
+	res := SearchMixed(MixedConfig{
+		Layers:     []int{1, 2, 3},
+		Candidates: mixedMenu(),
+		Baseline:   1.0,
+		Threshold:  0.5,
+	}, eval)
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("assignment %s evaluated %d times", k, n)
+		}
+	}
+	if res.Best == nil || res.Best.Cost != 3*48 {
+		t.Fatalf("fully tolerant model should demote everything, got %+v", res.Best)
+	}
+
+	evals := 0
+	res = SearchMixed(MixedConfig{
+		Layers:     []int{1, 2, 3},
+		Candidates: mixedMenu(),
+		Baseline:   1.0,
+		Threshold:  0.5,
+		MaxEvals:   2,
+	}, func(map[int]int) float64 { evals++; return 1.0 })
+	if evals > 2 || len(res.Nodes) > 2 {
+		t.Fatalf("budget overrun: %d evals, %d nodes", evals, len(res.Nodes))
+	}
+}
+
+// When even the costliest assignment misses the threshold there is no
+// accepted optimum, but the visited nodes still report.
+func TestSearchMixedNoAcceptableAssignment(t *testing.T) {
+	res := SearchMixed(MixedConfig{
+		Layers:     []int{0},
+		Candidates: mixedMenu(),
+		Baseline:   0.9,
+		Threshold:  0.01,
+	}, func(map[int]int) float64 { return 0.5 })
+	if res.Best != nil {
+		t.Fatalf("accepted %+v below threshold", res.Best)
+	}
+	if len(res.Nodes) != 1 || res.Nodes[0].Accepted {
+		t.Fatalf("nodes = %+v", res.Nodes)
+	}
+}

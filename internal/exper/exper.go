@@ -171,8 +171,16 @@ func CellHash(cfg goldeneye.CampaignConfig) uint64 {
 	if cfg.Pool != nil {
 		n = cfg.Pool.Len()
 	}
+	// The format name guards against nil: assignment-driven campaigns may
+	// carry no uniform Format (the injection format resolves from the
+	// assignment), and "" is unambiguous because no registered format has
+	// an empty name.
+	formatName := ""
+	if cfg.Format != nil {
+		formatName = cfg.Format.Name()
+	}
 	parts := []interface{}{
-		cfg.Format.Name(), cfg.Site, cfg.Target, cfg.FaultKind, cfg.Layer,
+		formatName, cfg.Site, cfg.Target, cfg.FaultKind, cfg.Layer,
 		cfg.Injections, cfg.FlipsPerInjection, cfg.Seed, n,
 		cfg.UseRanger, cfg.EmulateNetwork, cfg.QuantizeWeights, cfg.MeasureDMR,
 	}
@@ -183,6 +191,12 @@ func CellHash(cfg goldeneye.CampaignConfig) uint64 {
 			parts = append(parts, name)
 		}
 		parts = append(parts, cfg.Recovery.String())
+	}
+	// Same append-only rule for format assignments: the canonical rendering
+	// joins the hash only when an assignment is present, so every uniform-
+	// format cell hash (and cached campaign-service result) stays valid.
+	if cfg.Assignment != nil {
+		parts = append(parts, "assignment", cfg.Assignment.Canonical())
 	}
 	return checkpoint.HashConfig(parts...)
 }

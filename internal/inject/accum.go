@@ -1,0 +1,71 @@
+package inject
+
+import (
+	"math"
+
+	"goldeneye/internal/nn"
+	"goldeneye/internal/numfmt"
+	"goldeneye/internal/rng"
+)
+
+// NativeAccumBits is the flippable width of the native float32 accumulator,
+// used for SiteAccum faults when a layer has no accumulator format assigned
+// (and the GEMM accumulates in IEEE-754 binary32).
+const NativeAccumBits = 32
+
+// AccumBitWidth returns the flippable width of an accumulator register
+// running in the given format; nil means the native float32 accumulator.
+func AccumBitWidth(f numfmt.Format) int {
+	if f == nil {
+		return NativeAccumBits
+	}
+	return f.BitWidth()
+}
+
+// RandomAccumFault draws a uniformly random accumulator-site fault over a
+// layer with n output elements and a GEMM reduction depth of depth steps.
+// format is the layer's assigned accumulator format (nil = native float32).
+// The draw order — element, bit, step — is fixed: it defines the
+// deterministic fault sequence campaigns replay for resume and sharding.
+func RandomAccumFault(r *rng.RNG, format numfmt.Format, layer, n, depth int) Fault {
+	f := Fault{Layer: layer, Site: SiteAccum, Target: TargetNeuron}
+	f.Element = r.Intn(n)
+	f.Bit = r.Intn(AccumBitWidth(format))
+	f.Step = r.Intn(depth)
+	return f
+}
+
+// AccumApply returns the in-place corruption a SiteAccum fault performs on
+// a partial sum: encode the register's value in the accumulator format
+// (IEEE-754 float32 when format is nil), apply the error model to the
+// fault's bit, decode. When the GEMM quantizes every accumulation step into
+// the same format, the register's value is already exactly representable,
+// so the encode step is lossless and the corruption is purely the
+// configured bit error — the accumulator analogue of quantize→flip→
+// dequantize.
+func AccumApply(format numfmt.Format, f Fault) func(float32) float32 {
+	kind, bit := f.Kind, f.Bit
+	if format == nil {
+		return func(v float32) float32 {
+			return math.Float32frombits(uint32(applyBitOp(numfmt.Bits(math.Float32bits(v)), kind, bit)))
+		}
+	}
+	meta := numfmt.Metadata{Kind: numfmt.MetaNone}
+	return func(v float32) float32 {
+		b := applyBitOp(format.ToBits(float64(v), meta), kind, bit)
+		return float32(format.FromBits(b, meta))
+	}
+}
+
+// AccumFaultsFor translates drawn SiteAccum faults into the layer-coordinate
+// accumulator faults nn consumes, landing every fault on batch row `row` of
+// the forward pass (0 for a serial batch-1 inference; the packed row index
+// for batched campaign passes). format is the layer's accumulator format
+// (nil = native float32), shared by all faults of one injection.
+func AccumFaultsFor(format numfmt.Format, faults []Fault, row int) []nn.AccumFault {
+	out := make([]nn.AccumFault, len(faults))
+	for i, f := range faults {
+		out[i] = nn.AccumFault{Sample: row, Elem: f.Element, Step: f.Step, Apply: AccumApply(format, f)}
+	}
+	return out
+}

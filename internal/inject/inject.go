@@ -19,14 +19,15 @@ import (
 	"goldeneye/internal/tensor"
 )
 
-// Site selects whether a fault lands in per-element data or in the format's
-// hardware metadata.
+// Site selects whether a fault lands in per-element data, in the format's
+// hardware metadata, or inside a GEMM accumulator register mid-reduction.
 type Site int
 
 // Injection sites.
 const (
 	SiteValue    Site = iota + 1 // a bit of one element's encoding
 	SiteMetadata                 // a bit of a metadata register
+	SiteAccum                    // a bit of a partial sum inside the layer's GEMM accumulator
 )
 
 // String returns the site's short name.
@@ -36,6 +37,8 @@ func (s Site) String() string {
 		return "value"
 	case SiteMetadata:
 		return "metadata"
+	case SiteAccum:
+		return "accum"
 	default:
 		return fmt.Sprintf("Site(%d)", int(s))
 	}
@@ -117,14 +120,26 @@ type Fault struct {
 	// fault sequence is identical to the serial campaign's. Ignored for
 	// per-tensor encodings.
 	Row int
+
+	// Step is the reduction step a SiteAccum fault lands after: the flip
+	// corrupts output element Element's partial sum once multiply-accumulate
+	// Step of the layer's GEMM has been accumulated (and the corrupted value
+	// participates in every remaining step). Zero for the other sites; the
+	// omitempty tag keeps their wire encodings byte-identical to documents
+	// written before accumulator injection existed.
+	Step int `json:"Step,omitempty"`
 }
 
 // String renders a compact human-readable description.
 func (f Fault) String() string {
-	if f.Site == SiteMetadata {
+	switch f.Site {
+	case SiteMetadata:
 		return fmt.Sprintf("layer %d %s %s reg %d bit %d", f.Layer, f.Target, f.Site, f.MetaIndex, f.Bit)
+	case SiteAccum:
+		return fmt.Sprintf("layer %d %s %s elem %d bit %d step %d", f.Layer, f.Target, f.Site, f.Element, f.Bit, f.Step)
+	default:
+		return fmt.Sprintf("layer %d %s %s elem %d bit %d", f.Layer, f.Target, f.Site, f.Element, f.Bit)
 	}
-	return fmt.Sprintf("layer %d %s %s elem %d bit %d", f.Layer, f.Target, f.Site, f.Element, f.Bit)
 }
 
 // FlipInEncoding applies the fault to enc in place under its error model.

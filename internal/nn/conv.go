@@ -75,20 +75,35 @@ func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	c.lastShape = x.Shape()
 
 	wm := c.w.Value.Reshape(oc, -1)
-	y := wm.MatMul(col) // (oc, n*oh*ow)
+	plane := oh * ow
+	spec, hasAccum := ctx.TakeAccum()
+	var y *tensor.Tensor
+	if hasAccum {
+		y = wm.MatMulAccum(col, convAccumHook(spec, plane)) // (oc, n*oh*ow)
+	} else {
+		y = wm.MatMul(col) // (oc, n*oh*ow)
+	}
 
 	ep, _ := ctx.TakeEpilogue()
 	out := tensor.New(n, oc, oh, ow)
 	bias := c.b.Value.Data()
-	plane := oh * ow
+	quant := spec.Quant
 	for oci := 0; oci < oc; oci++ {
 		src := y.Data()[oci*n*plane : (oci+1)*n*plane]
 		bv := bias[oci]
 		for ni := 0; ni < n; ni++ {
 			dst := out.Data()[(ni*oc+oci)*plane : (ni*oc+oci+1)*plane]
 			s := src[ni*plane : (ni+1)*plane]
-			for i := range dst {
-				dst[i] = s[i] + bv
+			if quant != nil {
+				// Bias add is the accumulator's final step: the register
+				// rounds after it like after every multiply-accumulate.
+				for i := range dst {
+					dst[i] = quant(s[i] + bv)
+				}
+			} else {
+				for i := range dst {
+					dst[i] = s[i] + bv
+				}
 			}
 			if ep.Tile != nil {
 				ep.Tile(dst)

@@ -37,6 +37,11 @@ func DefaultLayers() Filter {
 // ByIndex matches a single layer visit.
 func ByIndex(i int) Filter { return Filter{HasIndex: true, Index: i} }
 
+// Matches reports whether the filter selects the given layer visit — the
+// same predicate hook dispatch uses, exported so callers building per-layer
+// configuration (format assignments) can resolve scope consistently.
+func (f Filter) Matches(info LayerInfo) bool { return f.matches(info) }
+
 func (f Filter) matches(info LayerInfo) bool {
 	if f.HasIndex && f.Index != info.Index {
 		return false
@@ -77,6 +82,12 @@ type hookEntry struct {
 	// PostForwardEpilogue). fn remains the fallback for layers that do not
 	// consume epilogues.
 	ep tensor.Epilogue
+
+	// epFor, when non-nil, selects the epilogue per layer visit instead of
+	// the fixed ep (see PostForwardEpilogueBy) — the mixed-precision path,
+	// where each layer may run a different format's fused kernel. An empty
+	// result means "no fusion for this visit" and fn runs as usual.
+	epFor func(LayerInfo) tensor.Epilogue
 }
 
 // HookSet holds the registered pre- and post-forward hooks of a simulation
@@ -85,8 +96,9 @@ type hookEntry struct {
 // the order the paper's injection pipeline implies (quantize, flip, write
 // back).
 type HookSet struct {
-	pre  []hookEntry
-	post []hookEntry
+	pre   []hookEntry
+	post  []hookEntry
+	accum []accumEntry
 }
 
 // NewHookSet returns an empty hook set.
@@ -100,6 +112,7 @@ func (h *HookSet) Merge(other *HookSet) {
 	}
 	h.pre = append(h.pre, other.pre...)
 	h.post = append(h.post, other.post...)
+	h.accum = append(h.accum, other.accum...)
 }
 
 // PreForward registers fn to run on the input of every layer matching f.
@@ -125,6 +138,77 @@ func (h *HookSet) PostForwardEpilogue(f Filter, fn HookFunc, ep tensor.Epilogue)
 	h.post = append(h.post, hookEntry{filter: f, fn: fn, ep: ep})
 }
 
+// PostForwardEpilogueBy is PostForwardEpilogue with a per-visit epilogue
+// selector, for hooks whose in-place transform differs by layer — the
+// mixed-precision assignment path, where each layer may run a different
+// format's fused kernel. epFor is consulted at most once per matching
+// visit; an empty result means no fusion for that visit and fn runs as a
+// plain post hook. The same bit-identity contract applies per visit: the
+// selected epilogue and fn must compute the same values there.
+func (h *HookSet) PostForwardEpilogueBy(f Filter, fn HookFunc, epFor func(LayerInfo) tensor.Epilogue) {
+	h.post = append(h.post, hookEntry{filter: f, fn: fn, epFor: epFor})
+}
+
+// AccumFault is one scheduled corruption of a layer's GEMM accumulator, in
+// layer coordinates: Sample is the batch row of the forward pass, Elem the
+// flat output element index the layer reports at batch 1, Step the
+// multiply-accumulate step ([0, reduction depth), see GEMMDepth) after
+// which Apply rewrites the partial sum. GEMM-backed layers translate these
+// into tensor.AccumFault matrix coordinates.
+type AccumFault struct {
+	Sample int
+	Elem   int
+	Step   int
+	Apply  func(float32) float32
+}
+
+// AccumSpec declares accumulator-interior behaviour for one layer visit:
+// an optional reduced-precision accumulator rounding (Quant, applied to
+// every partial sum) and scheduled mid-reduction faults. Only GEMM-backed
+// layers (Linear, Conv2D) consume accumulator specs; other layer kinds
+// ignore them.
+type AccumSpec struct {
+	Quant  func(float32) float32
+	Faults []AccumFault
+}
+
+// Empty reports whether the spec changes nothing.
+func (s AccumSpec) Empty() bool { return s.Quant == nil && len(s.Faults) == 0 }
+
+type accumEntry struct {
+	filter Filter
+	fn     func(LayerInfo) AccumSpec
+}
+
+// Accum registers fn to provide the accumulator spec of every layer visit
+// matching f. Specs from multiple matching entries merge: the first
+// non-nil Quant wins (the emulation layer registers it before the
+// injection layer adds faults) and fault lists concatenate in registration
+// order.
+func (h *HookSet) Accum(f Filter, fn func(LayerInfo) AccumSpec) {
+	h.accum = append(h.accum, accumEntry{filter: f, fn: fn})
+}
+
+// hasAccum reports whether any accumulator entries are registered, so
+// Apply can skip the staging machinery entirely on the legacy path.
+func (h *HookSet) hasAccum() bool { return len(h.accum) > 0 }
+
+// accumSpec merges the accumulator specs of every entry matching info.
+func (h *HookSet) accumSpec(info LayerInfo) AccumSpec {
+	var spec AccumSpec
+	for _, e := range h.accum {
+		if !e.filter.matches(info) {
+			continue
+		}
+		s := e.fn(info)
+		if spec.Quant == nil {
+			spec.Quant = s.Quant
+		}
+		spec.Faults = append(spec.Faults, s.Faults...)
+	}
+	return spec
+}
+
 // fusibleEpilogue returns the epilogue a layer visit may fuse, with the
 // index of the hook entry it replaces. Only the FIRST matching post hook
 // is eligible: a fused epilogue runs inside the layer's Forward, i.e.
@@ -135,10 +219,14 @@ func (h *HookSet) fusibleEpilogue(info LayerInfo) (tensor.Epilogue, int, bool) {
 		if !e.filter.matches(info) {
 			continue
 		}
-		if e.ep.Empty() {
+		ep := e.ep
+		if e.epFor != nil {
+			ep = e.epFor(info)
+		}
+		if ep.Empty() {
 			return tensor.Epilogue{}, -1, false
 		}
-		return e.ep, i, true
+		return ep, i, true
 	}
 	return tensor.Epilogue{}, -1, false
 }

@@ -60,6 +60,9 @@ func (l *Linear) Forward(ctx *Context, x *tensor.Tensor) *tensor.Tensor {
 	}
 	l.lastInput = x
 	ep, _ := ctx.TakeEpilogue()
+	if spec, ok := ctx.TakeAccum(); ok {
+		ep.Accum = linearAccumHook(spec)
+	}
 	return x.MatMulBias(l.w.Value, l.b.Value, ep)
 }
 

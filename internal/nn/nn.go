@@ -143,6 +143,14 @@ type Context struct {
 	pendingEp      tensor.Epilogue
 	pendingEpValid bool
 	epConsumed     bool
+
+	// Accumulator-spec hand-off, parallel to the epilogue staging: Apply
+	// stages the merged AccumSpec of the layer being visited; GEMM-backed
+	// Forwards claim it through TakeAccum. Unlike an epilogue, consuming a
+	// spec skips no hook — the spec has no hook-function fallback, it only
+	// exists inside the reduction.
+	pendingAccum      AccumSpec
+	pendingAccumValid bool
 }
 
 // NewContext returns a context carrying the given hooks (may be nil).
@@ -178,15 +186,23 @@ func (c *Context) Apply(m Module, x *tensor.Tensor) *tensor.Tensor {
 	// The previous staging is saved and restored because composite modules
 	// re-enter Apply for their children mid-Forward.
 	savedEp, savedValid, savedConsumed := c.pendingEp, c.pendingEpValid, c.epConsumed
+	savedAc, savedAcValid := c.pendingAccum, c.pendingAccumValid
 	epIdx := -1
 	c.pendingEp, c.pendingEpValid, c.epConsumed = tensor.Epilogue{}, false, false
+	c.pendingAccum, c.pendingAccumValid = AccumSpec{}, false
 	if ep, idx, ok := c.hooks.fusibleEpilogue(info); ok {
 		c.pendingEp, epIdx = ep, idx
 		c.pendingEpValid = true
 	}
+	if c.hooks.hasAccum() {
+		if spec := c.hooks.accumSpec(info); !spec.Empty() {
+			c.pendingAccum, c.pendingAccumValid = spec, true
+		}
+	}
 	y := m.Forward(c, x)
 	consumed := c.epConsumed
 	c.pendingEp, c.pendingEpValid, c.epConsumed = savedEp, savedValid, savedConsumed
+	c.pendingAccum, c.pendingAccumValid = savedAc, savedAcValid
 	if consumed {
 		return c.hooks.runPostSkip(info, y, epIdx)
 	}
@@ -204,6 +220,19 @@ func (c *Context) TakeEpilogue() (tensor.Epilogue, bool) {
 	}
 	c.epConsumed = true
 	return c.pendingEp, true
+}
+
+// TakeAccum claims the accumulator spec staged for the module currently
+// being forwarded, if any. GEMM-backed modules translate the spec into
+// matrix coordinates and thread it into their reduction; modules without a
+// GEMM never call this and the spec evaporates at the end of the visit.
+// Safe on a nil context (no spec).
+func (c *Context) TakeAccum() (AccumSpec, bool) {
+	if c == nil || !c.pendingAccumValid {
+		return AccumSpec{}, false
+	}
+	c.pendingAccumValid = false
+	return c.pendingAccum, true
 }
 
 // Reset clears the per-pass visit counter; call between forward passes when

@@ -1,0 +1,25 @@
+package numfmt
+
+// AccumRound returns the scalar rounding a GEMM applies to each partial sum
+// when its accumulator register runs in format f: a ToBits→FromBits round
+// trip under empty metadata, applied after every multiply-accumulate. A nil
+// f returns nil — the native float32 accumulator, which producers treat as
+// "no rounding".
+//
+// Only metadata-free formats (MetaNone: FP, FxP, posit, LNS) make valid
+// accumulator formats: per-tensor scales, shared exponents, and adaptive
+// biases are derived from a completed tensor and cannot exist mid-reduction.
+// Campaign validation enforces this; AccumRound itself just passes empty
+// metadata, which such formats ignore.
+//
+// The closure is stateless and safe for concurrent use from the GEMM's
+// row-sharded worker goroutines.
+func AccumRound(f Format) func(float32) float32 {
+	if f == nil {
+		return nil
+	}
+	meta := Metadata{Kind: MetaNone}
+	return func(v float32) float32 {
+		return float32(f.FromBits(f.ToBits(float64(v), meta), meta))
+	}
+}

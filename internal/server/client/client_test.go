@@ -141,6 +141,90 @@ func TestRemoteEqualsLocal(t *testing.T) {
 	}
 }
 
+// TestRemoteEqualsLocalAccum extends the remote-vs-local guarantee to the
+// v2 surface: a mixed-precision assignment with accumulator-site injection
+// travels the wire (schema v2), runs on the daemon, and the report is
+// bit-identical to the same campaign run locally.
+func TestRemoteEqualsLocalAccum(t *testing.T) {
+	asg, err := goldeneye.ParseFormatMap("w:bf16,a:fp8_e4m3,acc:fp32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers   = 2
+		samples   = 16
+		evalBatch = 8
+	)
+	cfg := goldeneye.CampaignConfig{
+		Assignment: asg,
+		Injections: 8,
+		Seed:       23,
+		Layer:      1,
+		Site:       inject.SiteAccum,
+		Target:     inject.TargetNeuron,
+		BatchSize:  4,
+	}
+
+	localCfg := cfg
+	model, ds, err := zoo.Pretrained("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, samples), ds.ValY[:samples], evalBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localCfg.Pool = pool
+	sim, err := goldeneye.NewSimulator(model, ds.ValX.Slice(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sim
+	local, err := goldeneye.RunCampaignParallel(context.Background(), localCfg, workers,
+		func() (*goldeneye.Simulator, error) {
+			if s := first; s != nil {
+				first = nil
+				return s, nil
+			}
+			m, d, err := zoo.Pretrained("mlp")
+			if err != nil {
+				return nil, err
+			}
+			return goldeneye.NewSimulator(m, d.ValX.Slice(0, 1))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := startDaemon(t, server.Options{})
+	remote, err := c.Run(context.Background(), &server.JobSpec{
+		Model:     "mlp",
+		Samples:   samples,
+		EvalBatch: evalBatch,
+		Workers:   workers,
+		Campaign:  cfg,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteJSON, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localJSON, remoteJSON) {
+		t.Errorf("remote accum report differs from local:\nlocal:  %s\nremote: %s", localJSON, remoteJSON)
+	}
+	if remote.Config.Assignment == nil ||
+		remote.Config.Assignment.Canonical() != asg.Canonical() {
+		t.Errorf("assignment did not round-trip through the daemon: %+v", remote.Config.Assignment)
+	}
+}
+
 // TestClientErrors covers the typed error paths: queue rejection carries
 // the Retry-After hint, invalid specs surface the daemon's 400 reason.
 func TestClientErrors(t *testing.T) {

@@ -469,6 +469,14 @@ func FuzzJobConfigDecode(f *testing.F) {
 	f.Add([]byte(`{"model":"mlp","campaign":{"format":"bfp_e5m5_b0","fault_kind":"burst","detectors":[{"kind":"ranger"}],"recovery":"clamp","injections":1,"seed":1,"layer":-1}}`))
 	f.Add([]byte(`{"model":"mlp","campaign":{"format":"fp_e0m0","injections":1,"seed":1,"layer":0}}`))
 	f.Add([]byte(fmt.Sprintf(`{"model":"mlp","campaign":{"format":%q,"injections":1,"seed":1,"layer":0}}`, strings.Repeat("f", 1000))))
+	// Schema v2 documents: per-layer assignments and the accum site, plus
+	// strict-decoding and validation edge cases (unknown v2 field, metadata-
+	// carrying accumulator format, malformed per-layer key).
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":2,"assignment":{"default":{"weights":"bf16","activations":"fp8_e4m3","accumulator":"fp32"}},"site":"accum","injections":4,"seed":9,"layer":1}}`))
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":2,"assignment":{"default":{"activations":"fp16"},"per_layer":{"1":{"accumulator":"fp16"}}},"injections":4,"seed":9,"layer":1}}`))
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":2,"assignment":{"default":{"accumulator":"bfp_e5m5_b0"}},"injections":1,"seed":1,"layer":0}}`))
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":2,"assignment":{"default":{"activations":"fp16"}},"bogus_field":1,"injections":1,"seed":1,"layer":0}}`))
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":2,"assignment":{"per_layer":{"x":{"weights":"fp16"}}},"injections":1,"seed":1,"layer":0}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := DecodeJobSpec(bytes.NewReader(data))
 		if err == nil && spec == nil {

@@ -119,8 +119,13 @@ func (s *JobSpec) Validate() error {
 			Reason: fmt.Sprintf("eval batch %d exceeds the job's %d pool samples", s.EvalBatch, s.PoolSamples())}
 	}
 	c := &s.Campaign
-	if c.Format == nil {
+	if c.Format == nil && c.Assignment == nil {
 		return &goldeneye.ConfigError{Field: "Campaign.Format", Reason: "campaign requires a format"}
+	}
+	if c.Assignment != nil {
+		if err := c.Assignment.Validate(); err != nil {
+			return err
+		}
 	}
 	if c.Injections <= 0 {
 		return &goldeneye.ConfigError{Field: "Campaign.Injections",

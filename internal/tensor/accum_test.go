@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"goldeneye/internal/rng"
+)
+
+// An inactive accumulator hook must select the plain kernel: MatMulAccum
+// and MatMulBias with an empty Accum are bit-identical to MatMul — on both
+// the serial and the parallel-rows path.
+func TestMatMulAccumInactiveIsPlainKernel(t *testing.T) {
+	for _, dims := range [][3]int{{3, 5, 7}, {64, 96, 300}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		r := rng.New(21)
+		a := Randn(r, 1, m, k)
+		b := Randn(r, 1, k, n)
+		want := a.MatMul(b)
+		bitsEqual(t, a.MatMulAccum(b, nil), want)
+		bitsEqual(t, a.MatMulAccum(b, &AccumHook{}), want)
+		bitsEqual(t, a.MatMulBias(b, nil, Epilogue{Accum: &AccumHook{}}), want)
+	}
+}
+
+// scalarAccumRef is the straight-line reference the kernel is pinned to:
+// per output element, accumulate k steps in order, rounding through quant
+// after each step and applying scheduled faults after their step.
+func scalarAccumRef(a, b *Tensor, m, k, n int, h *AccumHook) []float32 {
+	out := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				if av := a.data[i*k+p]; av != 0 {
+					acc = acc + av*b.data[p*n+j]
+					if h.Quant != nil {
+						acc = h.Quant(acc)
+					}
+				}
+				for _, f := range h.Faults {
+					if f.Step == p && f.Row == i && f.Col == j {
+						acc = f.Apply(acc)
+					}
+				}
+			}
+			out[i*n+j] = acc
+		}
+	}
+	return out
+}
+
+// A quantizing accumulator rounds every partial sum; the kernel must match
+// the scalar per-element reference bit for bit on both sharding paths.
+func TestMatMulAccumQuantMatchesScalarReference(t *testing.T) {
+	quant := func(v float32) float32 { // crude fp32->bf16 truncation
+		return math.Float32frombits(math.Float32bits(v) &^ 0xFFFF)
+	}
+	for _, dims := range [][3]int{{4, 9, 6}, {64, 32, 300}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		r := rng.New(33)
+		a := Randn(r, 1, m, k)
+		b := Randn(r, 1, k, n)
+		h := &AccumHook{Quant: quant}
+		got := a.MatMulAccum(b, h)
+		want := scalarAccumRef(a, b, m, k, n, h)
+		for i := range want {
+			if math.Float32bits(got.data[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("%dx%dx%d: element %d: %v vs scalar %v", m, k, n, i, got.data[i], want[i])
+			}
+		}
+	}
+}
+
+// A fault scheduled at step s corrupts the partial sum after exactly s+1
+// accumulations, and the corrupted value flows through the remaining
+// reduction — the interior behaviour output-boundary injection can't
+// express.
+func TestMatMulAccumFaultTiming(t *testing.T) {
+	m, k, n := 2, 4, 3
+	a := New(m, k)
+	b := New(k, n)
+	for i := range a.data {
+		a.data[i] = float32(i + 1)
+	}
+	for i := range b.data {
+		b.data[i] = float32(i%5) - 2
+	}
+	stuck := func(float32) float32 { return 100 }
+	for step := 0; step < k; step++ {
+		h := &AccumHook{Faults: []AccumFault{{Row: 1, Col: 2, Step: step, Apply: stuck}}}
+		got := a.MatMulAccum(b, h)
+		// Reference: resume the reduction from 100 over the remaining steps.
+		var want float32 = 100
+		for p := step + 1; p < k; p++ {
+			want += a.data[1*k+p] * b.data[p*n+2]
+		}
+		if got.data[1*n+2] != want {
+			t.Fatalf("step %d: faulted element %v, want %v", step, got.data[1*n+2], want)
+		}
+		// Every other element is untouched.
+		clean := a.MatMul(b)
+		for i := range got.data {
+			if i == 1*n+2 {
+				continue
+			}
+			if math.Float32bits(got.data[i]) != math.Float32bits(clean.data[i]) {
+				t.Fatalf("step %d: sibling element %d corrupted", step, i)
+			}
+		}
+	}
+}
+
+// With a quantizing accumulator the bias add is one more accumulation
+// step: MatMulBias must round the register after it.
+func TestMatMulBiasQuantizedBiasAdd(t *testing.T) {
+	quant := func(v float32) float32 {
+		return math.Float32frombits(math.Float32bits(v) &^ 0x3FFF)
+	}
+	r := rng.New(5)
+	m, k, n := 3, 6, 4
+	a := Randn(r, 1, m, k)
+	b := Randn(r, 1, k, n)
+	bias := Randn(r, 1, n)
+	h := &AccumHook{Quant: quant}
+	got := a.MatMulBias(b, bias, Epilogue{Accum: h})
+	pre := a.MatMulAccum(b, h)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want := quant(pre.data[i*n+j] + bias.data[j])
+			if math.Float32bits(got.data[i*n+j]) != math.Float32bits(want) {
+				t.Fatalf("(%d,%d): %v, want quantized bias add %v", i, j, got.data[i*n+j], want)
+			}
+		}
+	}
+}

@@ -24,12 +24,54 @@ type Epilogue struct {
 	Tile  func(chunk []float32)
 	Rows  func(data []float32, rows, rowLen int)
 	Whole func(data []float32)
+
+	// Accum, when active, moves the epilogue machinery *inside* the GEMM
+	// reduction: MatMulBias (and Conv2D via MatMulAccum) runs its
+	// accumulator kernel instead of the plain one, quantizing every partial
+	// sum and landing scheduled faults mid-reduction. Unlike the three
+	// callbacks above it is not a transform of the completed output, so it
+	// does not participate in Empty — hook fusion decisions are about the
+	// output transform only. It is set by the layer's Forward (from the
+	// accumulator spec staged on the context), never by hook registration.
+	Accum *AccumHook
 }
 
-// Empty reports whether the epilogue carries no callbacks, i.e. applying
-// it is a no-op.
+// Empty reports whether the epilogue carries no output callbacks, i.e.
+// applying it to a completed output is a no-op. Accum is deliberately
+// excluded: it alters the reduction, not the completed output.
 func (ep Epilogue) Empty() bool {
 	return ep.Tile == nil && ep.Rows == nil && ep.Whole == nil
+}
+
+// AccumFault is one scheduled corruption of a GEMM accumulator register, in
+// GEMM coordinates: after reduction step Step of output element (Row, Col)
+// is accumulated, Apply rewrites that element's partial sum in place. The
+// corrupted value then participates in the remaining reduction steps —
+// faults injected early propagate through more accumulation than faults
+// injected late, which is exactly the accumulator-interior behaviour
+// tensor-boundary injection cannot express.
+type AccumFault struct {
+	Row, Col int
+	Step     int
+	Apply    func(float32) float32
+}
+
+// AccumHook threads accumulator-interior behaviour into a GEMM. Quant, when
+// non-nil, models a reduced-precision accumulator register: every partial
+// sum is rounded through it after each multiply-accumulate (and after the
+// bias add), maintaining the invariant that the register only ever holds
+// representable values. Faults are applied at their scheduled (row, step)
+// positions. A nil hook — or one with neither field set — selects the plain
+// kernel with zero overhead.
+type AccumHook struct {
+	Quant  func(float32) float32
+	Faults []AccumFault
+}
+
+// Active reports whether the hook changes the reduction at all. Safe on a
+// nil receiver, so producers can gate on ep.Accum.Active() directly.
+func (h *AccumHook) Active() bool {
+	return h != nil && (h.Quant != nil || len(h.Faults) > 0)
 }
 
 // Apply runs the epilogue's post-barrier stage on a completed output:

@@ -55,6 +55,69 @@ func matmulRows(c, a, b []float32, lo, hi, k, n int) {
 	}
 }
 
+// matmulRowsAccum is matmulRows with an active accumulator hook: each
+// multiply-accumulate step rounds the partial sum through h.Quant (when
+// set), and scheduled faults rewrite their register after their step.
+// Steps whose A value is zero skip the update, like the plain kernel —
+// the register is untouched, and since Quant only ever writes values it
+// would map to themselves, not re-rounding an untouched register is
+// equivalent to rounding it again. Sharding stays per output row, so every
+// element's reduction runs sequentially inside one goroutine and the
+// result is independent of the worker count.
+func matmulRowsAccum(c, a, b []float32, lo, hi, k, n int, h *AccumHook) {
+	q := h.Quant
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		ai := a[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			if av := ai[p]; av != 0 {
+				bp := b[p*n : (p+1)*n]
+				if q != nil {
+					for j := range ci {
+						ci[j] = q(ci[j] + av*bp[j])
+					}
+				} else {
+					for j := range ci {
+						ci[j] += av * bp[j]
+					}
+				}
+			}
+			for _, f := range h.Faults {
+				if f.Step == p && f.Row == i {
+					ci[f.Col] = f.Apply(ci[f.Col])
+				}
+			}
+		}
+	}
+}
+
+// MatMulAccum is MatMul with an accumulator hook threaded into the
+// reduction (see AccumHook). An inactive hook delegates to MatMul — the
+// default path is byte-for-byte the plain kernel.
+func (t *Tensor) MatMulAccum(o *Tensor, h *AccumHook) *Tensor {
+	if !h.Active() {
+		return t.MatMul(o)
+	}
+	if len(t.shape) != 2 || len(o.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulAccum requires rank-2 operands, got %v and %v", t.shape, o.shape))
+	}
+	m, k := t.shape[0], t.shape[1]
+	k2, n := o.shape[0], o.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulAccum inner dimensions differ: %v @ %v", t.shape, o.shape))
+	}
+	out := New(m, n)
+	defer func(start time.Time) { recordMatMul(start, m, n, k) }(time.Now())
+	if m*n >= matmulParallelThreshold && m > 1 {
+		parallelRows(m, func(lo, hi int) {
+			matmulRowsAccum(out.data, t.data, o.data, lo, hi, k, n, h)
+		})
+	} else {
+		matmulRowsAccum(out.data, t.data, o.data, 0, m, k, n, h)
+	}
+	return out
+}
+
 // MatMulBias returns t @ o + bias with an optional epilogue applied to the
 // output while it is cache-hot. bias may be nil (no bias) or a rank-1
 // tensor of length n added to every output row — bit-identical to
@@ -81,13 +144,31 @@ func (t *Tensor) MatMulBias(o, bias *Tensor, ep Epilogue) *Tensor {
 	}
 	out := New(m, n)
 	defer func(start time.Time) { recordMatMul(start, m, n, k) }(time.Now())
+	accum := ep.Accum
 	work := func(lo, hi int) {
-		matmulRows(out.data, t.data, o.data, lo, hi, k, n)
+		if accum.Active() {
+			matmulRowsAccum(out.data, t.data, o.data, lo, hi, k, n, accum)
+		} else {
+			matmulRows(out.data, t.data, o.data, lo, hi, k, n)
+		}
 		if bias != nil {
-			for i := lo; i < hi; i++ {
-				ci := out.data[i*n : (i+1)*n]
-				for j := range ci {
-					ci[j] += bias.data[j]
+			// With a quantizing accumulator the bias add is one more
+			// accumulation step: the register rounds after it like after
+			// every multiply-accumulate.
+			if accum.Active() && accum.Quant != nil {
+				q := accum.Quant
+				for i := lo; i < hi; i++ {
+					ci := out.data[i*n : (i+1)*n]
+					for j := range ci {
+						ci[j] = q(ci[j] + bias.data[j])
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					ci := out.data[i*n : (i+1)*n]
+					for j := range ci {
+						ci[j] += bias.data[j]
+					}
 				}
 			}
 		}

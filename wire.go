@@ -1,6 +1,7 @@
 package goldeneye
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -9,11 +10,29 @@ import (
 	"goldeneye/internal/metrics"
 )
 
-// ConfigSchemaVersion is the version stamped into the JSON encodings of
+// ConfigSchemaVersion is the newest schema version of the JSON encodings of
 // CampaignConfig and CampaignReport. Decoders accept any version up to the
 // current one and reject newer documents, so a daemon never silently
 // misreads a job submitted by a newer client.
-const ConfigSchemaVersion = 1
+//
+// Version history:
+//
+//	v1 — the original uniform-format encoding.
+//	v2 — adds the per-layer "assignment" map and the "accum" injection
+//	     site. Documents that use neither are stamped (and decoded as) v1,
+//	     so every pre-existing configuration keeps its exact v1 bytes.
+//	     v2 documents are decoded strictly: unknown fields are rejected.
+const ConfigSchemaVersion = 2
+
+// wireVersion returns the schema version a configuration actually needs:
+// v1 unless it uses a v2 feature. Stamping the minimum keeps legacy
+// encodings byte-identical and lets older consumers keep reading them.
+func (c CampaignConfig) wireVersion() int {
+	if c.Assignment != nil || c.Site == inject.SiteAccum {
+		return 2
+	}
+	return 1
+}
 
 // detectorJSON is the wire shape of one detector declaration. Only the
 // declarative fields travel: a Spec's CachePath is a local filesystem
@@ -28,24 +47,110 @@ type detectorJSON struct {
 // Resume, Progress — are deliberately excluded, so encode→decode→encode is
 // byte-identical and a config can travel between processes.
 type campaignConfigJSON struct {
-	Version           int            `json:"version"`
-	Format            string         `json:"format,omitempty"`
-	Site              string         `json:"site,omitempty"`
-	Target            string         `json:"target,omitempty"`
-	FaultKind         string         `json:"fault_kind,omitempty"`
-	Layer             int            `json:"layer"`
-	Injections        int            `json:"injections"`
-	FlipsPerInjection int            `json:"flips_per_injection,omitempty"`
-	Seed              uint64         `json:"seed"`
-	BatchSize         int            `json:"batch_size,omitempty"`
-	UseRanger         bool           `json:"use_ranger,omitempty"`
-	EmulateNetwork    bool           `json:"emulate_network,omitempty"`
-	QuantizeWeights   bool           `json:"quantize_weights,omitempty"`
-	KeepTrace         bool           `json:"keep_trace,omitempty"`
-	MeasureDMR        bool           `json:"measure_dmr,omitempty"`
-	MaxAborts         int            `json:"max_aborts,omitempty"`
-	Detectors         []detectorJSON `json:"detectors,omitempty"`
-	Recovery          string         `json:"recovery,omitempty"`
+	Version           int             `json:"version"`
+	Format            string          `json:"format,omitempty"`
+	Assignment        *assignmentJSON `json:"assignment,omitempty"`
+	Site              string          `json:"site,omitempty"`
+	Target            string          `json:"target,omitempty"`
+	FaultKind         string          `json:"fault_kind,omitempty"`
+	Layer             int             `json:"layer"`
+	Injections        int             `json:"injections"`
+	FlipsPerInjection int             `json:"flips_per_injection,omitempty"`
+	Seed              uint64          `json:"seed"`
+	BatchSize         int             `json:"batch_size,omitempty"`
+	UseRanger         bool            `json:"use_ranger,omitempty"`
+	EmulateNetwork    bool            `json:"emulate_network,omitempty"`
+	QuantizeWeights   bool            `json:"quantize_weights,omitempty"`
+	KeepTrace         bool            `json:"keep_trace,omitempty"`
+	MeasureDMR        bool            `json:"measure_dmr,omitempty"`
+	MaxAborts         int             `json:"max_aborts,omitempty"`
+	Detectors         []detectorJSON  `json:"detectors,omitempty"`
+	Recovery          string          `json:"recovery,omitempty"`
+}
+
+// roleFormatsJSON is the wire shape of one RoleFormats triple: each role
+// travels as its ParseFormat-compatible name, absent roles are omitted.
+type roleFormatsJSON struct {
+	Weights     string `json:"weights,omitempty"`
+	Activations string `json:"activations,omitempty"`
+	Accumulator string `json:"accumulator,omitempty"`
+}
+
+func roleFormatsToJSON(r RoleFormats) roleFormatsJSON {
+	var w roleFormatsJSON
+	if r.Weights != nil {
+		w.Weights = r.Weights.Name()
+	}
+	if r.Activations != nil {
+		w.Activations = r.Activations.Name()
+	}
+	if r.Accumulator != nil {
+		w.Accumulator = r.Accumulator.Name()
+	}
+	return w
+}
+
+func (w roleFormatsJSON) roles() (RoleFormats, error) {
+	var r RoleFormats
+	var err error
+	if w.Weights != "" {
+		if r.Weights, err = ParseFormat(w.Weights); err != nil {
+			return r, err
+		}
+	}
+	if w.Activations != "" {
+		if r.Activations, err = ParseFormat(w.Activations); err != nil {
+			return r, err
+		}
+	}
+	if w.Accumulator != "" {
+		if r.Accumulator, err = ParseFormat(w.Accumulator); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// assignmentJSON is the wire shape of a FormatAssignment (schema v2).
+// Integer-keyed maps marshal with deterministically ordered keys, so
+// encode→decode→encode stays byte-identical.
+type assignmentJSON struct {
+	Default  roleFormatsJSON         `json:"default"`
+	PerLayer map[int]roleFormatsJSON `json:"per_layer,omitempty"`
+}
+
+func assignmentToJSON(a *FormatAssignment) *assignmentJSON {
+	if a == nil {
+		return nil
+	}
+	w := &assignmentJSON{Default: roleFormatsToJSON(a.Default)}
+	if len(a.PerLayer) > 0 {
+		w.PerLayer = make(map[int]roleFormatsJSON, len(a.PerLayer))
+		for k, rf := range a.PerLayer {
+			w.PerLayer[k] = roleFormatsToJSON(rf)
+		}
+	}
+	return w
+}
+
+func (w *assignmentJSON) assignment() (*FormatAssignment, error) {
+	if w == nil {
+		return nil, nil
+	}
+	a := &FormatAssignment{}
+	var err error
+	if a.Default, err = w.Default.roles(); err != nil {
+		return nil, err
+	}
+	if len(w.PerLayer) > 0 {
+		a.PerLayer = make(map[int]RoleFormats, len(w.PerLayer))
+		for k, rw := range w.PerLayer {
+			if a.PerLayer[k], err = rw.roles(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
 }
 
 // MarshalJSON encodes the campaign configuration in its stable, versioned
@@ -54,7 +159,8 @@ type campaignConfigJSON struct {
 // detector factory (Spec.New) cannot be serialized.
 func (c CampaignConfig) MarshalJSON() ([]byte, error) {
 	w := campaignConfigJSON{
-		Version:           ConfigSchemaVersion,
+		Version:           c.wireVersion(),
+		Assignment:        assignmentToJSON(c.Assignment),
 		Layer:             c.Layer,
 		Injections:        c.Injections,
 		FlipsPerInjection: c.FlipsPerInjection,
@@ -91,19 +197,43 @@ func (c CampaignConfig) MarshalJSON() ([]byte, error) {
 	return json.Marshal(w)
 }
 
+// wireProbe extracts just the version stamp of a wire document, so the
+// decoder can pick the strictness matching the document's own schema.
+type wireProbe struct {
+	Version int `json:"version"`
+}
+
+// decodeVersioned unmarshals a versioned wire document into dst. Documents
+// stamped v2 or newer decode strictly (unknown fields are an error, so a
+// typo'd or half-migrated job config fails loudly); v1 documents keep the
+// lenient decoding they have always had. Newer-than-supported versions are
+// rejected with kind in the message.
+func decodeVersioned(data []byte, dst interface{}, kind string) (int, error) {
+	var probe wireProbe
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return 0, err
+	}
+	if probe.Version > ConfigSchemaVersion {
+		return 0, fmt.Errorf("goldeneye: campaign %s schema v%d is newer than supported v%d",
+			kind, probe.Version, ConfigSchemaVersion)
+	}
+	if probe.Version >= 2 {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		return probe.Version, dec.Decode(dst)
+	}
+	return probe.Version, json.Unmarshal(data, dst)
+}
+
 // UnmarshalJSON decodes a configuration encoded by MarshalJSON, parsing the
 // format specification and detector declarations back into live values. The
 // runtime-only fields (Pool, Metrics, Resume, Progress) come back zero; the
 // consumer attaches them. Documents stamped with a newer schema version are
-// rejected.
+// rejected; v2 documents are decoded strictly (see decodeVersioned).
 func (c *CampaignConfig) UnmarshalJSON(data []byte) error {
 	var w campaignConfigJSON
-	if err := json.Unmarshal(data, &w); err != nil {
+	if _, err := decodeVersioned(data, &w, "config"); err != nil {
 		return err
-	}
-	if w.Version > ConfigSchemaVersion {
-		return fmt.Errorf("goldeneye: campaign config schema v%d is newer than supported v%d",
-			w.Version, ConfigSchemaVersion)
 	}
 	out := CampaignConfig{
 		Layer:             w.Layer,
@@ -123,6 +253,9 @@ func (c *CampaignConfig) UnmarshalJSON(data []byte) error {
 		if out.Format, err = ParseFormat(w.Format); err != nil {
 			return err
 		}
+	}
+	if out.Assignment, err = w.Assignment.assignment(); err != nil {
+		return err
 	}
 	if out.Site, err = parseSite(w.Site); err != nil {
 		return err
@@ -164,6 +297,8 @@ func parseSite(s string) (inject.Site, error) {
 		return inject.SiteValue, nil
 	case "metadata":
 		return inject.SiteMetadata, nil
+	case "accum":
+		return inject.SiteAccum, nil
 	default:
 		return 0, fmt.Errorf("goldeneye: unknown injection site %q", s)
 	}
@@ -221,7 +356,7 @@ type campaignReportJSON struct {
 // relies on this for its remote-equals-local guarantee.
 func (r CampaignReport) MarshalJSON() ([]byte, error) {
 	return json.Marshal(campaignReportJSON{
-		Version:     ConfigSchemaVersion,
+		Version:     r.Config.wireVersion(),
 		Result:      r.CampaignResult,
 		Config:      r.Config,
 		Trace:       r.Trace,
@@ -234,15 +369,12 @@ func (r CampaignReport) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON decodes a report encoded by MarshalJSON, rejecting
-// documents stamped with a newer schema version.
+// documents stamped with a newer schema version; v2 documents are decoded
+// strictly (see decodeVersioned).
 func (r *CampaignReport) UnmarshalJSON(data []byte) error {
 	var w campaignReportJSON
-	if err := json.Unmarshal(data, &w); err != nil {
+	if _, err := decodeVersioned(data, &w, "report"); err != nil {
 		return err
-	}
-	if w.Version > ConfigSchemaVersion {
-		return fmt.Errorf("goldeneye: campaign report schema v%d is newer than supported v%d",
-			w.Version, ConfigSchemaVersion)
 	}
 	*r = CampaignReport{
 		CampaignResult: w.Result,

@@ -183,6 +183,99 @@ func TestWireRejectsNewerVersions(t *testing.T) {
 	}
 }
 
+// TestWireV2AssignmentRoundTrip pins the v2 surface: a config carrying a
+// format assignment (or an accumulator site) stamps version 2, survives
+// encode→decode with the assignment intact, and re-encodes byte-stably.
+func TestWireV2AssignmentRoundTrip(t *testing.T) {
+	asg, err := ParseFormatMap("w:bf16,a:fp8_e4m3,acc:fp32;4=a:fp16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CampaignConfig{
+		Assignment: asg,
+		Injections: 200,
+		Seed:       9,
+		Layer:      4,
+		Site:       inject.SiteAccum,
+		Target:     inject.TargetNeuron,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !bytes.Contains(data, []byte(`"version":2`)) {
+		t.Fatalf("assignment config should stamp v2: %s", data)
+	}
+	var back CampaignConfig
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Assignment == nil || back.Assignment.Canonical() != asg.Canonical() {
+		t.Fatalf("assignment drifted: got %v, want %v", back.Assignment, asg)
+	}
+	if back.Site != inject.SiteAccum || back.Format != nil {
+		t.Fatalf("site/format drifted: %+v", back)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("v2 encoding not byte-stable:\n first: %s\nsecond: %s", data, again)
+	}
+
+	// The accumulator site alone (no assignment: native fp32 register)
+	// also needs v2 — a v1 decoder has no "accum" site spelling.
+	accumOnly := CampaignConfig{Format: cfg.Assignment.Default.Activations,
+		Injections: 1, Seed: 1, Layer: 0, Site: inject.SiteAccum}
+	data2, err := json.Marshal(accumOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data2, []byte(`"version":2`)) {
+		t.Fatalf("accum-site config should stamp v2: %s", data2)
+	}
+
+	// A report wrapping a v2 config is itself stamped v2.
+	rep := CampaignReport{Config: cfg}
+	repData, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(repData, []byte(`"version":2`)) {
+		t.Fatalf("v2 report not stamped: %s", repData)
+	}
+	var repBack CampaignReport
+	if err := json.Unmarshal(repData, &repBack); err != nil {
+		t.Fatalf("report unmarshal: %v", err)
+	}
+	if repBack.Config.Assignment.Canonical() != asg.Canonical() {
+		t.Fatal("report round-trip lost the assignment")
+	}
+}
+
+// TestWireV2StrictDecoding: v2 documents decode strictly (unknown fields
+// are errors), while v1 documents keep the lenient legacy decoding.
+func TestWireV2StrictDecoding(t *testing.T) {
+	var cfg CampaignConfig
+	v2 := `{"version":2,"format":"fp16","injections":1,"seed":1,"layer":0,"bogus_field":true}`
+	if err := json.Unmarshal([]byte(v2), &cfg); err == nil ||
+		!strings.Contains(err.Error(), "bogus_field") {
+		t.Errorf("v2 with unknown field: want strict rejection, got %v", err)
+	}
+	v1 := `{"version":1,"format":"fp16","injections":1,"seed":1,"layer":0,"bogus_field":true}`
+	if err := json.Unmarshal([]byte(v1), &cfg); err != nil {
+		t.Errorf("v1 with unknown field must stay lenient, got %v", err)
+	}
+	// An invalid assignment inside a v2 document is a decode error, not a
+	// deferred crash.
+	badAsg := `{"version":2,"injections":1,"seed":1,"layer":0,` +
+		`"assignment":{"default":{"weights":"nosuchformat"}}}`
+	if err := json.Unmarshal([]byte(badAsg), &cfg); err == nil {
+		t.Error("unparseable assignment format must fail decoding")
+	}
+}
+
 // TestWireRejectsCustomDetectorFactory: code-bearing specs must not travel.
 func TestWireRejectsCustomDetectorFactory(t *testing.T) {
 	cfg := wireConfigs(t)["minimal"]
