@@ -12,7 +12,7 @@ RACE_PKGS = ./internal/telemetry ./internal/tensor ./internal/nn \
             ./internal/numfmt ./internal/inject ./internal/dse \
             ./internal/checkpoint ./internal/detect ./internal/exper \
             ./internal/server ./internal/server/journal \
-            ./internal/server/client ./internal/chaos .
+            ./internal/server/client ./internal/chaos ./internal/fleet .
 
 .PHONY: check
 check:
@@ -26,6 +26,7 @@ check:
 	go test -shuffle=on ./...
 	go test -race $(RACE_PKGS)
 	$(MAKE) stress-chaos
+	$(MAKE) stress-fleet
 	$(MAKE) bench-smoke
 
 # Cancellation paths are the raciest part of the lifecycle: a cancel can
@@ -85,6 +86,18 @@ stress-chaos:
 	go test -race -shuffle=on -run 'TestIdempotent|TestReadyz|TestDeadline|TestJournalReplay|TestCancelRaces|TestSSEResume' ./internal/server
 	go test -race -shuffle=on -run 'TestSubmitRetries|TestIdempotentRetry|TestStreamResumes|TestStreamStall|TestBurstSubmit' ./internal/server/client
 	go test -race -run TestKillMidJobRecovers ./cmd/goldeneyed
+
+# Distributed-fabric gate: fleet coordinator unit tests (reassignment,
+# quarantine/re-admission, insufficient-fleet degradation, idempotent
+# replay, shard-merge byte-identity) under the race detector, plus the
+# multi-daemon chaos end-to-end: a three-node fleet with one daemon
+# SIGKILLed and one network-partitioned mid-campaign must merge a report
+# byte-identical to an unfailed single-node run, with completed shards
+# replayed idempotently rather than re-executed.
+.PHONY: stress-fleet
+stress-fleet:
+	go test -race -shuffle=on ./internal/fleet
+	go test -race -run 'TestFleetSurvivesKillAndPartition|TestFleetCoordinatorModeE2E' ./cmd/goldeneyed
 
 # Campaign-service smoke gate: boots a real goldeneyed process on a random
 # port, submits a tiny campaign through the typed client, asserts the SSE

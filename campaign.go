@@ -70,6 +70,20 @@ type CampaignConfig struct {
 	// Seed determines the fault sequence.
 	Seed uint64
 
+	// ShardIndex and ShardCount slice one campaign into deterministic
+	// injection-range shards for distributed execution: a shard (s, K)
+	// executes exactly the injection indices i with i ≡ s (mod K), in
+	// increasing order, drawing the full fault sequence from Seed and
+	// discarding the draws it does not own. That stride assignment is the
+	// same one RunCampaignParallel gives worker s of K, so K serial shard
+	// reports merged by MergeShardReports are byte-identical to a
+	// single-node RunCampaignParallel run at workers=K. ShardCount 0 or 1
+	// means unsharded; sharded campaigns run serially on each node (the
+	// fleet, not the worker pool, provides the parallelism) and are
+	// incompatible with Resume.
+	ShardIndex int
+	ShardCount int
+
 	// Pool is the evaluation pool; injection i uses sample i mod Pool.Len()
 	// so faults spread evenly over inputs. Its Batch geometry is the
 	// campaign's default injection batch size when BatchSize is unset.
@@ -369,6 +383,54 @@ func (cfg *CampaignConfig) evalPool() (*EvalPool, error) {
 	return cfg.Pool, nil
 }
 
+// sharded reports whether the campaign is one shard of a distributed run.
+func (cfg *CampaignConfig) sharded() bool { return cfg.ShardCount > 1 }
+
+// validateShard checks the shard geometry. Zero values (unsharded) always
+// pass; a sharded campaign needs an in-range index, at most one shard per
+// injection, and no Resume state (shard reassignment re-runs whole shards —
+// the fleet's idempotent dispatch, not mid-shard checkpoints, provides
+// crash-safety).
+func (cfg *CampaignConfig) validateShard() error {
+	if cfg.ShardCount < 0 {
+		return configErrf("ShardCount", "negative shard count %d", cfg.ShardCount)
+	}
+	if cfg.ShardIndex < 0 {
+		return configErrf("ShardIndex", "negative shard index %d", cfg.ShardIndex)
+	}
+	if !cfg.sharded() {
+		if cfg.ShardIndex != 0 {
+			return configErrf("ShardIndex", "shard index %d requires ShardCount > 1", cfg.ShardIndex)
+		}
+		return nil
+	}
+	if cfg.ShardIndex >= cfg.ShardCount {
+		return configErrf("ShardIndex", "shard index %d outside shard count %d", cfg.ShardIndex, cfg.ShardCount)
+	}
+	if cfg.ShardCount > cfg.Injections {
+		return configErrf("ShardCount", "shard count %d exceeds %d injections (empty shards are not allowed; clamp the shard count)", cfg.ShardCount, cfg.Injections)
+	}
+	if cfg.Resume != nil {
+		return configErrf("Resume", "sharded campaigns do not resume; re-dispatch the shard instead")
+	}
+	return nil
+}
+
+// PlannedInjections is the number of injections this configuration will
+// execute: Injections when unsharded, and the size of the shard's stride
+// slice {i : i ≡ ShardIndex (mod ShardCount)} when sharded. Progress
+// callbacks and job totals use this value.
+func (cfg *CampaignConfig) PlannedInjections() int {
+	if !cfg.sharded() {
+		return cfg.Injections
+	}
+	n := cfg.Injections / cfg.ShardCount
+	if cfg.ShardIndex < cfg.Injections%cfg.ShardCount {
+		n++
+	}
+	return n
+}
+
 // packBatch resolves the campaign's injection batch size: BatchSize if set,
 // else the pool's Batch geometry, else 1 (serial). Weight-target campaigns
 // always pack 1 — a weight fault corrupts state shared by every row of a
@@ -566,6 +628,9 @@ func (s *Simulator) campaignGeometry(cfg CampaignConfig) (campaignGeom, error) {
 	}
 	if cfg.Injections <= 0 {
 		return fail(configErrf("Injections", "campaign requires a positive injection count, got %d", cfg.Injections))
+	}
+	if err := cfg.validateShard(); err != nil {
+		return fail(err)
 	}
 	pool, err := cfg.evalPool()
 	if err != nil {
@@ -1235,36 +1300,60 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 		report.Recovered = cfg.Resume.Recovered
 		report.PerDetector = mergeResumeDetectors(report.PerDetector, cfg.Resume.PerDetector)
 	}
-	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections, detect.Names(cfg.Detectors))
+	ct := newCampaignTelemetry(cfg.Metrics, cfg.PlannedInjections(), detect.Names(cfg.Detectors))
 	drawer := newFaultDrawer(&cfg, runner.geom)
 	n := runner.pool.Len()
 	batch := runner.batch
-	// A resumed campaign replays the prefix of the deterministic sequence
-	// without executing it; the prefix still counts as progress.
-	for i := 0; i < skip; i++ {
-		drawer.nextInto(runner.scratch.faultRow(0, runner.geom.flips))
+	// The injection indices this run owns. Unsharded, that is every index
+	// past a resumed prefix; a shard (s, K) owns the stride slice i ≡ s
+	// (mod K) — exactly worker s's assignment under RunCampaignParallel at
+	// workers=K, so shard reports merge byte-identically to a single-node
+	// parallel run (Resume and sharding are mutually exclusive, so skip is
+	// zero here when sharded).
+	mine := make([]int, 0, cfg.PlannedInjections())
+	for i := skip; i < cfg.Injections; i++ {
+		if !cfg.sharded() || i%cfg.ShardCount == cfg.ShardIndex {
+			mine = append(mine, i)
+		}
+	}
+	// Progress totals cover the injections this run executes plus a resumed
+	// prefix; unsharded that is exactly cfg.Injections.
+	planned := skip + len(mine)
+	// The fault sequence is always drawn from index 0 in serial order; draws
+	// this run does not execute (a resumed prefix, other shards' indices)
+	// are consumed into a discard row so owned faults stay bit-identical to
+	// an unsharded run's. drawPos is the next sequence index to be drawn.
+	discard := make([]inject.Fault, runner.geom.flips)
+	drawPos := 0
+	advanceTo := func(i int) {
+		for ; drawPos < i; drawPos++ {
+			drawer.nextInto(discard)
+		}
 	}
 	if cfg.Progress != nil && skip > 0 {
-		cfg.Progress(skip, cfg.Injections)
+		cfg.Progress(skip, planned)
 	}
-	for base := skip; base < cfg.Injections; base += batch {
+	for base := 0; base < len(mine); base += batch {
 		if err := ctx.Err(); err != nil {
 			report.Interrupted = true
 			return report, err
 		}
 		hi := base + batch
-		if hi > cfg.Injections {
-			hi = cfg.Injections
+		if hi > len(mine) {
+			hi = len(mine)
 		}
 		rows := hi - base
 		idx := runner.scratch.idx[:rows]
 		faultsets := runner.scratch.faultsets[:rows]
 		samples := runner.scratch.samples[:rows]
 		for k := 0; k < rows; k++ {
-			idx[k] = base + k
+			i := mine[base+k]
+			idx[k] = i
+			advanceTo(i)
 			faultsets[k] = runner.scratch.faultRow(k, runner.geom.flips)
 			drawer.nextInto(faultsets[k])
-			samples[k] = (base + k) % n
+			drawPos++
+			samples[k] = i % n
 		}
 		start := time.Now()
 		outs, errs := runner.runBatch(0, idx, faultsets, samples)
@@ -1273,7 +1362,7 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 		// amortizes its wall time evenly over its rows.
 		per := time.Since(start) / time.Duration(rows)
 		if cfg.Progress != nil {
-			cfg.Progress(hi, cfg.Injections)
+			cfg.Progress(skip+hi, planned)
 		}
 		if batch > 1 {
 			ct.recordBatch(rows, batch)
@@ -1357,6 +1446,15 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 			return nil, err
 		}
 		return sim.RunCampaign(ctx, cfg)
+	}
+	if cfg.sharded() {
+		// A shard is already one stride slice of the campaign; running it
+		// across a worker pool would nest two stride assignments and break
+		// the byte-identity contract MergeShardReports depends on. The
+		// fleet, not the per-node worker pool, provides the parallelism.
+		return nil, configErrf("ShardCount",
+			"sharded campaigns run serially (workers=1); got workers=%d for shard %d/%d",
+			workers, cfg.ShardIndex, cfg.ShardCount)
 	}
 	if cfg.Injections < workers {
 		workers = cfg.Injections

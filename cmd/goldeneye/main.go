@@ -41,6 +41,7 @@ import (
 	"goldeneye/internal/dataset"
 	"goldeneye/internal/dse"
 	"goldeneye/internal/exper"
+	"goldeneye/internal/fleet"
 	"goldeneye/internal/inject"
 	"goldeneye/internal/models"
 	"goldeneye/internal/nn"
@@ -90,6 +91,9 @@ func run(ctx context.Context, args []string) error {
 		detectors = fs.String("detectors", "", "comma-separated detection pipeline (inject): ranger,sentinel,dmr,abft")
 		recovery  = fs.String("recovery", "none", "recovery policy for detected faults (inject): none|clamp|zero|reexecute|abort")
 		serverURL = fs.String("server", "", "submit the campaign to a goldeneyed daemon at this base URL instead of running locally (inject)")
+		fleetURLs = fs.String("fleet", "", "comma-separated goldeneyed base URLs: shard the campaign across this fleet and merge the reports (inject)")
+		fleetN    = fs.Int("fleet-shards", 0, "shard count for -fleet (0 = one shard per node)")
+		fleetMin  = fs.Int("fleet-min", 1, "minimum healthy nodes a -fleet campaign tolerates before failing")
 		deadline  = fs.Duration("job-deadline", 0, "per-job execution bound on the daemon (inject with -server); an expiring job returns its partial report (0 = unbounded)")
 		progress  = fs.Bool("progress", false, "render a live progress line (campaigns) and imply -metrics")
 		metricsFl = fs.Bool("metrics", false, "print a final metrics dump (Prometheus text) to stdout")
@@ -207,6 +211,16 @@ func run(ctx context.Context, args []string) error {
 			return goldeneye.CampaignConfig{}, fmt.Errorf("unknown target %q", *target)
 		}
 		return cfg, nil
+	}
+
+	// Fleet submission: shard the campaign across several daemons and
+	// merge, byte-identical to a single node at workers=shards.
+	if cmd == "inject" && *fleetURLs != "" {
+		cfg, err := buildCampaign()
+		if err != nil {
+			return err
+		}
+		return runFleetInject(ctx, *fleetURLs, *model, *samples, *batch, *fleetN, *fleetMin, cfg, *progress)
 	}
 
 	// Remote submission needs no local model: the daemon resolves the
@@ -420,6 +434,67 @@ func printInjectReport(model string, rep *goldeneye.CampaignReport) {
 	if rep.Interrupted {
 		fmt.Fprintln(os.Stderr, "goldeneye: campaign interrupted; the report covers the completed injections")
 	}
+}
+
+// runFleetInject shards the campaign across a fleet of goldeneyed daemons
+// through an in-process coordinator and prints the merged report, which is
+// byte-identical to a single-node run at workers equal to the shard count.
+// Node failures are survived as long as -fleet-min nodes stay healthy; a
+// degraded completion is flagged on stderr.
+func runFleetInject(ctx context.Context, urls, model string, samples, batch, shards, minNodes int, cfg goldeneye.CampaignConfig, showProgress bool) error {
+	var addrs []string
+	for _, a := range strings.Split(urls, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if samples > 0 && batch > samples {
+		batch = samples
+	}
+	spec := &server.JobSpec{
+		Model:     model,
+		Samples:   samples,
+		EvalBatch: batch,
+		Campaign:  cfg,
+	}
+	co, err := fleet.New(addrs, fleet.Options{
+		Shards:   shards,
+		MinNodes: minNodes,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	var onProgress func(done, total int)
+	if showProgress {
+		onProgress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rinject %d/%d across %d nodes", done, total, len(addrs))
+		}
+	}
+	rep, err := co.Run(ctx, spec, onProgress)
+	if showProgress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		var insuff *fleet.InsufficientFleetError
+		if errors.As(err, &insuff) {
+			fmt.Fprintf(os.Stderr, "goldeneye: fleet collapsed below %d healthy nodes; %d shard reports completed before the failure\n",
+				insuff.Min, len(insuff.Completed))
+		}
+		return err
+	}
+	if rep.Degraded {
+		fmt.Fprintf(os.Stderr, "goldeneye: fleet finished DEGRADED (lost nodes: %s); the report is still exact\n",
+			strings.Join(rep.Stats.NodesLost, ", "))
+	}
+	if rep.Stats.Reassigned > 0 || rep.Stats.Stolen > 0 || rep.Stats.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "fleet recovery: %d shards reassigned, %d stolen, %d replayed idempotently\n",
+			rep.Stats.Reassigned, rep.Stats.Stolen, rep.Stats.Replayed)
+	}
+	printInjectReport(model, rep.CampaignReport)
+	return nil
 }
 
 // runRemoteInject submits the campaign to a goldeneyed daemon, follows its

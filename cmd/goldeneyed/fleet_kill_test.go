@@ -1,0 +1,195 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"goldeneye/internal/chaos"
+	"goldeneye/internal/fleet"
+	"goldeneye/internal/server/client"
+)
+
+// fleetOpts tunes the coordinator for chaos tests: fast failure detection
+// so a killed or partitioned node is discovered in milliseconds, not
+// minutes.
+func fleetOpts(shards int) fleet.Options {
+	return fleet.Options{
+		Shards:         shards,
+		MinNodes:       1,
+		LeaseTimeout:   5 * time.Second,
+		QuarantineBase: 50 * time.Millisecond,
+		QuarantineMax:  500 * time.Millisecond,
+		LostAfter:      2,
+		Client: client.Options{
+			RequestTimeout: 10 * time.Second,
+			MaxAttempts:    3,
+			BaseBackoff:    20 * time.Millisecond,
+			MaxBackoff:     200 * time.Millisecond,
+		},
+	}
+}
+
+// TestFleetSurvivesKillAndPartition is the fleet chaos acceptance gate: a
+// three-daemon fleet runs one campaign; mid-run one daemon is SIGKILLed
+// and another is network-partitioned (its chaos proxy stops forwarding).
+// The fleet must finish on the survivor with a merged report byte-identical
+// to an unfailed single-node run at the equal effective worker count, and
+// a follow-up coordinator over the survivor must be answered entirely from
+// the daemon's idempotency index — proving completed shards are replayed,
+// never re-executed.
+func TestFleetSurvivesKillAndPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon processes")
+	}
+	const shards = 3
+	spec := killSpec(t, 71, 9000) // 3000 injections per shard: long enough to be mid-run
+
+	victim, victimBase := spawnDaemon(t, "-addr", "127.0.0.1:0")
+	partitioned, partitionedBase := spawnDaemon(t, "-addr", "127.0.0.1:0")
+	_, survivorBase := spawnDaemon(t, "-addr", "127.0.0.1:0")
+	_ = partitioned
+
+	// The partitioned daemon sits behind a chaos proxy so the "network"
+	// can fail while the process stays alive and keeps burning its shard.
+	proxy, err := chaos.NewProxy(strings.TrimPrefix(partitionedBase, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	co, err := fleet.New([]string{victimBase, proxy.URL(), survivorBase}, fleetOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Unleash the chaos once the campaign is demonstrably under way on all
+	// nodes but long before any shard can finish.
+	var once sync.Once
+	chaosFired := make(chan struct{})
+	rep, err := co.Run(ctx, spec, func(done, total int) {
+		if done > 100 {
+			once.Do(func() {
+				go func() {
+					defer close(chaosFired)
+					if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+						t.Errorf("kill victim: %v", err)
+					}
+					victim.Wait()
+					proxy.SetTarget("127.0.0.1:1") // partition: nothing forwards anymore
+					proxy.DropActive()
+				}()
+			})
+		}
+	})
+	if err != nil {
+		t.Fatalf("fleet run did not survive the chaos: %v", err)
+	}
+	select {
+	case <-chaosFired:
+	case <-time.After(time.Second):
+		t.Fatal("campaign finished before the chaos fired; raise the injection count")
+	}
+	if !rep.Degraded {
+		t.Error("fleet lost two nodes but the report is not marked degraded")
+	}
+	if rep.Stats.Reassigned == 0 {
+		t.Error("no shard was reassigned despite a kill and a partition")
+	}
+	if len(rep.Stats.NodesLost) == 0 {
+		t.Error("no node recorded as lost")
+	}
+
+	// Byte-identity against an unfailed single-node run at the equal
+	// effective worker count (workers = shard count).
+	_, refBase := spawnDaemon(t, "-addr", "127.0.0.1:0")
+	refSpec := *spec
+	refSpec.Workers = shards
+	want, err := client.New(refBase).Run(ctx, &refSpec, nil)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	got, _ := json.Marshal(rep.CampaignReport)
+	wantJSON, _ := json.Marshal(want)
+	if string(got) != string(wantJSON) {
+		t.Fatalf("chaos-run report differs from unfailed single-node run:\nfleet:  %s\nsingle: %s", got, wantJSON)
+	}
+
+	// Idempotent-replay proof: the survivor executed every shard (the
+	// victim died and the partitioned node was unreachable at delivery
+	// time), so a fresh coordinator re-running the identical campaign
+	// against it alone derives the same deterministic shard keys and is
+	// answered entirely from the idempotency index — zero re-executions.
+	co2, err := fleet.New([]string{survivorBase}, fleetOpts(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := co2.Run(ctx, spec, nil)
+	if err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	if rep2.Stats.Replayed != shards {
+		t.Errorf("replay run re-executed shards: replayed %d of %d", rep2.Stats.Replayed, shards)
+	}
+	got2, _ := json.Marshal(rep2.CampaignReport)
+	if string(got2) != string(wantJSON) {
+		t.Fatalf("replayed report differs from unfailed run:\n%s\n%s", got2, wantJSON)
+	}
+}
+
+// TestFleetCoordinatorModeE2E boots goldeneyed in -fleet coordinator mode
+// over two real daemons and drives it with the stock client: the
+// coordinator serves the single-daemon job API while sharding underneath.
+func TestFleetCoordinatorModeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns daemon processes")
+	}
+	_, node1 := spawnDaemon(t, "-addr", "127.0.0.1:0")
+	_, node2 := spawnDaemon(t, "-addr", "127.0.0.1:0")
+	_, coordBase := spawnDaemon(t, "-addr", "127.0.0.1:0", "-fleet", node1+","+node2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	spec := killSpec(t, 72, 200)
+
+	cli := client.New(coordBase)
+	if err := cli.Ready(ctx); err != nil {
+		t.Fatalf("coordinator not ready: %v", err)
+	}
+	rep, err := cli.Run(ctx, spec, nil)
+	if err != nil {
+		t.Fatalf("run via coordinator: %v", err)
+	}
+
+	refSpec := *spec
+	refSpec.Workers = 2
+	want, err := client.New(node1).Run(ctx, &refSpec, nil)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	got, _ := json.Marshal(rep)
+	wantJSON, _ := json.Marshal(want)
+	if string(got) != string(wantJSON) {
+		t.Fatalf("coordinator-mode report differs from single-node workers=2 run:\n%s\n%s", got, wantJSON)
+	}
+
+	// The coordinator rejects what it cannot shard-merge.
+	bad := killSpec(t, 73, 100)
+	bad.Workers = 4
+	if _, err := cli.Submit(ctx, bad); err == nil {
+		t.Error("coordinator accepted a workers>1 spec")
+	} else {
+		var api *client.APIError
+		if !errors.As(err, &api) || api.StatusCode != 400 {
+			t.Errorf("want 400 APIError, got %v", err)
+		}
+	}
+}

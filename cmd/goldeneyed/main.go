@@ -13,6 +13,15 @@
 // daemon also keeps a write-ahead job journal and survives crashes: a
 // restarted daemon replays the journal, re-queues interrupted jobs, and
 // re-executes them bit-identically (see docs/OPERATIONS.md).
+//
+// Coordinator mode turns the same binary into a fleet front end:
+//
+//	goldeneyed -addr localhost:7726 -fleet http://node1:7726,http://node2:7726
+//
+// serves the identical job API, but shards each campaign across the named
+// daemons, survives node failures (lease-based reassignment, quarantine,
+// idempotent replay), and merges the shard reports byte-identically to a
+// single-node run; /metrics becomes a fleet-wide rollup.
 package main
 
 import (
@@ -23,9 +32,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"goldeneye/internal/fleet"
 	"goldeneye/internal/server"
 	"goldeneye/internal/telemetry"
 )
@@ -41,8 +52,16 @@ func main() {
 		zooDir       = flag.String("zoo-dir", "", "pre-trained model cache directory (empty = default)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "how long SIGTERM waits for running jobs before cancelling them")
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handler timeout on non-streaming endpoints")
+		fleetURLs    = flag.String("fleet", "", "comma-separated goldeneyed base URLs: run as a fleet coordinator over these nodes instead of executing campaigns locally")
+		fleetShards  = flag.Int("fleet-shards", 0, "shard count per fleet campaign (0 = one shard per node)")
+		fleetMin     = flag.Int("fleet-min", 1, "minimum healthy nodes the fleet tolerates before failing campaigns")
 	)
 	flag.Parse()
+
+	if *fleetURLs != "" {
+		runCoordinator(*addr, *fleetURLs, *fleetShards, *fleetMin, *drainTimeout)
+		return
+	}
 
 	reg := telemetry.NewRegistry()
 	svc, err := server.New(server.Options{
@@ -84,6 +103,62 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := svc.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "goldeneyed: drain:", err)
+		}
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shutCancel()
+		httpSrv.Shutdown(shutCtx)
+		fmt.Println("goldeneyed: drained, exiting")
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "goldeneyed:", err)
+		os.Exit(1)
+	}
+}
+
+// runCoordinator serves the fleet front end: the goldeneyed job API backed
+// by a shard-and-merge coordinator over the named nodes.
+func runCoordinator(addr, urls string, shards, minNodes int, drainTimeout time.Duration) {
+	var nodes []string
+	for _, a := range strings.Split(urls, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			nodes = append(nodes, a)
+		}
+	}
+	co, err := fleet.New(nodes, fleet.Options{
+		Shards:   shards,
+		MinNodes: minNodes,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldeneyed:", err)
+		os.Exit(1)
+	}
+	fs := fleet.Serve(co, fleet.ServerOptions{})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "goldeneyed:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: fs}
+	fmt.Printf("goldeneyed listening on http://%s\n", ln.Addr())
+	fmt.Printf("goldeneyed: coordinating a %d-node fleet (min healthy %d): %s\n",
+		len(nodes), minNodes, strings.Join(nodes, ", "))
+	fmt.Printf("goldeneyed: readiness at http://%s/readyz, fleet metrics rollup at http://%s/metrics\n", ln.Addr(), ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("goldeneyed: %s, draining fleet campaigns (timeout %s)\n", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := fs.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "goldeneyed: drain:", err)
 		}
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)

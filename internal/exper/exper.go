@@ -198,6 +198,14 @@ func CellHash(cfg goldeneye.CampaignConfig) uint64 {
 	if cfg.Assignment != nil {
 		parts = append(parts, "assignment", cfg.Assignment.Canonical())
 	}
+	// Shard geometry joins the hash only for actual shards (ShardCount > 1),
+	// so unsharded hashes — every pre-fleet cell and cached service result —
+	// stay valid, while each shard of a distributed campaign gets its own
+	// cache identity (the fleet's idempotent re-dispatch depends on a
+	// completed shard being served from cache rather than re-executed).
+	if cfg.ShardCount > 1 {
+		parts = append(parts, "shard", cfg.ShardIndex, cfg.ShardCount)
+	}
 	return checkpoint.HashConfig(parts...)
 }
 

@@ -1,0 +1,567 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"goldeneye"
+	"goldeneye/internal/server"
+	"goldeneye/internal/telemetry"
+)
+
+// ServerOptions configures the coordinator's HTTP front end.
+type ServerOptions struct {
+	// StreamInterval is the SSE progress sampling period (default 200ms).
+	StreamInterval time.Duration
+
+	// StreamKeepAlive is how long an SSE stream may stay silent before a
+	// comment heartbeat is emitted (default 10s).
+	StreamKeepAlive time.Duration
+
+	// MaxBodyBytes bounds submission bodies (default 1 MiB).
+	MaxBodyBytes int64
+
+	// ScrapeTimeout bounds each node's /metrics scrape during a fleet
+	// rollup (default 2s) so one dead node cannot stall the exposition.
+	ScrapeTimeout time.Duration
+}
+
+func (o *ServerOptions) withDefaults() {
+	if o.StreamInterval <= 0 {
+		o.StreamInterval = 200 * time.Millisecond
+	}
+	if o.StreamKeepAlive <= 0 {
+		o.StreamKeepAlive = 10 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.ScrapeTimeout <= 0 {
+		o.ScrapeTimeout = 2 * time.Second
+	}
+}
+
+// Server fronts a fleet Coordinator with the goldeneyed job API, so the
+// existing CLI and client drive a whole fleet exactly like one daemon:
+//
+//	POST /v1/jobs             submit a JobSpec → JobStatus (202)
+//	GET  /v1/jobs             list job statuses
+//	GET  /v1/jobs/{id}        one job's status (Degraded set on degraded fleets)
+//	GET  /v1/jobs/{id}/report the merged CampaignReport (byte-identical to single-node)
+//	GET  /v1/jobs/{id}/events SSE progress stream until terminal
+//	POST /v1/jobs/{id}/cancel cancel a running fleet campaign
+//	GET  /healthz             liveness + per-node health
+//	GET  /readyz              503 while fewer than MinNodes nodes are healthy or draining
+//	GET  /metrics             fleet-wide rollup: coordinator metrics + every
+//	                          node's metrics re-labeled with node="addr"
+//	GET  /metrics.json        coordinator metrics, JSON exposition
+//
+// Campaigns are serialized: the coordinator runs one fleet campaign at a
+// time and later submissions queue behind it.
+type Server struct {
+	c    *Coordinator
+	opts ServerOptions
+	mux  *http.ServeMux
+
+	runMu sync.Mutex // serializes fleet campaigns
+
+	mu       sync.Mutex
+	jobs     map[string]*fleetJob
+	order    []string
+	idem     map[string]string // Idempotency-Key → job ID
+	seq      int64
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// fleetJob is one fleet campaign's observable state.
+type fleetJob struct {
+	id       string
+	spec     *server.JobSpec
+	cancel   context.CancelFunc
+	finished chan struct{}
+
+	mu     sync.Mutex
+	state  server.JobState
+	seq    int64
+	done   int
+	total  int
+	report *Report
+	err    error
+}
+
+func (j *fleetJob) snapshot() server.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := server.JobStatus{
+		ID:    j.id,
+		State: j.state,
+		Model: j.spec.Model,
+		Seq:   j.seq,
+		Done:  j.done,
+		Total: j.total,
+	}
+	if j.report != nil {
+		st.Degraded = j.report.Degraded
+		st.Detected = int64(j.report.Detected)
+		st.Aborted = int64(j.report.Aborted)
+		st.Mismatches = int64(j.report.Mismatches)
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Serve builds the coordinator's HTTP front end.
+func Serve(c *Coordinator, opts ServerOptions) *Server {
+	opts.withDefaults()
+	s := &Server{
+		c:    c,
+		opts: opts,
+		jobs: make(map[string]*fleetJob),
+		idem: make(map[string]string),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /metrics.json", telemetry.Mux(c.Registry()))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the front end: no new submissions, running fleet
+// campaigns finish (or are cancelled once ctx expires) before it returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	jobs := make([]*fleetJob, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, j := range jobs {
+			j.cancel()
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) nextID() string {
+	s.seq++
+	return fmt.Sprintf("fleet-%06d", s.seq)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	spec, err := server.DecodeJobSpec(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Campaign.ShardCount > 1 {
+		httpError(w, http.StatusBadRequest, &goldeneye.ConfigError{
+			Field: "Campaign.ShardCount", Reason: "the fleet coordinator assigns shard geometry; submit an unsharded campaign"})
+		return
+	}
+	if spec.Workers > 1 {
+		httpError(w, http.StatusBadRequest, &goldeneye.ConfigError{
+			Field: "Workers", Reason: "fleet campaigns run one serial worker per shard; shard count is fixed by the coordinator"})
+		return
+	}
+	idemKey := r.Header.Get("Idempotency-Key")
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, errors.New("fleet: draining, not accepting jobs"))
+		return
+	}
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			j := s.jobs[id]
+			s.mu.Unlock()
+			w.Header().Set("Idempotency-Replayed", "true")
+			writeJSON(w, http.StatusOK, j.snapshot())
+			return
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &fleetJob{
+		id:       s.nextID(),
+		spec:     spec,
+		cancel:   cancel,
+		finished: make(chan struct{}),
+		state:    server.JobQueued,
+		total:    spec.Campaign.Injections,
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if idemKey != "" {
+		s.idem[idemKey] = j.id
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runCampaign(ctx, j)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// runCampaign drives one fleet campaign to a terminal state. Campaigns
+// serialize on runMu: the coordinator runs one at a time.
+func (s *Server) runCampaign(ctx context.Context, j *fleetJob) {
+	defer s.wg.Done()
+	defer j.cancel()
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+
+	if ctx.Err() != nil { // cancelled while queued
+		s.finishJob(j, server.JobCancelled, nil, errors.New("fleet: job cancelled while queued"))
+		return
+	}
+	j.mu.Lock()
+	j.state = server.JobRunning
+	j.seq++
+	j.mu.Unlock()
+
+	rep, err := s.c.Run(ctx, j.spec, func(done, total int) {
+		j.mu.Lock()
+		if done > j.done {
+			j.done = done
+			j.seq++
+		}
+		j.mu.Unlock()
+	})
+	switch {
+	case err == nil:
+		s.finishJob(j, server.JobDone, rep, nil)
+	case ctx.Err() != nil:
+		s.finishJob(j, server.JobCancelled, nil, err)
+	default:
+		s.finishJob(j, server.JobFailed, nil, err)
+	}
+}
+
+func (s *Server) finishJob(j *fleetJob, state server.JobState, rep *Report, err error) {
+	j.mu.Lock()
+	j.state = state
+	j.report = rep
+	j.err = err
+	if rep != nil {
+		j.done = j.total
+	}
+	j.seq++
+	j.mu.Unlock()
+	close(j.finished)
+}
+
+// jobFor resolves the {id} path value, answering 404 itself on a miss.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *fleetJob {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("fleet: unknown job %q", id))
+	}
+	return j
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*fleetJob, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	statuses := make([]server.JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		statuses = append(statuses, j.snapshot())
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"jobs": statuses})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state, rep := j.state, j.report
+	j.mu.Unlock()
+	if state != server.JobDone || rep == nil {
+		httpError(w, http.StatusConflict,
+			fmt.Errorf("fleet: job %s has no report (state=%s)", j.id, state))
+		return
+	}
+	// The body is the merged CampaignReport alone — byte-identical to a
+	// single daemon's /report — so the degraded marker rides a header.
+	if rep.Degraded {
+		w.Header().Set("X-Fleet-Degraded", "true")
+	}
+	writeJSON(w, http.StatusOK, rep.CampaignReport)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	select {
+	case <-j.finished:
+	case <-time.After(10 * time.Second):
+	case <-r.Context().Done():
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleEvents mirrors the daemon's SSE contract (progress snapshots with
+// monotonic ids, Last-Event-ID resume, heartbeats, one terminal event) so
+// the existing client streams fleet campaigns unchanged.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError,
+			fmt.Errorf("fleet: response writer cannot stream"))
+		return
+	}
+	lastSent := int64(-1)
+	if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+		if v, err := strconv.ParseInt(lid, 10, 64); err == nil && v >= 0 {
+			lastSent = v
+		}
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	lastWrite := time.Now()
+	var last []byte
+	emitProgress := func() {
+		st := j.snapshot()
+		if st.Seq <= lastSent {
+			return
+		}
+		data, err := json.Marshal(st)
+		if err != nil || bytes.Equal(data, last) {
+			return
+		}
+		last = data
+		lastSent = st.Seq
+		writeEvent(w, fl, "progress", st.Seq, data)
+		lastWrite = time.Now()
+	}
+	emitProgress()
+
+	tick := time.NewTicker(s.opts.StreamInterval)
+	defer tick.Stop()
+wait:
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.finished:
+			break wait
+		case <-tick.C:
+			emitProgress()
+			if time.Since(lastWrite) >= s.opts.StreamKeepAlive {
+				fmt.Fprint(w, ": hb\n\n")
+				fl.Flush()
+				lastWrite = time.Now()
+			}
+		}
+	}
+
+	j.mu.Lock()
+	terminalSeq := j.seq
+	state, rep := j.state, j.report
+	j.mu.Unlock()
+	final := j.snapshot()
+	switch state {
+	case server.JobDone:
+		data, err := json.Marshal(rep.CampaignReport)
+		if err != nil {
+			data, _ = json.Marshal(map[string]string{"error": err.Error()})
+			writeEvent(w, fl, "failed", terminalSeq, data)
+			return
+		}
+		writeEvent(w, fl, "done", terminalSeq, data)
+	case server.JobFailed:
+		data, _ := json.Marshal(final)
+		writeEvent(w, fl, "failed", terminalSeq, data)
+	default:
+		data, _ := json.Marshal(final)
+		writeEvent(w, fl, "cancelled", terminalSeq, data)
+	}
+}
+
+func writeEvent(w http.ResponseWriter, fl http.Flusher, event string, id int64, data []byte) {
+	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, data)
+	fl.Flush()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	njobs := len(s.jobs)
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":        status,
+		"jobs":          njobs,
+		"nodes":         len(s.c.Nodes()),
+		"nodes_healthy": s.c.healthyCount(),
+	})
+}
+
+// handleReadyz answers ready only while the fleet can actually take work:
+// not draining and at least MinNodes nodes healthy.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	healthy := s.c.healthyCount()
+	reason := ""
+	switch {
+	case draining:
+		reason = "draining"
+	case healthy < s.c.opts.MinNodes:
+		reason = fmt.Sprintf("%d healthy nodes below minimum %d", healthy, s.c.opts.MinNodes)
+	}
+	if reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "unavailable", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleMetrics is the fleet-wide rollup: the coordinator's own
+// goldeneye_fleet_* metrics followed by every reachable node's /metrics,
+// each sample line re-labeled with node="addr" so one scrape shows the
+// whole fleet without label collisions. Unreachable nodes are skipped
+// (noted in a comment) rather than failing the exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var buf bytes.Buffer
+	s.c.Registry().WritePrometheus(&buf)
+	w.Write(buf.Bytes())
+
+	hc := &http.Client{Timeout: s.opts.ScrapeTimeout, Transport: s.c.opts.Client.Transport}
+	for _, n := range s.c.nodes {
+		body, err := scrapeNode(r.Context(), hc, n.addr)
+		if err != nil {
+			fmt.Fprintf(w, "# fleet: node %s unreachable: %s\n", n.addr, strings.ReplaceAll(err.Error(), "\n", " "))
+			continue
+		}
+		relabelMetrics(w, body, n.addr)
+	}
+}
+
+// scrapeNode fetches one node's Prometheus exposition.
+func scrapeNode(ctx context.Context, hc *http.Client, addr string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+}
+
+// relabelMetrics rewrites one node's Prometheus exposition, injecting
+// node="addr" as the first label of every sample line. Comment lines
+// (HELP/TYPE) are dropped — the rollup repeats each metric once per node,
+// which the text format only allows without per-node metadata blocks.
+func relabelMetrics(w io.Writer, body []byte, addr string) {
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fmt.Fprintln(w, injectNodeLabel(line, addr))
+	}
+}
+
+// injectNodeLabel adds node="addr" to one exposition sample line,
+// merging with any labels already present.
+func injectNodeLabel(line, addr string) string {
+	nodeLabel := fmt.Sprintf(`node=%q`, addr)
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		return line[:i+1] + nodeLabel + "," + line[i+1:]
+	}
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		return line[:i] + "{" + nodeLabel + "}" + line[i:]
+	}
+	return line // malformed; pass through untouched
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"goldeneye/internal/server/client"
+)
+
+// TestServeFrontEnd drives the coordinator's HTTP mode with the ordinary
+// job client, end to end: submit, SSE progress, report — and the report
+// bytes must match a single daemon at the equal effective worker count,
+// so existing tooling cannot tell a fleet from one node.
+func TestServeFrontEnd(t *testing.T) {
+	spec := testSpec(t)
+	want := reportJSON(t, singleNodeReference(t, spec, 2))
+
+	c, err := New([]string{startDaemon(t), startDaemon(t)}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Serve(c, ServerOptions{StreamInterval: 10 * 1e6}) // 10ms
+	ts := httptest.NewServer(fs)
+	defer ts.Close()
+	t.Cleanup(func() { fs.Shutdown(context.Background()) })
+
+	cli := client.New(ts.URL)
+	if err := cli.Ready(context.Background()); err != nil {
+		t.Fatalf("coordinator not ready: %v", err)
+	}
+	rep, err := cli.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatalf("run via coordinator: %v", err)
+	}
+	if got := reportJSON(t, rep); got != want {
+		t.Fatalf("coordinator report diverges from single-node run\nfleet:  %s\nsingle: %s", got, want)
+	}
+
+	// The /report body must be the merged CampaignReport alone, identical
+	// to what a single daemon serves for the same campaign.
+	st, err := cli.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Stream(context.Background(), st.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := cli.Report(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep2); got != want {
+		t.Fatalf("/report bytes diverge from single-node run: %s", got)
+	}
+}
+
+// TestServeMetricsRollup pins the fleet-wide /metrics exposition: the
+// coordinator's own goldeneye_fleet_* family plus each node's metrics
+// re-labeled with node="addr".
+func TestServeMetricsRollup(t *testing.T) {
+	spec := testSpec(t)
+	n1, n2 := startDaemon(t), startDaemon(t)
+	c, err := New([]string{n1, n2}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background(), spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	fs := Serve(c, ServerOptions{})
+	ts := httptest.NewServer(fs)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		MetricShardsDone + " 2",
+		`goldeneye_server_jobs_total{node="` + n1 + `",state="done"}`,
+		`goldeneye_server_jobs_total{node="` + n2 + `",state="done"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rollup missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestServeReadyzTracksFleet pins readiness semantics: a coordinator over
+// a fleet with fewer than MinNodes healthy nodes answers 503.
+func TestServeReadyzTracksFleet(t *testing.T) {
+	opts := fastOpts()
+	opts.MinNodes = 2
+	c, err := New([]string{"http://127.0.0.1:1", startDaemon(t)}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mark the dead node lost by hand — readiness reflects coordinator
+	// state, not live probes.
+	c.nodes[0].lost = true
+	ts := httptest.NewServer(Serve(c, ServerOptions{}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d with 1/2 healthy nodes, want 503", resp.StatusCode)
+	}
+}

@@ -515,11 +515,28 @@ func retryableStatus(code int) bool {
 	return false
 }
 
-// retryAfterHint parses a Retry-After header (integer seconds form), 0
-// when absent or sub-second.
+// retryAfterHint parses a Retry-After header in either form RFC 9110
+// §10.2.3 allows: delay-seconds ("120"), or an HTTP-date ("Fri, 08 Aug
+// 2026 14:00:00 GMT") converted to the delay from now. Returns 0 — fall
+// back to generic backoff — when the header is absent, unparseable, zero,
+// negative, or a date already in the past.
 func retryAfterHint(resp *http.Response) time.Duration {
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		return time.Duration(secs) * time.Second
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	// http.ParseTime accepts all three HTTP-date layouts (IMF-fixdate,
+	// RFC 850, asctime).
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
 	}
 	return 0
 }

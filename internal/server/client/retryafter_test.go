@@ -1,0 +1,65 @@
+package client
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterHint pins both Retry-After forms RFC 9110 §10.2.3 allows
+// (delay-seconds and HTTP-date) plus the garbage inputs that must fall
+// back to generic backoff by returning 0.
+func TestRetryAfterHint(t *testing.T) {
+	httpDate := func(d time.Duration) string {
+		return time.Now().Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		name   string
+		header string
+		min    time.Duration // inclusive lower bound on the hint
+		max    time.Duration // inclusive upper bound on the hint
+	}{
+		{"absent", "", 0, 0},
+		{"seconds", "7", 7 * time.Second, 7 * time.Second},
+		{"seconds with whitespace", "  3 ", 3 * time.Second, 3 * time.Second},
+		{"zero seconds", "0", 0, 0},
+		{"negative seconds", "-5", 0, 0},
+		{"http date in the future", httpDate(90 * time.Second), 80 * time.Second, 90 * time.Second},
+		{"http date in the past", httpDate(-time.Minute), 0, 0},
+		{"rfc850 date in the future", time.Now().Add(time.Hour).UTC().Format(time.RFC850), 59 * time.Minute, time.Hour},
+		{"asctime date in the future", time.Now().Add(time.Hour).UTC().Format(time.ANSIC), 59 * time.Minute, time.Hour},
+		{"garbage", "soon", 0, 0},
+		{"fractional seconds", "2.5", 0, 0},
+		{"trailing junk", "7 seconds", 0, 0},
+		{"malformed date", "Fri, 99 Zed 2099 99:99:99 GMT", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			if tc.header != "" {
+				resp.Header.Set("Retry-After", tc.header)
+			}
+			got := retryAfterHint(resp)
+			if got < tc.min || got > tc.max {
+				t.Fatalf("retryAfterHint(%q) = %v, want in [%v, %v]", tc.header, got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHintDateIsLive guards against caching the date conversion:
+// two probes of the same future-dated header must both land under the
+// original delay, and a later probe strictly under an earlier one.
+func TestRetryAfterHintDateIsLive(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", time.Now().Add(10*time.Second).UTC().Format(http.TimeFormat))
+	first := retryAfterHint(resp)
+	if first <= 0 || first > 10*time.Second {
+		t.Fatalf("first hint %v outside (0, 10s]", first)
+	}
+	time.Sleep(20 * time.Millisecond)
+	second := retryAfterHint(resp)
+	if second >= first {
+		t.Fatalf("hint did not shrink as the date approached: %v then %v", first, second)
+	}
+}

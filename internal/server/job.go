@@ -141,7 +141,9 @@ func (j *job) finish(state JobState, rep *goldeneye.CampaignReport, err error) b
 	j.report = rep
 	j.err = err
 	if state == JobDone {
-		j.done.Store(int64(j.cfg.Injections))
+		// Shard jobs execute only their stride slice; the job's total is
+		// the planned count, not the whole campaign's.
+		j.done.Store(int64(j.cfg.PlannedInjections()))
 	}
 	j.seq.Add(1)
 	close(j.finished)
@@ -175,7 +177,7 @@ func (j *job) snapshot() JobStatus {
 	state := j.state
 	cached := j.cached
 	detectors := j.detectors
-	total := j.cfg.Injections
+	total := j.cfg.PlannedInjections()
 	var errText string
 	if j.err != nil {
 		errText = j.err.Error()

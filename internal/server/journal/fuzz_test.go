@@ -1,0 +1,96 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// validEntry is the realistic corpus seed: the shape the server actually
+// journals.
+func validEntry(id string, seq int64, state State) []byte {
+	e := &Entry{
+		ID:             id,
+		Seq:            seq,
+		IdempotencyKey: "fleet-00c0ffee-s0",
+		Key:            "mlp/00000000deadbeef",
+		Hash:           0xdeadbeef,
+		Workers:        1,
+		Spec:           json.RawMessage(`{"model":"mlp","campaign":{"version":1,"format":"fp16","injections":4,"seed":9,"layer":1}}`),
+		State:          state,
+	}
+	data, _ := json.MarshalIndent(e, "", "  ")
+	return append(data, '\n')
+}
+
+// FuzzJournalReplay hardens the boot path against whatever ends up in the
+// journal directory: corrupt entries, truncations, manual edits, and
+// duplicate sequence numbers. Replay must never panic or error on file
+// contents — every undecodable entry is skipped and counted — and the
+// replayed order must be deterministic regardless of filesystem order.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add(validEntry("job-000001", 1, StateQueued))
+	f.Add(validEntry("job-000002", 2, StateDone))
+	f.Add(validEntry("job-000003", 3, StateFailed))
+	f.Add(validEntry("job-000001", 1, StateQueued)[:40]) // truncated mid-object
+	f.Add([]byte(`{"id":"","seq":4,"spec":{}}`))         // decodes but invalid: no ID
+	f.Add([]byte(`{"id":"job-000009","seq":9}`))         // no spec
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"id":"job-000001","seq":-1,"spec":{"model":"mlp"},"state":"queued"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		// The fuzzed blob plus two fixed valid entries sharing a sequence
+		// number, so every run also exercises the duplicate-Seq tie-break.
+		files := map[string][]byte{
+			"fuzzed.job.json": data,
+			"dup-b.job.json":  validEntry("job-dup-b", 7, StateQueued),
+			"dup-a.job.json":  validEntry("job-dup-a", 7, StateRunning),
+		}
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(dir, name), content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, skipped, err := j.Replay()
+		if err != nil {
+			t.Fatalf("Replay errored on file contents: %v", err)
+		}
+		if got := len(entries) + skipped; got != len(files) {
+			t.Fatalf("entries (%d) + skipped (%d) = %d, want %d files accounted for",
+				len(entries), skipped, got, len(files))
+		}
+		for i, e := range entries {
+			if e.ID == "" || len(e.Spec) == 0 {
+				t.Fatalf("replayed entry %d is invalid: %+v", i, e)
+			}
+			if i > 0 {
+				prev := entries[i-1]
+				if e.Seq < prev.Seq || (e.Seq == prev.Seq && e.ID < prev.ID) {
+					t.Fatalf("replay order not deterministic: %s(seq %d) after %s(seq %d)",
+						e.ID, e.Seq, prev.ID, prev.Seq)
+				}
+			}
+		}
+		// The two duplicate-Seq entries always survive, ID order.
+		var dups []string
+		for _, e := range entries {
+			if e.Seq == 7 && bytes.HasPrefix([]byte(e.ID), []byte("job-dup-")) {
+				dups = append(dups, e.ID)
+			}
+		}
+		if len(dups) < 2 || dups[len(dups)-2] != "job-dup-a" || dups[len(dups)-1] != "job-dup-b" {
+			t.Fatalf("duplicate-Seq entries out of order: %v", dups)
+		}
+	})
+}

@@ -610,6 +610,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if workers == 0 {
 		workers = s.opts.CampaignWorkers
 	}
+	if spec.Campaign.ShardCount > 1 {
+		// Shard jobs always run serially, whatever the daemon's default
+		// worker count: the shard is one stride slice of a campaign whose
+		// parallelism lives in the fleet, and its merge contract
+		// (MergeShardReports) requires the serial per-shard report.
+		workers = 1
+	}
 	hash := jobHash(spec, workers)
 	key := fmt.Sprintf("%s/%016x", spec.Model, hash)
 	idemKey := r.Header.Get("Idempotency-Key")

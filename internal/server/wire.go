@@ -131,6 +131,33 @@ func (s *JobSpec) Validate() error {
 		return &goldeneye.ConfigError{Field: "Campaign.Injections",
 			Reason: fmt.Sprintf("campaign requires a positive injection count, got %d", c.Injections)}
 	}
+	if c.ShardCount < 0 {
+		return &goldeneye.ConfigError{Field: "Campaign.ShardCount",
+			Reason: fmt.Sprintf("negative shard count %d", c.ShardCount)}
+	}
+	if c.ShardIndex < 0 {
+		return &goldeneye.ConfigError{Field: "Campaign.ShardIndex",
+			Reason: fmt.Sprintf("negative shard index %d", c.ShardIndex)}
+	}
+	if c.ShardCount > 1 {
+		if c.ShardIndex >= c.ShardCount {
+			return &goldeneye.ConfigError{Field: "Campaign.ShardIndex",
+				Reason: fmt.Sprintf("shard index %d outside shard count %d", c.ShardIndex, c.ShardCount)}
+		}
+		if c.ShardCount > c.Injections {
+			return &goldeneye.ConfigError{Field: "Campaign.ShardCount",
+				Reason: fmt.Sprintf("shard count %d exceeds %d injections", c.ShardCount, c.Injections)}
+		}
+		// One shard is already a stride slice of the campaign; the fleet
+		// provides the parallelism, so the per-node worker pool must not.
+		if s.Workers > 1 {
+			return &goldeneye.ConfigError{Field: "Workers",
+				Reason: fmt.Sprintf("sharded jobs run serially (the fleet provides the parallelism), got workers=%d", s.Workers)}
+		}
+	} else if c.ShardIndex != 0 {
+		return &goldeneye.ConfigError{Field: "Campaign.ShardIndex",
+			Reason: fmt.Sprintf("shard index %d requires a shard count > 1", c.ShardIndex)}
+	}
 	if c.Layer < -1 {
 		return &goldeneye.ConfigError{Field: "Campaign.Layer",
 			Reason: fmt.Sprintf("layer %d (use -1 for the model's default injection layer)", c.Layer)}
@@ -235,4 +262,9 @@ type JobStatus struct {
 
 	// Error carries the failure reason of a failed job.
 	Error string `json:"error,omitempty"`
+
+	// Degraded marks a job that completed on a degraded fleet (nodes
+	// lost, survivors >= the coordinator's minimum). Single daemons never
+	// set it; the omitempty keeps their encodings byte-identical.
+	Degraded bool `json:"degraded,omitempty"`
 }

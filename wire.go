@@ -22,12 +22,21 @@ import (
 //	     site. Documents that use neither are stamped (and decoded as) v1,
 //	     so every pre-existing configuration keeps its exact v1 bytes.
 //	     v2 documents are decoded strictly: unknown fields are rejected.
-const ConfigSchemaVersion = 2
+//	v3 — adds the "shard_index"/"shard_count" pair that marks one
+//	     deterministic stride shard of a distributed campaign. Unsharded
+//	     configurations never stamp v3 (or emit the fields), so every
+//	     pre-existing encoding keeps its exact bytes — a merged fleet
+//	     report is indistinguishable from a single-node one on the wire.
+//	     Decoded strictly, like v2.
+const ConfigSchemaVersion = 3
 
 // wireVersion returns the schema version a configuration actually needs:
-// v1 unless it uses a v2 feature. Stamping the minimum keeps legacy
+// v1 unless it uses a newer feature. Stamping the minimum keeps legacy
 // encodings byte-identical and lets older consumers keep reading them.
 func (c CampaignConfig) wireVersion() int {
+	if c.ShardCount > 1 {
+		return 3
+	}
 	if c.Assignment != nil || c.Site == inject.SiteAccum {
 		return 2
 	}
@@ -57,6 +66,8 @@ type campaignConfigJSON struct {
 	Injections        int             `json:"injections"`
 	FlipsPerInjection int             `json:"flips_per_injection,omitempty"`
 	Seed              uint64          `json:"seed"`
+	ShardIndex        int             `json:"shard_index,omitempty"`
+	ShardCount        int             `json:"shard_count,omitempty"`
 	BatchSize         int             `json:"batch_size,omitempty"`
 	UseRanger         bool            `json:"use_ranger,omitempty"`
 	EmulateNetwork    bool            `json:"emulate_network,omitempty"`
@@ -185,6 +196,13 @@ func (c CampaignConfig) MarshalJSON() ([]byte, error) {
 	if c.FaultKind != inject.KindFlip {
 		w.FaultKind = c.FaultKind.String()
 	}
+	if c.ShardCount > 1 {
+		// Stamped only when actually sharded, so unsharded configurations —
+		// including merged fleet reports, whose shard fields are cleared —
+		// keep their pre-v3 bytes.
+		w.ShardIndex = c.ShardIndex
+		w.ShardCount = c.ShardCount
+	}
 	for _, d := range c.Detectors {
 		if d.New != nil {
 			return nil, fmt.Errorf("goldeneye: detector with a custom factory is not serializable")
@@ -240,6 +258,8 @@ func (c *CampaignConfig) UnmarshalJSON(data []byte) error {
 		Injections:        w.Injections,
 		FlipsPerInjection: w.FlipsPerInjection,
 		Seed:              w.Seed,
+		ShardIndex:        w.ShardIndex,
+		ShardCount:        w.ShardCount,
 		BatchSize:         w.BatchSize,
 		UseRanger:         w.UseRanger,
 		EmulateNetwork:    w.EmulateNetwork,
