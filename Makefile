@@ -12,7 +12,8 @@ RACE_PKGS = ./internal/telemetry ./internal/tensor ./internal/nn \
             ./internal/numfmt ./internal/inject ./internal/dse \
             ./internal/checkpoint ./internal/detect ./internal/exper \
             ./internal/server ./internal/server/journal \
-            ./internal/server/client ./internal/chaos ./internal/fleet .
+            ./internal/server/client ./internal/chaos ./internal/fleet \
+            ./internal/sampling .
 
 .PHONY: check
 check:
@@ -27,6 +28,7 @@ check:
 	go test -race $(RACE_PKGS)
 	$(MAKE) stress-chaos
 	$(MAKE) stress-fleet
+	$(MAKE) stress-sample
 	$(MAKE) bench-smoke
 
 # Cancellation paths are the raciest part of the lifecycle: a cancel can
@@ -98,6 +100,17 @@ stress-chaos:
 stress-fleet:
 	go test -race -shuffle=on ./internal/fleet
 	go test -race -run 'TestFleetSurvivesKillAndPartition|TestFleetCoordinatorModeE2E' ./cmd/goldeneyed
+
+# Smart-campaign gate: the estimator property tests — fraction-1.0
+# byte-identity per format family, shard-merge permutation invariance of
+# the per-stratum moments, full-fault-space pruning accounting, and the
+# sequential-stopping acceptance bound — under the race detector (the CI
+# review barrier synchronizes parallel workers), repeated to shake out
+# barrier orderings, plus the estimator unit tests.
+.PHONY: stress-sample
+stress-sample:
+	go test -race -run 'TestSampled|TestParseSamplingPlan' -count=2 .
+	go test -race -count=2 ./internal/sampling
 
 # Campaign-service smoke gate: boots a real goldeneyed process on a random
 # port, submits a tiny campaign through the typed client, asserts the SSE

@@ -15,6 +15,7 @@ import (
 	"goldeneye/internal/nn"
 	"goldeneye/internal/numfmt"
 	"goldeneye/internal/rng"
+	"goldeneye/internal/sampling"
 	"goldeneye/internal/telemetry"
 	"goldeneye/internal/tensor"
 	"goldeneye/internal/train"
@@ -174,9 +175,23 @@ type CampaignConfig struct {
 	// Incompatible with KeepTrace (traces are not persisted).
 	Resume *CampaignResume
 
+	// Sampling turns the campaign into a statistically-driven estimator
+	// (see internal/sampling): a deterministic per-stratum selection hash
+	// keeps a configurable fraction of the fault space, analytically-masked
+	// faults are counted without a forward pass, and the report carries a
+	// stratified SDC-rate estimate with a confidence interval — optionally
+	// stopping early once the interval is tighter than the plan's TargetCI.
+	// An inert plan (fraction 1, nothing else enabled) is normalized to nil,
+	// so fraction-1.0 campaigns stay byte-identical — wire bytes included —
+	// to exhaustive ones. Sampled campaigns are incompatible with Resume,
+	// and sequential stopping is incompatible with sharding (a shard cannot
+	// see its siblings' moments; the fleet coordinator rejects TargetCI).
+	Sampling *sampling.Plan
+
 	// Progress, when non-nil, receives cumulative campaign progress after
 	// every injection group: done counts executed injections (recorded plus
-	// aborted, including a resumed prefix), total is Injections. Parallel
+	// aborted, including a resumed prefix), total is Injections — or, for a
+	// sampled campaign, the selection's executed count. Parallel
 	// campaigns invoke it concurrently from every worker, so the callback
 	// must be safe for concurrent use. It observes the campaign without
 	// altering its results; the campaign service streams it to SSE clients.
@@ -246,6 +261,13 @@ type InjectionOutcome struct {
 	Mismatch  bool
 	DeltaLoss float64
 
+	// Index is the outcome's global injection index. Populated only for
+	// sampled campaigns, whose traces are sparse — it keys the merge of
+	// sharded sampled traces back into global order. Exhaustive traces are
+	// dense (position == index) and leave it zero, keeping their wire bytes
+	// unchanged.
+	Index int `json:",omitempty"`
+
 	// NonFinite reports whether the delivered output contained NaN/Inf —
 	// or, when a sentinel detector is armed, whether any intermediate
 	// activation of the injected pass went non-finite (catching faults
@@ -302,6 +324,14 @@ type CampaignReport struct {
 	// panicked inferences recovered in degraded mode, plus inferences
 	// discarded by a RecoverAbort detection.
 	Aborted int
+
+	// Sampling carries a sampled campaign's stratified estimator: the
+	// per-stratum dispatch accounting (drawn/pruned/skipped/executed) and
+	// Welford moments the SDC-rate estimate and its confidence interval
+	// derive from. Nil for exhaustive campaigns. The embedded
+	// CampaignResult still aggregates exactly the executed injections; the
+	// estimator is what extrapolates them to the full fault space.
+	Sampling *sampling.Report
 
 	// Interrupted marks a report cut short by context cancellation; the
 	// aggregates cover exactly the injections completed before the cut.
@@ -632,6 +662,35 @@ func (s *Simulator) campaignGeometry(cfg CampaignConfig) (campaignGeom, error) {
 	if err := cfg.validateShard(); err != nil {
 		return fail(err)
 	}
+	if err := cfg.Sampling.Validate(); err != nil {
+		return fail(&ConfigError{Field: "Sampling", Reason: err.Error()})
+	}
+	if cfg.Sampling.Active() {
+		if cfg.Resume != nil {
+			return fail(configErrf("Sampling",
+				"sampled campaigns do not resume (the estimator state is not checkpointed); re-run the campaign"))
+		}
+		if cfg.Sampling.TargetCI > 0 && cfg.sharded() {
+			return fail(configErrf("Sampling",
+				"sequential stopping needs the whole campaign's moments; a shard cannot stop on its own (drop TargetCI or the shard geometry)"))
+		}
+		if cfg.Sampling.Prune {
+			switch {
+			case cfg.Site != inject.SiteValue:
+				return fail(configErrf("Sampling",
+					"analytic pruning bounds per-bit value perturbations; it requires a value site, got %s", cfg.Site))
+			case cfg.Target != inject.TargetNeuron:
+				return fail(configErrf("Sampling",
+					"analytic pruning compares perturbations against the layer's calibrated activation range; it requires a neuron target"))
+			case cfg.FaultKind == inject.KindBurst:
+				return fail(configErrf("Sampling",
+					"burst faults span tensor elements and have no per-bit perturbation bound to prune with"))
+			case !cfg.UseRanger:
+				return fail(configErrf("Sampling",
+					"analytic pruning needs the ranger's calibrated activation bounds; set UseRanger"))
+			}
+		}
+	}
 	pool, err := cfg.evalPool()
 	if err != nil {
 		return fail(err)
@@ -714,6 +773,11 @@ func (s *Simulator) campaignGeometry(cfg CampaignConfig) (campaignGeom, error) {
 	}
 	if cfg.Site == inject.SiteMetadata && inject.MetaBitWidth(g.inj) == 0 {
 		return fail(fmt.Errorf("goldeneye: format %s has no metadata to inject into", g.inj.Name()))
+	}
+	if cfg.Sampling.Active() && cfg.Sampling.Prune && !sampling.Prunable(g.inj) {
+		return fail(configErrf("Sampling",
+			"analytic pruning requires a metadata-free injection format of at most %d bits, got %s",
+			sampling.MaxPruneBits, g.inj.Name()))
 	}
 	return g, nil
 }
@@ -1284,6 +1348,12 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// An inert sampling plan is indistinguishable from no plan; normalize
+	// it away so the report — wire bytes included — stays byte-identical to
+	// an exhaustive campaign's.
+	if !cfg.Sampling.Active() {
+		cfg.Sampling = nil
+	}
 	runner, err := s.newRunner(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -1291,6 +1361,10 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 	defer runner.close()
 
 	report := &CampaignReport{Config: cfg, PerDetector: runner.detectorBaseline()}
+	sel := runner.buildSelection()
+	if sel != nil {
+		report.Sampling = sel.emptyReport()
+	}
 	skip := 0
 	if cfg.Resume != nil {
 		skip = cfg.Resume.Completed
@@ -1300,25 +1374,28 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 		report.Recovered = cfg.Resume.Recovered
 		report.PerDetector = mergeResumeDetectors(report.PerDetector, cfg.Resume.PerDetector)
 	}
-	ct := newCampaignTelemetry(cfg.Metrics, cfg.PlannedInjections(), detect.Names(cfg.Detectors))
 	drawer := newFaultDrawer(&cfg, runner.geom)
 	n := runner.pool.Len()
 	batch := runner.batch
-	// The injection indices this run owns. Unsharded, that is every index
-	// past a resumed prefix; a shard (s, K) owns the stride slice i ≡ s
-	// (mod K) — exactly worker s's assignment under RunCampaignParallel at
-	// workers=K, so shard reports merge byte-identically to a single-node
-	// parallel run (Resume and sharding are mutually exclusive, so skip is
-	// zero here when sharded).
+	// The injection indices this run owns and executes. Unsharded, that is
+	// every index past a resumed prefix; a shard (s, K) owns the stride
+	// slice i ≡ s (mod K) — exactly worker s's assignment under
+	// RunCampaignParallel at workers=K, so shard reports merge
+	// byte-identically to a single-node parallel run (Resume and sharding
+	// are mutually exclusive, so skip is zero here when sharded). A sampled
+	// campaign additionally drops the owned indices its selection skips or
+	// prunes.
+	owns := func(i int) bool { return !cfg.sharded() || i%cfg.ShardCount == cfg.ShardIndex }
 	mine := make([]int, 0, cfg.PlannedInjections())
 	for i := skip; i < cfg.Injections; i++ {
-		if !cfg.sharded() || i%cfg.ShardCount == cfg.ShardIndex {
+		if owns(i) && sel.executed(i) {
 			mine = append(mine, i)
 		}
 	}
 	// Progress totals cover the injections this run executes plus a resumed
-	// prefix; unsharded that is exactly cfg.Injections.
+	// prefix; unsharded and unsampled that is exactly cfg.Injections.
 	planned := skip + len(mine)
+	ct := newCampaignTelemetry(cfg.Metrics, planned, detect.Names(cfg.Detectors))
 	// The fault sequence is always drawn from index 0 in serial order; draws
 	// this run does not execute (a resumed prefix, other shards' indices)
 	// are consumed into a discard row so owned faults stay bit-identical to
@@ -1333,87 +1410,124 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 	if cfg.Progress != nil && skip > 0 {
 		cfg.Progress(skip, planned)
 	}
-	for base := 0; base < len(mine); base += batch {
-		if err := ctx.Err(); err != nil {
-			report.Interrupted = true
-			return report, err
+	// A sampled campaign's dispatch (drawn/pruned/skipped per stratum) is a
+	// pure function of the selection, so the whole owned fault space is
+	// accounted before any forward pass. The population the estimator
+	// targets is therefore always the full fault space: at a review
+	// boundary the executed prefix is the sample, the remaining selected
+	// mass keeps the finite-population correction below one, and an early
+	// stop leaves Drawn > Pruned+Skipped+Executed+Aborted in the strata the
+	// stop cut short.
+	if sel != nil {
+		sel.account(report.Sampling, skip, cfg.Injections, owns)
+	}
+	// Sequential-stopping review windows: one window covering the whole
+	// campaign normally; a TargetCI campaign reviews its interval at every
+	// CheckEvery boundary.
+	bounds := stopBounds(cfg.Sampling, cfg.Injections)
+	mstart := 0
+	for _, bound := range bounds {
+		mend := mstart
+		for mend < len(mine) && mine[mend] < bound {
+			mend++
 		}
-		hi := base + batch
-		if hi > len(mine) {
-			hi = len(mine)
-		}
-		rows := hi - base
-		idx := runner.scratch.idx[:rows]
-		faultsets := runner.scratch.faultsets[:rows]
-		samples := runner.scratch.samples[:rows]
-		for k := 0; k < rows; k++ {
-			i := mine[base+k]
-			idx[k] = i
-			advanceTo(i)
-			faultsets[k] = runner.scratch.faultRow(k, runner.geom.flips)
-			drawer.nextInto(faultsets[k])
-			drawPos++
-			samples[k] = i % n
-		}
-		start := time.Now()
-		outs, errs := runner.runBatch(0, idx, faultsets, samples)
-		// Latency accounting stays per injection so the histogram's count
-		// matches the injection counters in both modes; a batched pass
-		// amortizes its wall time evenly over its rows.
-		per := time.Since(start) / time.Duration(rows)
-		if cfg.Progress != nil {
-			cfg.Progress(skip+hi, planned)
-		}
-		if batch > 1 {
-			ct.recordBatch(rows, batch)
-		}
-		for k := 0; k < rows; k++ {
-			if errs[k] != nil {
-				var ie *InjectionError
-				if !errors.As(errs[k], &ie) {
-					return nil, errs[k]
-				}
-				report.Aborted++
-				ct.recordAborted()
-				if cfg.KeepTrace {
-					report.Trace = append(report.Trace, traceCopy(outs[k]))
-				}
-				if cfg.MaxAborts > 0 && report.Aborted > cfg.MaxAborts {
-					return report, fmt.Errorf("goldeneye: %d aborted injections exceed MaxAborts=%d: %w",
-						report.Aborted, cfg.MaxAborts, ie)
-				}
-				continue
+		for base := mstart; base < mend; base += batch {
+			if err := ctx.Err(); err != nil {
+				report.Interrupted = true
+				return report, err
 			}
-			out := outs[k]
-			if out.Aborted {
-				// A RecoverAbort detection discarded this inference: counted
-				// in Aborted (and the detector breakdown) but excluded from
-				// the metric aggregates and the MaxAborts threshold.
-				report.Aborted++
-				report.Detected++
-				ct.recordAborted()
-				ct.recordDetections(out.DetectedBy, false)
+			hi := base + batch
+			if hi > mend {
+				hi = mend
+			}
+			rows := hi - base
+			idx := runner.scratch.idx[:rows]
+			faultsets := runner.scratch.faultsets[:rows]
+			samples := runner.scratch.samples[:rows]
+			for k := 0; k < rows; k++ {
+				i := mine[base+k]
+				idx[k] = i
+				advanceTo(i)
+				faultsets[k] = runner.scratch.faultRow(k, runner.geom.flips)
+				drawer.nextInto(faultsets[k])
+				drawPos++
+				samples[k] = i % n
+			}
+			start := time.Now()
+			outs, errs := runner.runBatch(0, idx, faultsets, samples)
+			// Latency accounting stays per injection so the histogram's count
+			// matches the injection counters in both modes; a batched pass
+			// amortizes its wall time evenly over its rows.
+			per := time.Since(start) / time.Duration(rows)
+			if cfg.Progress != nil {
+				cfg.Progress(skip+hi, planned)
+			}
+			if batch > 1 {
+				ct.recordBatch(rows, batch)
+			}
+			for k := 0; k < rows; k++ {
+				if errs[k] != nil {
+					var ie *InjectionError
+					if !errors.As(errs[k], &ie) {
+						return nil, errs[k]
+					}
+					report.Aborted++
+					ct.recordAborted()
+					if sel != nil {
+						sel.observe(report.Sampling, idx[k], outs[k])
+						outs[k].Index = idx[k]
+					}
+					if cfg.KeepTrace {
+						report.Trace = append(report.Trace, traceCopy(outs[k]))
+					}
+					if cfg.MaxAborts > 0 && report.Aborted > cfg.MaxAborts {
+						return report, fmt.Errorf("goldeneye: %d aborted injections exceed MaxAborts=%d: %w",
+							report.Aborted, cfg.MaxAborts, ie)
+					}
+					continue
+				}
+				out := outs[k]
+				if sel != nil {
+					sel.observe(report.Sampling, idx[k], out)
+					out.Index = idx[k]
+				}
+				if out.Aborted {
+					// A RecoverAbort detection discarded this inference: counted
+					// in Aborted (and the detector breakdown) but excluded from
+					// the metric aggregates and the MaxAborts threshold.
+					report.Aborted++
+					report.Detected++
+					ct.recordAborted()
+					ct.recordDetections(out.DetectedBy, false)
+					report.recordDetections(out)
+					if cfg.KeepTrace {
+						report.Trace = append(report.Trace, traceCopy(out))
+					}
+					continue
+				}
+				ct.record(out.Mismatch, out.NonFinite, out.Detected, per)
+				ct.recordDetections(out.DetectedBy, out.Recovered)
+				report.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
+				if out.Detected {
+					report.Detected++
+				}
+				if out.Recovered {
+					report.Recovered++
+				}
 				report.recordDetections(out)
 				if cfg.KeepTrace {
 					report.Trace = append(report.Trace, traceCopy(out))
 				}
-				continue
-			}
-			ct.record(out.Mismatch, out.NonFinite, out.Detected, per)
-			ct.recordDetections(out.DetectedBy, out.Recovered)
-			report.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
-			if out.Detected {
-				report.Detected++
-			}
-			if out.Recovered {
-				report.Recovered++
-			}
-			report.recordDetections(out)
-			if cfg.KeepTrace {
-				report.Trace = append(report.Trace, traceCopy(out))
 			}
 		}
+		mstart = mend
+		if sel != nil && cfg.Sampling.TargetCI > 0 && bound < cfg.Injections &&
+			report.Sampling.CIHalfWidth() <= cfg.Sampling.TargetCI {
+			report.Sampling.StopIndex = bound
+			break
+		}
 	}
+	ct.publishSampling(report.Sampling)
 	ct.publishCoverage(report)
 	return report, nil
 }
@@ -1439,6 +1553,12 @@ func (s *Simulator) RunCampaign(ctx context.Context, cfg CampaignConfig) (*Campa
 func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, build func() (*Simulator, error)) (*CampaignReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// Normalize an inert sampling plan away before anything else (the serial
+	// delegation below does the same), so the plan's presence cannot perturb
+	// exhaustive-campaign byte identity.
+	if !cfg.Sampling.Active() {
+		cfg.Sampling = nil
 	}
 	if workers <= 1 {
 		sim, err := build()
@@ -1480,6 +1600,26 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		skip = cfg.Resume.Completed
 	}
 
+	// A sampled campaign computes its selection once, up front, on a runner
+	// built from the scout (the selection needs the ranger bounds the prune
+	// mask derives from). Worker 0 adopts that runner instead of building
+	// its own — the setup work (weight quantization, calibration, clean
+	// references) is deterministic, so the adoption changes nothing but
+	// avoids repeating it.
+	var scoutRunner *campaignRunner
+	var sel *campaignSelection
+	if cfg.Sampling != nil {
+		scoutRunner, err = scout.newRunner(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sel = scoutRunner.buildSelection()
+	}
+	progressTotal := cfg.Injections
+	if sel != nil {
+		progressTotal = sel.executedCount()
+	}
+
 	// Progress aggregates across workers through one shared counter; the
 	// callback sees a monotonic cumulative count, never per-shard values.
 	var progressDone atomic.Int64
@@ -1488,10 +1628,10 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		if cfg.Progress == nil {
 			return
 		}
-		cfg.Progress(int(progressDone.Add(int64(executed))), cfg.Injections)
+		cfg.Progress(int(progressDone.Add(int64(executed))), progressTotal)
 	}
 	if cfg.Progress != nil && skip > 0 {
-		cfg.Progress(skip, cfg.Injections)
+		cfg.Progress(skip, progressTotal)
 	}
 
 	// A worker hitting a fatal error (abort threshold, failed build) stops
@@ -1511,8 +1651,34 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		fp map[string]metrics.DetectorStats
 	}
 	n := g.pool.Len()
-	ct := newCampaignTelemetry(cfg.Metrics, cfg.Injections, detect.Names(cfg.Detectors))
+	ct := newCampaignTelemetry(cfg.Metrics, progressTotal, detect.Names(cfg.Detectors))
 	shards := make([]shard, workers)
+	// Sequential stopping runs the workers in lockstep review rounds: after
+	// each round's window, the last worker to arrive merges every worker's
+	// estimator state (safe: the others are parked on the barrier, and a
+	// departed worker published its report before leaving) and decides
+	// whether the campaign stops at that boundary.
+	bounds := stopBounds(cfg.Sampling, cfg.Injections)
+	var barrier *ciBarrier
+	if sel != nil && cfg.Sampling.TargetCI > 0 {
+		barrier = newCIBarrier(workers, func(round int) int {
+			bound := bounds[round]
+			if bound >= cfg.Injections {
+				return 0 // final boundary: nothing left to stop early
+			}
+			reviewed := sel.emptyReport()
+			for i := range shards {
+				if shards[i].report != nil && shards[i].report.Sampling != nil {
+					// Same strata by construction; Merge cannot fail.
+					_ = reviewed.Merge(shards[i].report.Sampling)
+				}
+			}
+			if reviewed.CIHalfWidth() <= cfg.Sampling.TargetCI {
+				return bound
+			}
+			return 0
+		})
+	}
 	var aborted atomic.Int64
 	if cfg.Resume != nil {
 		// Prior aborts count toward the shared threshold.
@@ -1532,6 +1698,12 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 					stopWorkers()
 				}
 			}()
+			// Exactly once per worker, on every exit path — error, abort
+			// threshold, cancellation, normal completion — so workers parked
+			// on a review round never wait for a departed sibling.
+			if barrier != nil {
+				defer barrier.leave()
+			}
 			if cfg.Metrics != nil {
 				// Per-worker shard wall time, for spotting stragglers in
 				// the metrics dump.
@@ -1548,16 +1720,22 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 					return
 				}
 			}
-			runner, rerr := sim.newRunner(wctx, cfg)
-			if rerr != nil {
-				if wctx.Err() != nil && errors.Is(rerr, wctx.Err()) {
-					shards[w].interrupted = true
-					shards[w].report = &CampaignReport{}
+			// Worker 0 adopts the pre-built scout runner of a sampled
+			// campaign (see above); every other worker prepares its own.
+			runner := scoutRunner
+			if w != 0 || runner == nil {
+				var rerr error
+				runner, rerr = sim.newRunner(wctx, cfg)
+				if rerr != nil {
+					if wctx.Err() != nil && errors.Is(rerr, wctx.Err()) {
+						shards[w].interrupted = true
+						shards[w].report = &CampaignReport{}
+						return
+					}
+					shards[w].err = rerr
+					stopWorkers()
 					return
 				}
-				shards[w].err = rerr
-				stopWorkers()
-				return
 			}
 			defer runner.close()
 			shards[w].fp = runner.detectorBaseline()
@@ -1566,98 +1744,132 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 				shardWork = cfg.Metrics.Counter(telemetry.Label(MetricCampaignShardWork, "worker", strconv.Itoa(w)))
 			}
 			rep := &CampaignReport{}
-			// The worker's stride-assigned injection indices, batched into
-			// groups of the campaign's pack size. Grouping non-contiguous
-			// indices is fine: each row is an independent (fault, sample)
-			// pair, and trace order within the shard stays the stride order
-			// the merge below expects.
+			if sel != nil {
+				rep.Sampling = sel.emptyReport()
+			}
+			// Published before the loop so the stopping barrier's check can
+			// read this worker's estimator state; the barrier's mutex orders
+			// those reads against the writes below.
+			shards[w].report = rep
+			// The worker's stride-assigned injection indices — minus, for a
+			// sampled campaign, the ones the selection skips or prunes —
+			// batched into groups of the campaign's pack size. Grouping
+			// non-contiguous indices is fine: each row is an independent
+			// (fault, sample) pair, and trace order within the shard stays
+			// the stride order the merge below expects.
 			var mine []int
 			for i := w; i < cfg.Injections; i += workers {
-				if i >= skip {
+				if i >= skip && sel.executed(i) {
 					mine = append(mine, i)
 				}
 			}
+			// The worker's whole stride slice is accounted up front (dispatch
+			// is analytic); the estimator's population is the full fault
+			// space even when a review boundary stops execution early.
+			if sel != nil {
+				sel.account(rep.Sampling, skip, cfg.Injections,
+					func(i int) bool { return i%workers == w })
+			}
 			batch := runner.batch
-			for base := 0; base < len(mine); base += batch {
-				if wctx.Err() != nil {
-					shards[w].interrupted = true
-					break
+			mstart := 0
+		rounds:
+			for round, bound := range bounds {
+				mend := mstart
+				for mend < len(mine) && mine[mend] < bound {
+					mend++
 				}
-				hi := base + batch
-				if hi > len(mine) {
-					hi = len(mine)
-				}
-				idx := mine[base:hi]
-				faultsets := runner.scratch.faultsets[:len(idx)]
-				samples := runner.scratch.samples[:len(idx)]
-				for k, i := range idx {
-					faultsets[k] = allFaults[i]
-					samples[k] = i % n
-				}
-				start := time.Now()
-				outs, errsB := runner.runBatch(w, idx, faultsets, samples)
-				per := time.Since(start) / time.Duration(len(idx))
-				reportProgress(len(idx))
-				if batch > 1 {
-					ct.recordBatch(len(idx), batch)
-				}
-				for k := range idx {
-					if errsB[k] != nil {
-						var ie *InjectionError
-						if !errors.As(errsB[k], &ie) {
-							shards[w].err = errsB[k]
-							stopWorkers()
-							return
-						}
-						total := aborted.Add(1)
-						ct.recordAborted()
-						rep.Aborted++
-						if cfg.KeepTrace {
-							rep.Trace = append(rep.Trace, traceCopy(outs[k]))
-						}
-						if cfg.MaxAborts > 0 && total > int64(cfg.MaxAborts) {
-							shards[w].report = rep
-							shards[w].err = fmt.Errorf("%d aborted injections exceed MaxAborts=%d: %w",
-								total, cfg.MaxAborts, ie)
-							stopWorkers()
-							return
-						}
-						continue
+				for base := mstart; base < mend; base += batch {
+					if wctx.Err() != nil {
+						shards[w].interrupted = true
+						break rounds
 					}
-					out := outs[k]
-					if out.Aborted {
-						// RecoverAbort discard: counted in Aborted and the
-						// detector breakdown, excluded from aggregates and
-						// the shared MaxAborts threshold.
-						rep.Aborted++
-						rep.Detected++
-						ct.recordAborted()
-						ct.recordDetections(out.DetectedBy, false)
+					hi := base + batch
+					if hi > mend {
+						hi = mend
+					}
+					idx := mine[base:hi]
+					faultsets := runner.scratch.faultsets[:len(idx)]
+					samples := runner.scratch.samples[:len(idx)]
+					for k, i := range idx {
+						faultsets[k] = allFaults[i]
+						samples[k] = i % n
+					}
+					start := time.Now()
+					outs, errsB := runner.runBatch(w, idx, faultsets, samples)
+					per := time.Since(start) / time.Duration(len(idx))
+					reportProgress(len(idx))
+					if batch > 1 {
+						ct.recordBatch(len(idx), batch)
+					}
+					for k := range idx {
+						if errsB[k] != nil {
+							var ie *InjectionError
+							if !errors.As(errsB[k], &ie) {
+								shards[w].err = errsB[k]
+								stopWorkers()
+								return
+							}
+							total := aborted.Add(1)
+							ct.recordAborted()
+							rep.Aborted++
+							if sel != nil {
+								sel.observe(rep.Sampling, idx[k], outs[k])
+								outs[k].Index = idx[k]
+							}
+							if cfg.KeepTrace {
+								rep.Trace = append(rep.Trace, traceCopy(outs[k]))
+							}
+							if cfg.MaxAborts > 0 && total > int64(cfg.MaxAborts) {
+								shards[w].report = rep
+								shards[w].err = fmt.Errorf("%d aborted injections exceed MaxAborts=%d: %w",
+									total, cfg.MaxAborts, ie)
+								stopWorkers()
+								return
+							}
+							continue
+						}
+						out := outs[k]
+						if sel != nil {
+							sel.observe(rep.Sampling, idx[k], out)
+							out.Index = idx[k]
+						}
+						if out.Aborted {
+							// RecoverAbort discard: counted in Aborted and the
+							// detector breakdown, excluded from aggregates and
+							// the shared MaxAborts threshold.
+							rep.Aborted++
+							rep.Detected++
+							ct.recordAborted()
+							ct.recordDetections(out.DetectedBy, false)
+							rep.recordDetections(out)
+							if cfg.KeepTrace {
+								rep.Trace = append(rep.Trace, traceCopy(out))
+							}
+							continue
+						}
+						ct.record(out.Mismatch, out.NonFinite, out.Detected, per)
+						ct.recordDetections(out.DetectedBy, out.Recovered)
+						if shardWork != nil {
+							shardWork.Inc()
+						}
+						rep.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
+						if out.Detected {
+							rep.Detected++
+						}
+						if out.Recovered {
+							rep.Recovered++
+						}
 						rep.recordDetections(out)
 						if cfg.KeepTrace {
 							rep.Trace = append(rep.Trace, traceCopy(out))
 						}
-						continue
-					}
-					ct.record(out.Mismatch, out.NonFinite, out.Detected, per)
-					ct.recordDetections(out.DetectedBy, out.Recovered)
-					if shardWork != nil {
-						shardWork.Inc()
-					}
-					rep.Record(out.Mismatch, out.DeltaLoss, out.NonFinite)
-					if out.Detected {
-						rep.Detected++
-					}
-					if out.Recovered {
-						rep.Recovered++
-					}
-					rep.recordDetections(out)
-					if cfg.KeepTrace {
-						rep.Trace = append(rep.Trace, traceCopy(out))
 					}
 				}
+				mstart = mend
+				if barrier != nil && barrier.await(round) > 0 {
+					break
+				}
 			}
-			shards[w].report = rep
 		}(w)
 	}
 	wg.Wait()
@@ -1688,8 +1900,11 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		merged.Recovered = cfg.Resume.Recovered
 		merged.PerDetector = mergeResumeDetectors(merged.PerDetector, cfg.Resume.PerDetector)
 	}
-	if cfg.KeepTrace {
+	if cfg.KeepTrace && sel == nil {
 		merged.Trace = make([]InjectionOutcome, cfg.Injections)
+	}
+	if sel != nil {
+		merged.Sampling = sel.emptyReport()
 	}
 	for w, sh := range shards {
 		merged.Interrupted = merged.Interrupted || sh.interrupted
@@ -1698,12 +1913,39 @@ func RunCampaignParallel(ctx context.Context, cfg CampaignConfig, workers int, b
 		merged.Aborted += sh.report.Aborted
 		merged.Recovered += sh.report.Recovered
 		merged.PerDetector = mergeResumeDetectors(merged.PerDetector, sh.report.PerDetector)
-		if cfg.KeepTrace {
+		if sh.report.Sampling != nil {
+			// Worker-index order — the same Welford merge order the campaign
+			// aggregates use. Same strata by construction; Merge cannot fail.
+			_ = merged.Sampling.Merge(sh.report.Sampling)
+		}
+		if cfg.KeepTrace && sel == nil {
 			for k, out := range sh.report.Trace {
 				merged.Trace[w+k*workers] = out
 			}
 		}
 	}
+	if barrier != nil {
+		merged.Sampling.StopIndex = barrier.stopIndex()
+	}
+	if cfg.KeepTrace && sel != nil {
+		// A sampled worker's trace holds only its executed indices, so the
+		// dense stride interleave above does not apply: reassemble in
+		// ascending global-index order with one cursor per worker — exactly
+		// the order the serial sampled path records (entries can be missing
+		// when the campaign stopped early or was interrupted).
+		cursors := make([]int, workers)
+		for i := 0; i < cfg.Injections; i++ {
+			if !sel.executed(i) {
+				continue
+			}
+			sh := shards[i%workers].report
+			if c := cursors[i%workers]; c < len(sh.Trace) {
+				merged.Trace = append(merged.Trace, sh.Trace[c])
+				cursors[i%workers]++
+			}
+		}
+	}
+	ct.publishSampling(merged.Sampling)
 	ct.publishCoverage(merged)
 	if merged.Interrupted {
 		return merged, ctx.Err()

@@ -2,6 +2,8 @@ package goldeneye
 
 import (
 	"context"
+	"runtime"
+	"runtime/debug"
 	"testing"
 
 	"goldeneye/internal/inject"
@@ -79,6 +81,14 @@ func TestBatchedLoopBookkeepingAllocFree(t *testing.T) {
 // Runner scratch buffers must return to the shared arena on close, so the
 // next campaign (same geometry) reuses the storage instead of allocating.
 func TestCampaignScratchReturnsToArena(t *testing.T) {
+	// The arena is a sync.Pool, and a pool may legally hand back a fresh
+	// buffer when the goroutine migrates off the P holding the private
+	// slot, or when a GC cycle clears the pool — non-reuses this test
+	// must not flag. Pin the test to one P with GC off so the
+	// pointer-identity assertion observes the pool's LIFO behavior, not
+	// the scheduler's or the collector's timing.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	x := tensor.New(4, 8)
 	sc := newCampaignScratch(x, 4, 1)
 	if len(sc.xbBuf) != 4*8 {
@@ -93,6 +103,13 @@ func TestCampaignScratchReturnsToArena(t *testing.T) {
 
 	sc2 := newCampaignScratch(x, 4, 1)
 	defer sc2.release()
+	if raceEnabled {
+		// The race-detector runtime randomly drops sync.Pool puts and
+		// gets to widen interleavings; pointer identity is not
+		// observable there. The release/double-release contract above
+		// still ran.
+		t.Skip("sync.Pool reuse is randomized under the race detector")
+	}
 	if &sc2.xbBuf[0] != &buf[0] {
 		t.Fatal("second scratch did not reuse the arena buffer")
 	}

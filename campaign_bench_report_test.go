@@ -23,6 +23,7 @@ package goldeneye_test
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -32,6 +33,7 @@ import (
 
 	"goldeneye"
 	"goldeneye/internal/numfmt"
+	"goldeneye/internal/sampling"
 	"goldeneye/internal/zoo"
 )
 
@@ -49,12 +51,27 @@ type benchCampaignRow struct {
 	BitIdentical bool    `json:"bit_identical"`
 }
 
+// benchSamplingSummary records the sampled-campaign section: how much of
+// the fault space the estimator skipped and how far its SDC estimate landed
+// from the exhaustive rate. benchdiff tracks the injections-saved trajectory
+// across PRs from these fields and tolerates matrices that predate them.
+type benchSamplingSummary struct {
+	FaultSpace    int     `json:"fault_space_size"`
+	Executed      int     `json:"injections_executed"`
+	Pruned        int     `json:"injections_pruned"`
+	SDCExhaustive float64 `json:"sdc_exhaustive"`
+	SDCEstimate   float64 `json:"sdc_estimate"`
+	SDCDelta      float64 `json:"sdc_delta_vs_exhaustive"`
+	CIHalfWidth   float64 `json:"ci_half_width"`
+}
+
 type benchCampaignReport struct {
-	Model      string             `json:"model"`
-	Layer      int                `json:"layer"`
-	Injections int                `json:"injections"`
-	PoolSize   int                `json:"pool_size"`
-	Rows       []benchCampaignRow `json:"rows"`
+	Model      string                `json:"model"`
+	Layer      int                   `json:"layer"`
+	Injections int                   `json:"injections"`
+	PoolSize   int                   `json:"pool_size"`
+	Rows       []benchCampaignRow    `json:"rows"`
+	Sampling   *benchSamplingSummary `json:"sampling,omitempty"`
 }
 
 // speedupVsSerial guards the ratio against zero/negative timings (a
@@ -209,6 +226,56 @@ func TestCampaignBenchReport(t *testing.T) {
 		}
 	}
 	runtime.GOMAXPROCS(origProcs)
+
+	// Sampled-campaign summary: one exhaustive and one stratified-sampled
+	// run at the same seed, so BENCH_campaign.json carries the
+	// injections-saved trajectory and the estimate-vs-exhaustive delta.
+	{
+		numfmt.SetFusedKernels(true)
+		base := goldeneye.CampaignConfig{
+			Format:         numfmt.FP16(true),
+			Site:           goldeneye.SiteValue,
+			Target:         goldeneye.TargetNeuron,
+			Layer:          report.Layer,
+			Injections:     injections,
+			Seed:           97,
+			Pool:           pool,
+			UseRanger:      true,
+			EmulateNetwork: true,
+		}
+		exh, err := sim.RunCampaign(t.Context(), base)
+		if err != nil {
+			t.Fatalf("exhaustive reference: %v", err)
+		}
+		sampled := base
+		sampled.Sampling = &sampling.Plan{Fraction: 0.25, Prune: true}
+		est, err := sim.RunCampaign(t.Context(), sampled)
+		if err != nil {
+			t.Fatalf("sampled campaign: %v", err)
+		}
+		sr := est.Sampling
+		// A smoke-sized fault space can leave a stratum with zero
+		// observations, making the interval infinite — not a JSON value.
+		// benchdiff tolerates a missing sampling section, so omit it
+		// rather than record an unusable estimate.
+		if hw := sr.CIHalfWidth(); math.IsInf(hw, 0) || math.IsNaN(hw) || math.IsNaN(sr.SDCRate()) {
+			t.Logf("sampling: estimate not finite at %d executed of %d (smoke-sized sample); summary omitted",
+				sr.ExecutedTotal(), sr.FaultSpace())
+		} else {
+			report.Sampling = &benchSamplingSummary{
+				FaultSpace:    sr.FaultSpace(),
+				Executed:      sr.ExecutedTotal(),
+				Pruned:        sr.PrunedTotal(),
+				SDCExhaustive: exh.MismatchRate(),
+				SDCEstimate:   sr.SDCRate(),
+				SDCDelta:      sr.SDCRate() - exh.MismatchRate(),
+				CIHalfWidth:   hw,
+			}
+			t.Logf("sampling: executed %d of %d (%d pruned), SDC %.4f vs exhaustive %.4f (±%.4f)",
+				sr.ExecutedTotal(), sr.FaultSpace(), sr.PrunedTotal(),
+				sr.SDCRate(), exh.MismatchRate(), hw)
+		}
+	}
 
 	// The multi-core throughput target: with ≥4 real cores, at least one
 	// fused row at GOMAXPROCS≥4 must clear 5× its family's serial generic

@@ -30,9 +30,30 @@ type matrixRow struct {
 	BitIdentical bool    `json:"bit_identical"`
 }
 
+// samplingSummary mirrors the optional sampled-campaign section of
+// BENCH_campaign.json (absent in matrices written before the sampling
+// subsystem existed — old files must keep loading).
+type samplingSummary struct {
+	FaultSpace  int     `json:"fault_space_size"`
+	Executed    int     `json:"injections_executed"`
+	Pruned      int     `json:"injections_pruned"`
+	SDCDelta    float64 `json:"sdc_delta_vs_exhaustive"`
+	CIHalfWidth float64 `json:"ci_half_width"`
+}
+
+// savedPercent is the fraction of the fault space the sampler did not
+// execute, as a percentage — the injections-saved trajectory number.
+func (s *samplingSummary) savedPercent() float64 {
+	if s.FaultSpace <= 0 {
+		return 0
+	}
+	return (1 - float64(s.Executed)/float64(s.FaultSpace)) * 100
+}
+
 type matrixFile struct {
-	Model string      `json:"model"`
-	Rows  []matrixRow `json:"rows"`
+	Model    string           `json:"model"`
+	Rows     []matrixRow      `json:"rows"`
+	Sampling *samplingSummary `json:"sampling"`
 }
 
 // rowKey identifies a matrix cell across runs.
@@ -100,7 +121,32 @@ func diff(oldM, newM *matrixFile, threshold float64) []string {
 	if matched == 0 {
 		failures = append(failures, "no rows matched between the two matrices")
 	}
+	failures = append(failures, diffSampling(oldM.Sampling, newM.Sampling)...)
 	return failures
+}
+
+// diffSampling reports the injections-saved trajectory between two sampled
+// summaries. Either side may be nil (pre-sampling matrices); that is a shape
+// change, not a failure. An estimate that drifted outside its own confidence
+// interval of the exhaustive rate is a correctness failure.
+func diffSampling(oldS, newS *samplingSummary) []string {
+	if newS == nil {
+		if oldS != nil {
+			fmt.Println("dropped sampling summary (in old only)")
+		}
+		return nil
+	}
+	if d, hw := newS.SDCDelta, newS.CIHalfWidth; hw > 0 && (d > hw || d < -hw) {
+		return []string{fmt.Sprintf("sampling: SDC estimate off the exhaustive rate by %.5f, outside its ±%.5f CI", d, hw)}
+	}
+	if oldS == nil {
+		fmt.Printf("sampling (no baseline): executed %d of %d (%.1f%% saved, %d pruned)\n",
+			newS.Executed, newS.FaultSpace, newS.savedPercent(), newS.Pruned)
+		return nil
+	}
+	fmt.Printf("sampling: saved %.1f%% → %.1f%% of the fault space (executed %d → %d)\n",
+		oldS.savedPercent(), newS.savedPercent(), oldS.Executed, newS.Executed)
+	return nil
 }
 
 func main() {

@@ -78,3 +78,32 @@ func TestDiffIgnoresZeroTimings(t *testing.T) {
 		t.Fatalf("zero timings must not divide or fail: %v", failures)
 	}
 }
+
+func TestDiffToleratesMissingSamplingSummary(t *testing.T) {
+	// Old matrices predate the sampling section entirely; new ones may also
+	// omit it (exhaustive-only benches). Neither combination fails.
+	base := []matrixRow{row("fp16", "fused", 8, 4, 100, true)}
+	withS := &matrixFile{Rows: base, Sampling: &samplingSummary{
+		FaultSpace: 1000, Executed: 150, Pruned: 300, SDCDelta: 0.002, CIHalfWidth: 0.01,
+	}}
+	withoutS := &matrixFile{Rows: base}
+	for _, tc := range []struct{ oldM, newM *matrixFile }{
+		{withoutS, withS}, {withS, withoutS}, {withS, withS}, {withoutS, withoutS},
+	} {
+		if failures := diff(tc.oldM, tc.newM, 10); len(failures) != 0 {
+			t.Fatalf("sampling-summary shape change must not fail: %v", failures)
+		}
+	}
+}
+
+func TestDiffFailsOnSDCEstimateOutsideCI(t *testing.T) {
+	base := []matrixRow{row("fp16", "fused", 8, 4, 100, true)}
+	oldM := &matrixFile{Rows: base}
+	newM := &matrixFile{Rows: base, Sampling: &samplingSummary{
+		FaultSpace: 1000, Executed: 150, SDCDelta: -0.05, CIHalfWidth: 0.01,
+	}}
+	failures := diff(oldM, newM, 10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "outside its") {
+		t.Fatalf("want an out-of-CI sampling failure, got %v", failures)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"goldeneye/internal/inject"
 	"goldeneye/internal/models"
 	"goldeneye/internal/nn"
+	"goldeneye/internal/sampling"
 	"goldeneye/internal/server"
 	"goldeneye/internal/server/client"
 	"goldeneye/internal/telemetry"
@@ -95,6 +97,11 @@ func run(ctx context.Context, args []string) error {
 		fleetN    = fs.Int("fleet-shards", 0, "shard count for -fleet (0 = one shard per node)")
 		fleetMin  = fs.Int("fleet-min", 1, "minimum healthy nodes a -fleet campaign tolerates before failing")
 		deadline  = fs.Duration("job-deadline", 0, "per-job execution bound on the daemon (inject with -server); an expiring job returns its partial report (0 = unbounded)")
+		sample    = fs.Float64("sample", 1, "fraction of the fault space to execute (inject); <1 turns the campaign into a stratified estimator with a 95% CI")
+		sampleStr = fs.String("sample-strata", "", `per-stratum sampling fractions, e.g. "exponent=1,mantissa=0.05" (strata are bit roles of the injection format)`)
+		prune     = fs.Bool("prune", false, "analytically prune provably-masked faults via ranger calibration bounds (inject; requires -ranger)")
+		pruneEps  = fs.Float64("prune-eps", 0, "pruning tolerance: a bit is masked when its worst-case perturbation stays below this fraction of the layer's dynamic range (0 = the plan default)")
+		targetCI  = fs.Float64("target-ci", 0, "stop the sampled campaign once the SDC-rate 95% CI half-width reaches this bound (inject; 0 = run the full selection)")
 		progress  = fs.Bool("progress", false, "render a live progress line (campaigns) and imply -metrics")
 		metricsFl = fs.Bool("metrics", false, "print a final metrics dump (Prometheus text) to stdout")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
@@ -210,6 +217,9 @@ func run(ctx context.Context, args []string) error {
 		default:
 			return goldeneye.CampaignConfig{}, fmt.Errorf("unknown target %q", *target)
 		}
+		if cfg.Sampling, err = goldeneye.ParseSamplingPlan(*sample, *sampleStr, *prune, *pruneEps, *targetCI); err != nil {
+			return goldeneye.CampaignConfig{}, err
+		}
 		return cfg, nil
 	}
 
@@ -229,6 +239,9 @@ func run(ctx context.Context, args []string) error {
 		cfg, err := buildCampaign()
 		if err != nil {
 			return err
+		}
+		if plan := cfg.Sampling; plan != nil {
+			fmt.Printf("plan:          %s\n", describeSamplingPlan(plan))
 		}
 		return runRemoteInject(ctx, *serverURL, *model, *samples, *batch, *workers, *deadline, cfg, *progress)
 	}
@@ -296,6 +309,9 @@ func run(ctx context.Context, args []string) error {
 			}
 		}
 		cfg.Metrics = reg
+		if plan := cfg.Sampling; plan != nil {
+			fmt.Printf("plan:          %s\n", describeSamplingPlan(plan))
+		}
 		if *progress {
 			stop := telemetry.WatchProgress(os.Stderr, "inject",
 				reg.Counter(goldeneye.MetricCampaignInjections), int64(*n), 500*time.Millisecond)
@@ -400,6 +416,31 @@ func runMixedDSE(sim *goldeneye.Simulator, pool *goldeneye.EvalPool, model, spec
 	return nil
 }
 
+// describeSamplingPlan renders the one-line plan summary printed before a
+// sampled campaign runs.
+func describeSamplingPlan(plan *sampling.Plan) string {
+	parts := []string{fmt.Sprintf("sample %g", plan.Fraction)}
+	if len(plan.Strata) > 0 {
+		names := make([]string, 0, len(plan.Strata))
+		for name := range plan.Strata {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		over := make([]string, len(names))
+		for i, name := range names {
+			over[i] = fmt.Sprintf("%s=%g", name, plan.Strata[name])
+		}
+		parts = append(parts, "strata "+strings.Join(over, ","))
+	}
+	if plan.Prune {
+		parts = append(parts, fmt.Sprintf("prune ε=%g", plan.PruneEpsilon()))
+	}
+	if plan.TargetCI > 0 {
+		parts = append(parts, fmt.Sprintf("stop at CI ±%g (review every %d)", plan.TargetCI, plan.Interval()))
+	}
+	return strings.Join(parts, ", ")
+}
+
 // printInjectReport renders a campaign report from its own resolved
 // configuration, so local and remote runs print identically.
 func printInjectReport(model string, rep *goldeneye.CampaignReport) {
@@ -429,6 +470,15 @@ func printInjectReport(model string, rep *goldeneye.CampaignReport) {
 			st := rep.PerDetector[spec.Kind]
 			fmt.Printf("  %-9s detections=%d recovered=%d false-positives=%d/%d\n",
 				spec.Kind, st.Detections, st.Recovered, st.FalsePositives, st.FaultFreeRuns)
+		}
+	}
+	if sr := rep.Sampling; sr != nil {
+		fmt.Printf("sampling:      fault space %d → executed %d (pruned %d analytic, skipped %d)\n",
+			sr.FaultSpace(), sr.ExecutedTotal(), sr.PrunedTotal(), sr.SkippedTotal())
+		fmt.Printf("SDC estimate:  %.4f ± %.4f (95%% CI)\n", sr.SDCRate(), sr.CIHalfWidth())
+		if sr.StopIndex > 0 {
+			fmt.Printf("early stop:    CI target reached at fault-space index %d of %d\n",
+				sr.StopIndex, cfg.Injections)
 		}
 	}
 	if rep.Interrupted {

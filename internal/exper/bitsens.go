@@ -8,6 +8,7 @@ import (
 	"goldeneye"
 	"goldeneye/internal/inject"
 	"goldeneye/internal/numfmt"
+	"goldeneye/internal/sampling"
 )
 
 // BitSensRow aggregates a campaign's outcomes by the flipped bit position,
@@ -26,44 +27,11 @@ type BitSensRow struct {
 	MismatchRate float64
 }
 
-// bitRole names a bit position within a format's encoding.
+// bitRole names a bit position within a format's encoding. The sampling
+// package owns the classification, so experiment rows and sampling strata
+// agree on every role name.
 func bitRole(format numfmt.Format, bit int) string {
-	switch f := format.(type) {
-	case *numfmt.FP:
-		switch {
-		case bit == f.BitWidth()-1:
-			return "sign"
-		case bit >= f.MantBits():
-			return "exponent"
-		default:
-			return "mantissa"
-		}
-	case *numfmt.AFP:
-		switch {
-		case bit == f.BitWidth()-1:
-			return "sign"
-		case bit >= f.MantBits():
-			return "exponent"
-		default:
-			return "mantissa"
-		}
-	case *numfmt.BFP:
-		if bit == f.BitWidth()-1 {
-			return "sign"
-		}
-		return "mantissa"
-	case *numfmt.FxP:
-		switch {
-		case bit == f.BitWidth()-1:
-			return "sign"
-		case bit < f.Radix():
-			return "fraction"
-		default:
-			return "integer"
-		}
-	default:
-		return "code"
-	}
+	return sampling.BitRole(format, bit)
 }
 
 // BitSensitivity runs a value-site campaign with tracing and groups the

@@ -348,6 +348,10 @@ func (c *Coordinator) Run(ctx context.Context, spec *server.JobSpec, onProgress 
 		return nil, &goldeneye.ConfigError{Field: "Workers",
 			Reason: fmt.Sprintf("fleet campaigns run one serial worker per shard; got workers=%d (set Options.Shards instead)", spec.Workers)}
 	}
+	if spec.Campaign.Sampling != nil && spec.Campaign.Sampling.TargetCI > 0 {
+		return nil, &goldeneye.ConfigError{Field: "Campaign.Sampling.TargetCI",
+			Reason: "sequential stopping needs a shared review barrier; fleet shards run independently (drop TargetCI or run on one node)"}
+	}
 	k := c.opts.Shards
 	if k <= 0 {
 		k = len(c.nodes)
@@ -683,7 +687,13 @@ func (r *run) deliver(n *node, idx int, rep *goldeneye.CampaignReport, start tim
 	if rep.Interrupted {
 		return fmt.Errorf("shard %d report marked interrupted", idx)
 	}
-	if executed := rep.Injections + rep.Aborted; executed != sh.planned {
+	if rep.Sampling != nil {
+		// A sampled shard executes only its selection; completeness is that
+		// its estimator accounted the shard's whole stride slice.
+		if covered := rep.Sampling.FaultSpace(); covered != sh.planned {
+			return fmt.Errorf("shard %d covered %d of %d planned fault-space indices", idx, covered, sh.planned)
+		}
+	} else if executed := rep.Injections + rep.Aborted; executed != sh.planned {
 		return fmt.Errorf("shard %d executed %d of %d planned injections", idx, executed, sh.planned)
 	}
 	r.mu.Lock()

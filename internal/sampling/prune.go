@@ -1,0 +1,110 @@
+package sampling
+
+import (
+	"math"
+
+	"goldeneye/internal/inject"
+	"goldeneye/internal/numfmt"
+)
+
+// MaxPruneBits bounds the brute-force bit-perturbation analysis: formats
+// wider than this are never pruned (the 2^width code sweep would be too
+// expensive, and every format family in the paper fits).
+const MaxPruneBits = 16
+
+// Prunable reports whether the format is eligible for analytic pruning:
+// per-bit perturbation analysis requires a metadata-free encoding (a flip
+// in an INT/BFP/AFP/LUT value interacts with tensor-level metadata the
+// per-code sweep cannot see) of at most MaxPruneBits bits.
+func Prunable(f numfmt.Format) bool {
+	return f != nil && inject.MetaBitWidth(f) == 0 && f.BitWidth() <= MaxPruneBits
+}
+
+// PruneMask computes the set of analytically-masked bit positions of a
+// value-site fault space: bit b is set in the returned mask when flipping
+// bit b of any code whose decoded value lies inside the target layer's
+// calibrated activation bounds [lo, hi] (the ranger profile detect
+// campaigns already compute) perturbs that value by at most
+// eps·max(|lo|, |hi|). A fault confined to such a bit moves the activation
+// by a negligible fraction of the layer's dynamic range, so the campaign
+// counts it as masked without running the inference — the estimator
+// assigns it zero mismatch and zero ΔLoss mass, exactly what an executed
+// injection of a pruned bit would contribute up to the eps tolerance.
+//
+// Only in-bounds codes seed the sweep: the pre-fault value is an activation
+// the layer actually produced, and the calibration profile bounds those —
+// the same trust the ranger detector itself places in its profile. Codes
+// outside the bounds (including the format's non-finite encodings) cannot
+// occur as pre-fault values; the FP-family max-exponent codes that decode
+// to ±Inf/NaN therefore no longer poison every bit. A flip that *lands* on
+// a non-finite or wildly out-of-range value from an in-bounds code still
+// makes its bit unprunable.
+//
+// The analysis brute-forces all 2^width codes per bit: max over in-bounds
+// codes c of |decode(c ^ 1<<b) − decode(c)|. Returns 0 (nothing prunable)
+// for formats Prunable rejects, when the bounds carry no signal (max
+// magnitude 0 or non-finite), or when no code decodes in bounds.
+func PruneMask(f numfmt.Format, lo, hi, eps float64) uint64 {
+	if !Prunable(f) || eps <= 0 || lo > hi {
+		return 0
+	}
+	scale := math.Max(math.Abs(lo), math.Abs(hi))
+	if scale == 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		return 0
+	}
+	threshold := eps * scale
+	width := f.BitWidth()
+	codes := uint64(1) << uint(width)
+	var meta numfmt.Metadata
+	// Decode the whole code space once; the per-bit pass then reads pairs.
+	decoded := make([]float64, codes)
+	inBounds := make([]bool, codes)
+	any := false
+	for c := uint64(0); c < codes; c++ {
+		v := f.FromBits(numfmt.Bits(c), meta)
+		decoded[c] = v
+		if !math.IsNaN(v) && v >= lo && v <= hi {
+			inBounds[c] = true
+			any = true
+		}
+	}
+	if !any {
+		return 0
+	}
+	var mask uint64
+	for b := 0; b < width; b++ {
+		worst := 0.0
+		for c := uint64(0); c < codes; c++ {
+			if !inBounds[c] {
+				continue
+			}
+			w := decoded[c^(1<<uint(b))]
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				worst = math.Inf(1)
+				break
+			}
+			if d := math.Abs(w - decoded[c]); d > worst {
+				worst = d
+			}
+		}
+		if worst <= threshold {
+			mask |= 1 << uint(b)
+		}
+	}
+	return mask
+}
+
+// AllPrunable reports whether every flip of one injection lands on a
+// pruned bit — the condition for counting the whole injection analytically
+// (a multi-bit injection is masked only if all of its flips are).
+func AllPrunable(faults []inject.Fault, mask uint64) bool {
+	if mask == 0 {
+		return false
+	}
+	for _, f := range faults {
+		if f.Bit < 0 || f.Bit >= 64 || mask&(1<<uint(f.Bit)) == 0 {
+			return false
+		}
+	}
+	return true
+}

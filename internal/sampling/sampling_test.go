@@ -1,0 +1,499 @@
+package sampling
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"goldeneye/internal/inject"
+	"goldeneye/internal/numfmt"
+)
+
+func TestPlanValidate(t *testing.T) {
+	good := []Plan{
+		{Fraction: 1},
+		{Fraction: 0.1},
+		{Fraction: 0.5, Strata: map[string]float64{"sign": 1}},
+		{Fraction: 1, Prune: true, Epsilon: 1e-2},
+		{Fraction: 0.2, TargetCI: 0.01, CheckEvery: 100},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+	bad := []Plan{
+		{},
+		{Fraction: -0.1},
+		{Fraction: 1.5},
+		{Fraction: 0.5, Strata: map[string]float64{"sign": 0}},
+		{Fraction: 0.5, Strata: map[string]float64{"sign": 2}},
+		{Fraction: 0.5, Epsilon: -1},
+		{Fraction: 0.5, TargetCI: -1},
+		{Fraction: 0.5, CheckEvery: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan Validate = %v", err)
+	}
+}
+
+func TestPlanInertAndActive(t *testing.T) {
+	if !(&Plan{Fraction: 1}).Inert() {
+		t.Error("fraction-1 plan should be inert")
+	}
+	var nilPlan *Plan
+	if nilPlan.Active() {
+		t.Error("nil plan should be inactive")
+	}
+	for _, p := range []*Plan{
+		{Fraction: 0.5},
+		{Fraction: 1, Prune: true},
+		{Fraction: 1, TargetCI: 0.01},
+		{Fraction: 1, Strata: map[string]float64{"sign": 1}},
+	} {
+		if p.Inert() {
+			t.Errorf("plan %+v should not be inert", p)
+		}
+		if !p.Active() {
+			t.Errorf("plan %+v should be active", p)
+		}
+	}
+}
+
+func TestBitRole(t *testing.T) {
+	fp := numfmt.FP16(true) // 1 sign, 5 exp, 10 mant
+	cases := []struct {
+		bit  int
+		want string
+	}{{15, "sign"}, {14, "exponent"}, {10, "exponent"}, {9, "mantissa"}, {0, "mantissa"}}
+	for _, c := range cases {
+		if got := BitRole(fp, c.bit); got != c.want {
+			t.Errorf("fp16 bit %d role = %q, want %q", c.bit, got, c.want)
+		}
+	}
+	fxp := numfmt.FxP16() // 7 int, 8 frac, 1 sign
+	if got := BitRole(fxp, 15); got != "sign" {
+		t.Errorf("fxp16 bit 15 = %q", got)
+	}
+	if got := BitRole(fxp, 3); got != "fraction" {
+		t.Errorf("fxp16 bit 3 = %q", got)
+	}
+	if got := BitRole(fxp, 10); got != "integer" {
+		t.Errorf("fxp16 bit 10 = %q", got)
+	}
+	bfp := numfmt.BFPe5m5()
+	if got := BitRole(bfp, bfp.BitWidth()-1); got != "sign" {
+		t.Errorf("bfp sign bit = %q", got)
+	}
+	if got := BitRole(bfp, 0); got != "mantissa" {
+		t.Errorf("bfp bit 0 = %q", got)
+	}
+	if got := BitRole(numfmt.Posit8(), 3); got != "code" {
+		t.Errorf("posit bit role = %q, want code", got)
+	}
+}
+
+func TestSpaceClassification(t *testing.T) {
+	fp := numfmt.FP16(true)
+	sp := NewSpace(fp, inject.SiteValue)
+	// Bit-ascending first-sight order: mantissa (bit 0), exponent (bit 10),
+	// sign (bit 15).
+	want := []string{"mantissa", "exponent", "sign"}
+	got := sp.Strata()
+	if len(got) != len(want) {
+		t.Fatalf("strata = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("strata = %v, want %v", got, want)
+		}
+	}
+	if s := sp.StratumOf(inject.Fault{Bit: 15}); sp.Name(s) != "sign" {
+		t.Errorf("bit 15 stratum = %q", sp.Name(s))
+	}
+	if s := sp.StratumOf(inject.Fault{Bit: 2}); sp.Name(s) != "mantissa" {
+		t.Errorf("bit 2 stratum = %q", sp.Name(s))
+	}
+
+	meta := NewSpace(numfmt.BFPe5m5(), inject.SiteMetadata)
+	if len(meta.Strata()) != 1 || meta.Name(0) != "metadata" {
+		t.Errorf("metadata space strata = %v", meta.Strata())
+	}
+	acc := NewSpace(nil, inject.SiteAccum)
+	if len(acc.Strata()) != 1 || acc.Name(0) != "accum" {
+		t.Errorf("accum space strata = %v", acc.Strata())
+	}
+	if acc.StratumOf(inject.Fault{Bit: 17}) != 0 {
+		t.Error("single-stratum space must classify everything to 0")
+	}
+}
+
+func TestSelectedDeterministicAndUniform(t *testing.T) {
+	const n = 20000
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		count := 0
+		for i := 0; i < n; i++ {
+			a := Selected(42, i, frac)
+			if b := Selected(42, i, frac); a != b {
+				t.Fatalf("Selected not deterministic at index %d", i)
+			}
+			if a {
+				count++
+			}
+		}
+		got := float64(count) / n
+		if math.Abs(got-frac) > 0.02 {
+			t.Errorf("fraction %v selected %v of %d", frac, got, n)
+		}
+	}
+	if !Selected(1, 7, 1.0) {
+		t.Error("fraction 1 must select everything")
+	}
+	if Selected(1, 7, 0) {
+		t.Error("fraction 0 must select nothing")
+	}
+	// Nesting property: a higher fraction's selection need not nest, but
+	// different seeds must differ somewhere.
+	same := true
+	for i := 0; i < 1000; i++ {
+		if Selected(1, i, 0.5) != Selected(2, i, 0.5) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical selection")
+	}
+}
+
+func TestPruneMaskFP16(t *testing.T) {
+	fp := numfmt.FP16(true)
+	if !Prunable(fp) {
+		t.Fatal("fp16 should be prunable")
+	}
+	// With bounds ±8 and eps 1e-3, the threshold is 8e-3. Only codes that
+	// decode inside ±8 seed the analysis (a pre-fault activation is bounded
+	// by the calibration profile), so the largest in-bounds exponent is 3
+	// and the lowest mantissa bit perturbs by at most 2^(3-10) ≈ 0.0078 —
+	// prunable. Bit 1 doubles that and must not be; nor may the sign bit
+	// (flipping the sign of the largest in-bounds magnitude moves it 16).
+	mask := PruneMask(fp, -8, 8, 1e-3)
+	if mask&1 == 0 {
+		t.Errorf("mask %#x: lowest mantissa bit should be prunable under ±8 bounds", mask)
+	}
+	if mask&2 != 0 {
+		t.Errorf("mask %#x: mantissa bit 1 perturbs in-bounds values by ~0.0156 > 0.008", mask)
+	}
+	// Soundness: every masked bit's worst-case perturbation from an
+	// in-bounds pre-fault code stays within threshold and finite.
+	threshold := 1e-3 * 8
+	var meta numfmt.Metadata
+	for b := 0; b < fp.BitWidth(); b++ {
+		if mask&(1<<uint(b)) == 0 {
+			continue
+		}
+		for c := uint64(0); c < 1<<16; c++ {
+			v := fp.FromBits(numfmt.Bits(c), meta)
+			if math.IsNaN(v) || v < -8 || v > 8 {
+				continue
+			}
+			w := fp.FromBits(numfmt.Bits(c).Flip(b), meta)
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				t.Fatalf("bit %d pruned but code %#x flips to a non-finite value", b, c)
+			}
+			if d := math.Abs(w - v); d > threshold {
+				t.Fatalf("bit %d pruned but code %#x perturbs by %v > %v", b, c, d, threshold)
+			}
+		}
+	}
+	// Sign bit can never be prunable under finite bounds: flipping the
+	// sign of the largest magnitude doubles it.
+	if mask&(1<<uint(fp.BitWidth()-1)) != 0 {
+		t.Error("sign bit must not be prunable")
+	}
+}
+
+func TestPruneMaskFxP(t *testing.T) {
+	fxp := numfmt.FxP16() // LSB weight 2^-8
+	// Layer range ±100 with eps 1e-3 → threshold 0.1: the three lowest
+	// fraction bits (weights 1/256, 1/128, 1/64) perturb by at most
+	// ~0.0039/0.0078/0.0156 and must be prunable; the sign bit must not.
+	mask := PruneMask(fxp, -100, 100, 1e-3)
+	for b := 0; b <= 2; b++ {
+		if mask&(1<<uint(b)) == 0 {
+			t.Errorf("fraction bit %d should be prunable at threshold 0.1", b)
+		}
+	}
+	if mask&(1<<15) != 0 {
+		t.Error("sign bit must not be prunable")
+	}
+}
+
+func TestPruneMaskRejectsMetadataFormats(t *testing.T) {
+	for _, f := range []numfmt.Format{numfmt.INT8(), numfmt.BFPe5m5(), numfmt.AFPe5m2(), numfmt.NewLUT(4)} {
+		if Prunable(f) {
+			t.Errorf("%s carries metadata; must not be prunable", f.Name())
+		}
+		if m := PruneMask(f, -1, 1, 1e-3); m != 0 {
+			t.Errorf("%s prune mask = %#x, want 0", f.Name(), m)
+		}
+	}
+	if m := PruneMask(numfmt.FP16(true), 0, 0, 1e-3); m != 0 {
+		t.Error("zero bounds must prune nothing")
+	}
+	if m := PruneMask(numfmt.FP16(true), math.Inf(-1), math.Inf(1), 1e-3); m != 0 {
+		t.Error("non-finite bounds must prune nothing")
+	}
+}
+
+func TestAllPrunable(t *testing.T) {
+	mask := uint64(0b0111)
+	if !AllPrunable([]inject.Fault{{Bit: 0}, {Bit: 2}}, mask) {
+		t.Error("all-pruned set should be prunable")
+	}
+	if AllPrunable([]inject.Fault{{Bit: 0}, {Bit: 3}}, mask) {
+		t.Error("one unpruned flip must block pruning")
+	}
+	if AllPrunable([]inject.Fault{{Bit: 1}}, 0) {
+		t.Error("empty mask prunes nothing")
+	}
+}
+
+// addObs folds synthetic observations into a stratum.
+func addObs(s *Stratum, mismatches, total int) {
+	for i := 0; i < total; i++ {
+		s.Executed++
+		if i < mismatches {
+			s.Mismatch.Add(1)
+		} else {
+			s.Mismatch.Add(0)
+		}
+		s.DeltaLoss.Add(float64(i))
+	}
+}
+
+func TestEstimatorExhaustiveDegenerate(t *testing.T) {
+	// One stratum, fully executed: the estimate is the plain rate and the
+	// finite-population correction drives the interval to zero.
+	r := &Report{Strata: []Stratum{{Name: "all"}}}
+	s := &r.Strata[0]
+	s.Drawn = 100
+	addObs(s, 30, 100)
+	if got := r.SDCRate(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("SDCRate = %v, want 0.3", got)
+	}
+	if ci := r.CIHalfWidth(); ci != 0 {
+		t.Errorf("exhaustive CI = %v, want 0", ci)
+	}
+}
+
+func TestEstimatorStratifiedWeights(t *testing.T) {
+	// Two strata: 90% of the space at rate 0, 10% at rate 1 → true rate 0.1.
+	r := &Report{Strata: []Stratum{{Name: "a"}, {Name: "b"}}}
+	a, b := &r.Strata[0], &r.Strata[1]
+	a.Drawn, b.Drawn = 900, 100
+	addObs(a, 0, 90)
+	a.Skipped = 810
+	addObs(b, 5, 10)
+	b.Skipped = 90
+	// (0·900 + 0.5·100) / 1000
+	if got := r.SDCRate(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("SDCRate = %v, want 0.05", got)
+	}
+	if r.FaultSpace() != 1000 || r.ExecutedTotal() != 100 || r.SkippedTotal() != 900 {
+		t.Errorf("totals: space=%d exec=%d skip=%d", r.FaultSpace(), r.ExecutedTotal(), r.SkippedTotal())
+	}
+	if ci := r.CIHalfWidth(); ci <= 0 || math.IsInf(ci, 0) {
+		t.Errorf("CI = %v, want finite positive", ci)
+	}
+}
+
+func TestEstimatorPrunedMassContributesZero(t *testing.T) {
+	r := &Report{Strata: []Stratum{{Name: "mantissa"}, {Name: "sign"}}}
+	m, s := &r.Strata[0], &r.Strata[1]
+	m.Drawn, m.Pruned = 500, 500 // fully pruned stratum: needs no samples
+	s.Drawn = 500
+	addObs(s, 25, 50)
+	s.Skipped = 450
+	// Rate: (0·500 + 0.5·500) / 1000 = 0.25.
+	if got := r.SDCRate(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("SDCRate = %v, want 0.25", got)
+	}
+	if ci := r.CIHalfWidth(); math.IsInf(ci, 0) {
+		t.Error("fully-pruned stratum must not make the CI infinite")
+	}
+}
+
+func TestEstimatorUnobservedStratumInfiniteCI(t *testing.T) {
+	r := &Report{Strata: []Stratum{{Name: "a"}, {Name: "b"}}}
+	r.Strata[0].Drawn = 10
+	addObs(&r.Strata[0], 1, 10)
+	r.Strata[1].Drawn = 10
+	r.Strata[1].Skipped = 10
+	if ci := r.CIHalfWidth(); !math.IsInf(ci, 1) {
+		t.Errorf("CI = %v, want +Inf with an unobserved stratum", ci)
+	}
+}
+
+func TestReportMergeMatchesSingleAccumulation(t *testing.T) {
+	// Strata accumulated in two shards and merged must carry the same
+	// counts, and Welford moments must match the exact merge semantics.
+	build := func(seed int64) *Report {
+		rng := rand.New(rand.NewSource(seed))
+		r := &Report{Strata: []Stratum{{Name: "x"}, {Name: "y"}}}
+		for i := 0; i < 200; i++ {
+			s := &r.Strata[rng.Intn(2)]
+			s.Drawn++
+			s.Executed++
+			if rng.Float64() < 0.3 {
+				s.Mismatch.Add(1)
+			} else {
+				s.Mismatch.Add(0)
+			}
+			s.DeltaLoss.Add(rng.Float64())
+		}
+		return r
+	}
+	a, b := build(1), build(2)
+	merged := a.Clone()
+	if err := merged.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if merged.FaultSpace() != a.FaultSpace()+b.FaultSpace() {
+		t.Error("merged fault space must sum")
+	}
+	wantN := a.Strata[0].Mismatch.N() + b.Strata[0].Mismatch.N()
+	if merged.Strata[0].Mismatch.N() != wantN {
+		t.Errorf("merged stratum 0 N = %d, want %d", merged.Strata[0].Mismatch.N(), wantN)
+	}
+	// Mismatched strata must refuse to merge.
+	bad := &Report{Strata: []Stratum{{Name: "x"}}}
+	if err := a.Clone().Merge(bad); err == nil {
+		t.Error("merge with mismatched strata should fail")
+	}
+	bad2 := &Report{Strata: []Stratum{{Name: "x"}, {Name: "z"}}}
+	if err := a.Clone().Merge(bad2); err == nil {
+		t.Error("merge with renamed stratum should fail")
+	}
+}
+
+func TestReportMergeOrderBitIdentical(t *testing.T) {
+	// Merging the same shard set in shard-index order must be bit-identical
+	// regardless of which permutation the shards arrived in, provided the
+	// caller sorts them first (the shard-merge contract). Here we verify the
+	// building block: repeated in-order merges give identical bytes.
+	shardFor := func(i int) *Report {
+		rng := rand.New(rand.NewSource(int64(i) + 7))
+		r := &Report{Strata: []Stratum{{Name: "x"}, {Name: "y"}}}
+		for j := 0; j < 50; j++ {
+			s := &r.Strata[j%2]
+			s.Drawn++
+			s.Executed++
+			s.Mismatch.Add(float64(rng.Intn(2)))
+			s.DeltaLoss.Add(rng.NormFloat64())
+		}
+		return r
+	}
+	mergeAll := func() []byte {
+		m := shardFor(0).Clone()
+		for i := 1; i < 5; i++ {
+			if err := m.Merge(shardFor(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := mergeAll()
+	for trial := 0; trial < 3; trial++ {
+		if got := mergeAll(); string(got) != string(first) {
+			t.Fatal("in-order merge is not deterministic")
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := &Report{Strata: []Stratum{{Name: "mantissa"}, {Name: "sign"}}, StopIndex: 512}
+	r.Strata[0].Drawn = 100
+	addObs(&r.Strata[0], 13, 40)
+	r.Strata[0].Skipped = 55
+	r.Strata[0].Pruned = 5
+	r.Strata[1].Drawn = 10
+	addObs(&r.Strata[1], 7, 10)
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("round trip not byte-identical:\n%s\n%s", b, b2)
+	}
+	if back.SDCRate() != r.SDCRate() || back.CIHalfWidth() != r.CIHalfWidth() {
+		t.Error("derived estimates changed across the wire")
+	}
+}
+
+func TestPlanJSONStable(t *testing.T) {
+	p := &Plan{Fraction: 0.25, Strata: map[string]float64{"sign": 1, "mantissa": 0.1, "exponent": 0.5}, Prune: true, TargetCI: 0.02}
+	b1, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("plan encoding unstable:\n%s\n%s", b1, b2)
+	}
+}
+
+func TestNeymanPlan(t *testing.T) {
+	sizes := map[string]int{"mantissa": 800, "exponent": 150, "sign": 50}
+	rates := map[string]float64{"mantissa": 0.0, "exponent": 0.4, "sign": 0.9}
+	p := NeymanPlan(0.2, sizes, rates)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// High-variance strata get proportionally more of their stratum sampled
+	// than the flat-zero-rate one.
+	if p.Strata["exponent"] <= p.Strata["mantissa"] {
+		t.Errorf("exponent fraction %v should exceed mantissa %v", p.Strata["exponent"], p.Strata["mantissa"])
+	}
+	// Expected executed count stays near budget·total.
+	expected := 0.0
+	for name, n := range sizes {
+		expected += p.Strata[name] * float64(n)
+	}
+	if expected > 0.35*1000 {
+		t.Errorf("expected executed %v blows the 0.2 budget", expected)
+	}
+	// Degenerate inputs fall back to a flat plan.
+	if p := NeymanPlan(0.1, nil, nil); p.Fraction != 0.1 || len(p.Strata) != 0 {
+		t.Errorf("empty sizes: %+v", p)
+	}
+	if p := NeymanPlan(-1, sizes, rates); p.Validate() != nil {
+		t.Error("clamped budget must validate")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"goldeneye"
 	"goldeneye/internal/inject"
+	"goldeneye/internal/sampling"
 	"goldeneye/internal/server"
 	"goldeneye/internal/server/client"
 	"goldeneye/internal/zoo"
@@ -222,6 +223,96 @@ func TestRemoteEqualsLocalAccum(t *testing.T) {
 	if remote.Config.Assignment == nil ||
 		remote.Config.Assignment.Canonical() != asg.Canonical() {
 		t.Errorf("assignment did not round-trip through the daemon: %+v", remote.Config.Assignment)
+	}
+}
+
+// TestRemoteEqualsLocalSampled extends the remote-vs-local guarantee to
+// the v4 surface: an active sampling plan (full fraction with a stratum
+// override, so the estimator runs but every index executes) travels the
+// wire as schema v4, runs on the daemon, and the report — per-stratum
+// moments, CI and all — is bit-identical to the same campaign run locally.
+func TestRemoteEqualsLocalSampled(t *testing.T) {
+	f, err := goldeneye.ParseFormat("fp8_e4m3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers   = 2
+		samples   = 16
+		evalBatch = 8
+	)
+	cfg := goldeneye.CampaignConfig{
+		Format:     f,
+		Injections: 10,
+		Seed:       31,
+		Layer:      1,
+		Site:       inject.SiteValue,
+		Target:     inject.TargetNeuron,
+		Sampling:   &sampling.Plan{Fraction: 0.5, Strata: map[string]float64{"sign": 1}},
+	}
+
+	localCfg := cfg
+	model, ds, err := zoo.Pretrained("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := goldeneye.NewEvalPool(ds.ValX.Slice(0, samples), ds.ValY[:samples], evalBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localCfg.Pool = pool
+	sim, err := goldeneye.NewSimulator(model, ds.ValX.Slice(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sim
+	local, err := goldeneye.RunCampaignParallel(context.Background(), localCfg, workers,
+		func() (*goldeneye.Simulator, error) {
+			if s := first; s != nil {
+				first = nil
+				return s, nil
+			}
+			m, d, err := zoo.Pretrained("mlp")
+			if err != nil {
+				return nil, err
+			}
+			return goldeneye.NewSimulator(m, d.ValX.Slice(0, 1))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Sampling == nil {
+		t.Fatal("local sampled campaign carries no estimator report")
+	}
+
+	_, c := startDaemon(t, server.Options{})
+	remote, err := c.Run(context.Background(), &server.JobSpec{
+		Model:     "mlp",
+		Samples:   samples,
+		EvalBatch: evalBatch,
+		Workers:   workers,
+		Campaign:  cfg,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteJSON, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localJSON, remoteJSON) {
+		t.Errorf("remote sampled report differs from local:\nlocal:  %s\nremote: %s", localJSON, remoteJSON)
+	}
+	if remote.Sampling == nil {
+		t.Fatal("estimator report did not round-trip through the daemon")
+	}
+	if got, want := remote.Sampling.SDCRate(), local.Sampling.SDCRate(); got != want {
+		t.Errorf("SDC estimate drifted over the wire: remote %v, local %v", got, want)
 	}
 }
 

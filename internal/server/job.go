@@ -50,6 +50,12 @@ type job struct {
 	// done counts executed injections, stored by the Progress callback.
 	done atomic.Int64
 
+	// total is the engine-reported progress denominator. For exhaustive
+	// campaigns it matches PlannedInjections; a sampled campaign reports its
+	// selection's executed-count total instead, which only the engine knows.
+	// Zero until the first progress callback.
+	total atomic.Int64
+
 	// seq is the monotonic progress sequence: one tick per engine progress
 	// callback plus one at the terminal transition. SSE frames carry it as
 	// their event id, which is what makes Last-Event-ID resume work.
@@ -94,9 +100,11 @@ func newJob(id, key string, hash uint64, spec *JobSpec, workers int) *job {
 }
 
 // progressed records campaign progress from the engine's Progress hook:
-// the cumulative injection count plus one sequence tick.
-func (j *job) progressed(done int) {
+// the cumulative injection count, the engine's denominator, plus one
+// sequence tick.
+func (j *job) progressed(done, total int) {
 	j.done.Store(int64(done))
+	j.total.Store(int64(total))
 	j.seq.Add(1)
 }
 
@@ -141,9 +149,18 @@ func (j *job) finish(state JobState, rep *goldeneye.CampaignReport, err error) b
 	j.report = rep
 	j.err = err
 	if state == JobDone {
-		// Shard jobs execute only their stride slice; the job's total is
-		// the planned count, not the whole campaign's.
-		j.done.Store(int64(j.cfg.PlannedInjections()))
+		if rep != nil && rep.Sampling != nil {
+			// A sampled campaign finishes when its selection (possibly cut
+			// short by sequential stopping) is exhausted, not at the planned
+			// fault-space size.
+			executed := int64(rep.Injections + rep.Aborted)
+			j.done.Store(executed)
+			j.total.Store(executed)
+		} else {
+			// Shard jobs execute only their stride slice; the job's total is
+			// the planned count, not the whole campaign's.
+			j.done.Store(int64(j.cfg.PlannedInjections()))
+		}
 	}
 	j.seq.Add(1)
 	close(j.finished)
@@ -178,6 +195,9 @@ func (j *job) snapshot() JobStatus {
 	cached := j.cached
 	detectors := j.detectors
 	total := j.cfg.PlannedInjections()
+	if t := j.total.Load(); t > 0 {
+		total = int(t)
+	}
 	var errText string
 	if j.err != nil {
 		errText = j.err.Error()

@@ -511,7 +511,7 @@ func (s *Server) execute(ctx context.Context, j *job) (rep *goldeneye.CampaignRe
 	cfg := j.cfg
 	cfg.Pool = pool
 	cfg.Metrics = j.reg
-	cfg.Progress = func(done, total int) { j.progressed(done) }
+	cfg.Progress = func(done, total int) { j.progressed(done, total) }
 	if cfg.Layer < 0 {
 		cfg.Layer = scout.DefaultInjectionLayer(cfg.Target)
 		if cfg.Layer < 0 {

@@ -457,6 +457,51 @@ func TestObservabilityEndpoints(t *testing.T) {
 	}
 }
 
+// TestDecodeCompatAcrossSchemaVersions pins the older-job-on-newer-server
+// contract: specs written by v1–v3 clients predate the sampling plan and
+// must keep decoding on the v4 server with strict decoding (unknown-field
+// rejection) still on, while a v4 spec's plan survives a decode→re-encode
+// round trip.
+func TestDecodeCompatAcrossSchemaVersions(t *testing.T) {
+	older := map[string]string{
+		"v1 uniform":    `{"model":"mlp","campaign":{"format":"fp16","injections":4,"seed":9,"layer":1}}`,
+		"v2 assignment": `{"model":"mlp","campaign":{"version":2,"assignment":{"default":{"weights":"bf16","activations":"fp8_e4m3","accumulator":"fp32"}},"site":"accum","injections":4,"seed":9,"layer":1}}`,
+		"v3 sharded":    `{"model":"mlp","campaign":{"version":3,"format":"fp16","shard_index":0,"shard_count":2,"injections":4,"seed":9,"layer":1}}`,
+	}
+	for name, doc := range older {
+		spec, err := DecodeJobSpec(strings.NewReader(doc))
+		if err != nil {
+			t.Errorf("%s job rejected by the v4 server: %v", name, err)
+			continue
+		}
+		if spec.Campaign.Sampling != nil {
+			t.Errorf("%s job decoded with a sampling plan it never carried", name)
+		}
+	}
+
+	v4 := `{"model":"mlp","campaign":{"version":4,"format":"fp16","sampling":{"fraction":0.25,"strata":{"exponent":1},"target_ci":0.05,"check_every":32},"injections":8,"seed":9,"layer":1}}`
+	spec, err := DecodeJobSpec(strings.NewReader(v4))
+	if err != nil {
+		t.Fatalf("v4 sampled job rejected: %v", err)
+	}
+	plan := spec.Campaign.Sampling
+	if plan == nil {
+		t.Fatal("v4 sampled job decoded without its sampling plan")
+	}
+	if plan.Fraction != 0.25 || plan.TargetCI != 0.05 || plan.CheckEvery != 32 || plan.Strata["exponent"] != 1 {
+		t.Fatalf("sampling plan mangled in decode: %+v", plan)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"version":4`, `"sampling"`, `"target_ci":0.05`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("re-encoded v4 spec missing %s: %s", want, data)
+		}
+	}
+}
+
 // FuzzJobConfigDecode pins the submission decoder's no-panic guarantee:
 // whatever bytes arrive, DecodeJobSpec returns a value or an error, never
 // a panic that could take down the daemon.
@@ -477,6 +522,14 @@ func FuzzJobConfigDecode(f *testing.F) {
 	f.Add([]byte(`{"model":"mlp","campaign":{"version":2,"assignment":{"default":{"accumulator":"bfp_e5m5_b0"}},"injections":1,"seed":1,"layer":0}}`))
 	f.Add([]byte(`{"model":"mlp","campaign":{"version":2,"assignment":{"default":{"activations":"fp16"}},"bogus_field":1,"injections":1,"seed":1,"layer":0}}`))
 	f.Add([]byte(`{"model":"mlp","campaign":{"version":2,"assignment":{"per_layer":{"x":{"weights":"fp16"}}},"injections":1,"seed":1,"layer":0}}`))
+	// Schema v4 documents: sampling plans — plain fraction, per-stratum
+	// overrides with pruning and sequential stopping, and validation edge
+	// cases (fraction out of range, negative CI target, unknown field).
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":4,"format":"fp16","sampling":{"fraction":0.25},"injections":8,"seed":9,"layer":1}}`))
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":4,"format":"fp8_e4m3","use_ranger":true,"sampling":{"fraction":1,"strata":{"exponent":1,"mantissa":0.05},"prune":true,"target_ci":0.02,"check_every":128},"injections":8,"seed":9,"layer":1}}`))
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":4,"format":"fp16","sampling":{"fraction":0},"injections":1,"seed":1,"layer":0}}`))
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":4,"format":"fp16","sampling":{"fraction":0.5,"target_ci":-1},"injections":1,"seed":1,"layer":0}}`))
+	f.Add([]byte(`{"model":"mlp","campaign":{"version":4,"format":"fp16","sampling":{"fraction":0.5,"bogus":1},"injections":1,"seed":1,"layer":0}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := DecodeJobSpec(bytes.NewReader(data))
 		if err == nil && spec == nil {

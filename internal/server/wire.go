@@ -172,6 +172,9 @@ func (s *JobSpec) Validate() error {
 		return &goldeneye.ConfigError{Field: "Campaign.KeepTrace",
 			Reason: "per-injection traces are not served over the job API"}
 	}
+	if err := c.Sampling.Validate(); err != nil {
+		return &goldeneye.ConfigError{Field: "Campaign.Sampling", Reason: err.Error()}
+	}
 	return nil
 }
 

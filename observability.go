@@ -1,11 +1,13 @@
 package goldeneye
 
 import (
+	"math"
 	"time"
 
 	"goldeneye/internal/dse"
 	"goldeneye/internal/nn"
 	"goldeneye/internal/numfmt"
+	"goldeneye/internal/sampling"
 	"goldeneye/internal/telemetry"
 	"goldeneye/internal/tensor"
 )
@@ -37,6 +39,15 @@ const (
 	MetricCampaignRecoveries  = "goldeneye_campaign_recoveries_total"
 	MetricCampaignCoverage    = "goldeneye_campaign_detector_coverage"
 	MetricCampaignCalibration = "goldeneye_campaign_calibration_seconds"
+
+	// Sampled-campaign instruments (populated when CampaignConfig.Sampling
+	// is active): the estimator's dispatch accounting and interval width.
+	MetricSamplingFaultSpace = "goldeneye_sampling_fault_space_total"
+	MetricSamplingExecuted   = "goldeneye_sampling_executed_total"
+	MetricSamplingPruned     = "goldeneye_sampling_pruned_total"
+	MetricSamplingSkipped    = "goldeneye_sampling_skipped_total"
+	MetricSamplingCIWidth    = "goldeneye_sampling_ci_width"
+	MetricSamplingStopIndex  = "goldeneye_sampling_stop_index"
 )
 
 // occupancyBuckets bound the batch-occupancy histogram: the filled fraction
@@ -202,6 +213,27 @@ func (ct *campaignTelemetry) recordDetections(detectedBy []string, recovered boo
 	}
 	if recovered && ct.recoveries != nil {
 		ct.recoveries.Inc()
+	}
+}
+
+// publishSampling exposes a sampled campaign's estimator accounting at
+// campaign end: the covered fault space, how it was dispatched, the 95% CI
+// half-width of the SDC-rate estimate (only while finite — a Prometheus
+// exposition must not carry +Inf), and the early-stop boundary if sequential
+// stopping fired.
+func (ct *campaignTelemetry) publishSampling(rep *sampling.Report) {
+	if ct == nil || ct.reg == nil || rep == nil {
+		return
+	}
+	ct.reg.Counter(MetricSamplingFaultSpace).Add(int64(rep.FaultSpace()))
+	ct.reg.Counter(MetricSamplingExecuted).Add(int64(rep.ExecutedTotal()))
+	ct.reg.Counter(MetricSamplingPruned).Add(int64(rep.PrunedTotal()))
+	ct.reg.Counter(MetricSamplingSkipped).Add(int64(rep.SkippedTotal()))
+	if hw := rep.CIHalfWidth(); !math.IsInf(hw, 0) && !math.IsNaN(hw) {
+		ct.reg.Gauge(MetricSamplingCIWidth).Set(hw)
+	}
+	if rep.StopIndex > 0 {
+		ct.reg.Gauge(MetricSamplingStopIndex).Set(float64(rep.StopIndex))
 	}
 }
 

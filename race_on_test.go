@@ -1,0 +1,7 @@
+//go:build race
+
+package goldeneye
+
+// raceEnabled reports whether the binary was built with the race
+// detector, which intentionally randomizes sync.Pool caching.
+const raceEnabled = true

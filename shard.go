@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"goldeneye/internal/metrics"
+	"goldeneye/internal/sampling"
 )
 
 // ShardConfigs splits one campaign into k deterministic stride shards:
@@ -120,7 +121,17 @@ func MergeShardReports(reports []*CampaignReport) (*CampaignReport, error) {
 			return nil, shardMergeErrf("shard %d ran a different campaign configuration", s)
 		}
 		planned := sh.Config.PlannedInjections()
-		if executed := sh.Injections + sh.Aborted; executed != planned && !sh.Interrupted {
+		if sh.Sampling != nil {
+			// A sampled shard executes only its selection; completeness is
+			// instead that its estimator accounted the whole stride slice.
+			if covered := sh.Sampling.FaultSpace(); covered != planned && !sh.Interrupted {
+				return nil, shardMergeErrf("shard %d covered %d of %d planned fault-space indices", s, covered, planned)
+			}
+			if executed := sh.Injections + sh.Aborted; executed != sh.Sampling.ExecutedTotal()+sh.Sampling.AbortedTotal() && !sh.Interrupted {
+				return nil, shardMergeErrf("shard %d recorded %d injections but its estimator observed %d",
+					s, executed, sh.Sampling.ExecutedTotal()+sh.Sampling.AbortedTotal())
+			}
+		} else if executed := sh.Injections + sh.Aborted; executed != planned && !sh.Interrupted {
 			return nil, shardMergeErrf("shard %d executed %d of %d planned injections", s, executed, planned)
 		}
 	}
@@ -139,8 +150,19 @@ func MergeShardReports(reports []*CampaignReport) (*CampaignReport, error) {
 			merged.PerDetector[name] = d
 		}
 	}
-	if cfg.KeepTrace {
+	sampled := shards[0].Sampling != nil
+	if cfg.KeepTrace && !sampled {
 		merged.Trace = make([]InjectionOutcome, cfg.Injections)
+	}
+	if sampled {
+		// Start from a zeroed report over shard 0's strata and fold every
+		// shard in (shard 0 included) — the exact construction and Welford
+		// merge order RunCampaignParallel uses at workers=K, so the merged
+		// moments are bit-identical.
+		merged.Sampling = &sampling.Report{Strata: make([]sampling.Stratum, len(shards[0].Sampling.Strata))}
+		for i := range merged.Sampling.Strata {
+			merged.Sampling.Strata[i].Name = shards[0].Sampling.Strata[i].Name
+		}
 	}
 	for s, sh := range shards {
 		merged.Interrupted = merged.Interrupted || sh.Interrupted
@@ -151,9 +173,34 @@ func MergeShardReports(reports []*CampaignReport) (*CampaignReport, error) {
 		if s > 0 {
 			merged.PerDetector = mergeResumeDetectors(merged.PerDetector, sh.PerDetector)
 		}
-		if cfg.KeepTrace {
+		if sampled {
+			if sh.Sampling == nil {
+				return nil, shardMergeErrf("shard %d carries no estimator state but shard 0 does", s)
+			}
+			if err := merged.Sampling.Merge(sh.Sampling); err != nil {
+				return nil, shardMergeErrf("shard %d: %v", s, err)
+			}
+		} else if sh.Sampling != nil {
+			return nil, shardMergeErrf("shard %d carries estimator state but shard 0 does not", s)
+		}
+		if cfg.KeepTrace && !sampled {
 			for j, out := range sh.Trace {
 				merged.Trace[s+j*k] = out
+			}
+		}
+	}
+	if cfg.KeepTrace && sampled {
+		// Sampled shard traces are sparse and carry their global injection
+		// index; each shard's entries are already ascending within its stride
+		// sequence. Walking global indices and consuming the owning shard's
+		// next entry when it matches reassembles exactly the order the serial
+		// and parallel sampled paths record.
+		cursors := make([]int, k)
+		for i := 0; i < cfg.Injections; i++ {
+			sh := shards[i%k]
+			if c := cursors[i%k]; c < len(sh.Trace) && sh.Trace[c].Index == i {
+				merged.Trace = append(merged.Trace, sh.Trace[c])
+				cursors[i%k]++
 			}
 		}
 	}

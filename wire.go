@@ -8,6 +8,7 @@ import (
 	"goldeneye/internal/detect"
 	"goldeneye/internal/inject"
 	"goldeneye/internal/metrics"
+	"goldeneye/internal/sampling"
 )
 
 // ConfigSchemaVersion is the newest schema version of the JSON encodings of
@@ -28,12 +29,20 @@ import (
 //	     pre-existing encoding keeps its exact bytes — a merged fleet
 //	     report is indistinguishable from a single-node one on the wire.
 //	     Decoded strictly, like v2.
-const ConfigSchemaVersion = 3
+//	v4 — adds the "sampling" plan (configs) and the stratified estimator
+//	     "sampling" report (see internal/sampling). Exhaustive campaigns —
+//	     including ones whose inert fraction-1.0 plan was normalized away —
+//	     never stamp v4 or emit either field, so every pre-existing
+//	     encoding keeps its exact bytes. Decoded strictly, like v2.
+const ConfigSchemaVersion = 4
 
 // wireVersion returns the schema version a configuration actually needs:
 // v1 unless it uses a newer feature. Stamping the minimum keeps legacy
 // encodings byte-identical and lets older consumers keep reading them.
 func (c CampaignConfig) wireVersion() int {
+	if c.Sampling.Active() {
+		return 4
+	}
 	if c.ShardCount > 1 {
 		return 3
 	}
@@ -77,6 +86,7 @@ type campaignConfigJSON struct {
 	MaxAborts         int             `json:"max_aborts,omitempty"`
 	Detectors         []detectorJSON  `json:"detectors,omitempty"`
 	Recovery          string          `json:"recovery,omitempty"`
+	Sampling          *sampling.Plan  `json:"sampling,omitempty"`
 }
 
 // roleFormatsJSON is the wire shape of one RoleFormats triple: each role
@@ -212,6 +222,11 @@ func (c CampaignConfig) MarshalJSON() ([]byte, error) {
 	if c.Recovery != detect.PolicyNone {
 		w.Recovery = c.Recovery.String()
 	}
+	if c.Sampling.Active() {
+		// Emitted only when the plan changes behaviour, so configurations
+		// carrying an inert (or no) plan keep their pre-v4 bytes.
+		w.Sampling = c.Sampling
+	}
 	return json.Marshal(w)
 }
 
@@ -302,6 +317,7 @@ func (c *CampaignConfig) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
+	out.Sampling = w.Sampling
 	*c = out
 	return nil
 }
@@ -368,6 +384,7 @@ type campaignReportJSON struct {
 	PerDetector map[string]metrics.DetectorStats `json:"per_detector,omitempty"`
 	Aborted     int                              `json:"aborted,omitempty"`
 	Interrupted bool                             `json:"interrupted,omitempty"`
+	Sampling    *sampling.Report                 `json:"sampling,omitempty"`
 }
 
 // MarshalJSON encodes the report in its stable, versioned wire shape. The
@@ -385,6 +402,7 @@ func (r CampaignReport) MarshalJSON() ([]byte, error) {
 		PerDetector: r.PerDetector,
 		Aborted:     r.Aborted,
 		Interrupted: r.Interrupted,
+		Sampling:    r.Sampling,
 	})
 }
 
@@ -405,6 +423,7 @@ func (r *CampaignReport) UnmarshalJSON(data []byte) error {
 		PerDetector:    w.PerDetector,
 		Aborted:        w.Aborted,
 		Interrupted:    w.Interrupted,
+		Sampling:       w.Sampling,
 	}
 	return nil
 }

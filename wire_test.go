@@ -8,6 +8,7 @@ import (
 
 	"goldeneye/internal/detect"
 	"goldeneye/internal/inject"
+	"goldeneye/internal/sampling"
 )
 
 // wireConfigs spans the encodable configuration space: presets and generic
@@ -273,6 +274,89 @@ func TestWireV2StrictDecoding(t *testing.T) {
 		`"assignment":{"default":{"weights":"nosuchformat"}}}`
 	if err := json.Unmarshal([]byte(badAsg), &cfg); err == nil {
 		t.Error("unparseable assignment format must fail decoding")
+	}
+}
+
+// TestWireV4SamplingRoundTrip pins the v4 surface: a config carrying an
+// active sampling plan stamps version 4, survives encode→decode with the
+// plan intact, and re-encodes byte-stably; exhaustive configs never emit
+// the field, and a report's estimator state round-trips bit-exactly.
+func TestWireV4SamplingRoundTrip(t *testing.T) {
+	f, err := ParseFormat("fp16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CampaignConfig{
+		Format:     f,
+		Injections: 200,
+		Seed:       9,
+		Layer:      2,
+		Sampling: &sampling.Plan{
+			Fraction:   0.25,
+			Strata:     map[string]float64{"exponent": 1},
+			Prune:      true,
+			TargetCI:   0.05,
+			CheckEvery: 64,
+		},
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !bytes.Contains(data, []byte(`"version":4`)) {
+		t.Fatalf("sampled config should stamp v4: %s", data)
+	}
+	var back CampaignConfig
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	p := back.Sampling
+	if p == nil || p.Fraction != 0.25 || !p.Prune || p.TargetCI != 0.05 ||
+		p.CheckEvery != 64 || p.Strata["exponent"] != 1 {
+		t.Fatalf("sampling plan drifted: %+v", p)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("v4 encoding not byte-stable:\n first: %s\nsecond: %s", data, again)
+	}
+
+	// Exhaustive configs keep their pre-v4 bytes: no version bump, no
+	// sampling field.
+	plain := CampaignConfig{Format: f, Injections: 1, Seed: 1, Layer: 0}
+	data2, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data2, []byte(`"sampling"`)) || bytes.Contains(data2, []byte(`"version":4`)) {
+		t.Fatalf("exhaustive config leaked v4 surface: %s", data2)
+	}
+
+	// A report carrying estimator state is stamped v4 and its per-stratum
+	// Welford moments survive the wire bit-exactly.
+	rep := CampaignReport{Config: cfg, Sampling: &sampling.Report{
+		Strata:    []sampling.Stratum{{Name: "exponent", Drawn: 40, Executed: 3}},
+		StopIndex: 128,
+	}}
+	rep.Sampling.Strata[0].Mismatch.Add(1)
+	rep.Sampling.Strata[0].Mismatch.Add(0)
+	rep.Sampling.Strata[0].DeltaLoss.Add(0.125)
+	repData, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(repData, []byte(`"version":4`)) {
+		t.Fatalf("v4 report not stamped: %s", repData)
+	}
+	var repBack CampaignReport
+	if err := json.Unmarshal(repData, &repBack); err != nil {
+		t.Fatalf("report unmarshal: %v", err)
+	}
+	if repBack.Sampling == nil || repBack.Sampling.StopIndex != 128 ||
+		repBack.Sampling.Strata[0] != rep.Sampling.Strata[0] {
+		t.Fatalf("estimator state drifted over the wire: %+v", repBack.Sampling)
 	}
 }
 
